@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the engine phases: DD+IA construction, a
+//! recombination step, vertex-addition strategies, and the restart
+//! baseline.
+
+use aaa_core::baseline::restart_run;
+use aaa_core::changes::preferential_batch;
+use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig};
+use aaa_graph::generators::{barabasi_albert, WeightModel};
+use aaa_graph::AdjGraph;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn graph() -> AdjGraph {
+    barabasi_albert(800, 3, WeightModel::Unit, 5).unwrap()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("engine/dd-ia/ba-800-p8", |b| {
+        b.iter(|| black_box(AnytimeEngine::new(g.clone(), EngineConfig::deterministic(8)).unwrap()))
+    });
+}
+
+fn bench_rc_step(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("engine/first-rc-step/ba-800-p8", |b| {
+        b.iter_batched(
+            || AnytimeEngine::new(g.clone(), EngineConfig::deterministic(8)).unwrap(),
+            |mut e| {
+                e.rc_step();
+                black_box(e.rc_steps_done())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_vertex_addition_strategies(c: &mut Criterion) {
+    let g = graph();
+    let batch = preferential_batch(&g, 16, 3, 9);
+    for (name, strategy) in [
+        ("round-robin", AssignStrategy::RoundRobin),
+        ("cut-edge", AssignStrategy::CutEdge { seed: 1, tries: 2 }),
+        ("repartition", AssignStrategy::Repartition { seed: 1 }),
+    ] {
+        c.bench_function(&format!("engine/add-16-vertices/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut e =
+                        AnytimeEngine::new(g.clone(), EngineConfig::deterministic(8)).unwrap();
+                    e.run_to_convergence();
+                    e
+                },
+                |mut e| {
+                    e.apply_vertex_additions(&batch, strategy).unwrap();
+                    e.run_to_convergence();
+                    black_box(e.rc_steps_done())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_restart_baseline(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("baseline/full-restart/ba-800-p8", |b| {
+        b.iter(|| black_box(restart_run(&g, &EngineConfig::deterministic(8)).unwrap().1))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_construction, bench_rc_step, bench_vertex_addition_strategies, bench_restart_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the substrate kernels: shortest paths,
+//! row relaxation, partitioning, community detection, schedules.
+
+use aaa_core::rank::relax_via;
+use aaa_graph::community::{louvain, LouvainConfig};
+use aaa_graph::generators::{barabasi_albert, planted_partition, PlantedPartition, WeightModel};
+use aaa_graph::sssp::dijkstra;
+use aaa_graph::{Csr, INF};
+use aaa_partition::{MultilevelPartitioner, Partitioner};
+use aaa_runtime::schedule::{all_to_all_cost_us, tournament_rounds};
+use aaa_runtime::{ExchangeSchedule, LogPModel};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let g = barabasi_albert(2_000, 3, WeightModel::Unit, 1).unwrap();
+    let csr = Csr::from_adj(&g);
+    c.bench_function("dijkstra/ba-2000-m3", |b| {
+        b.iter(|| black_box(dijkstra(&csr, black_box(0))))
+    });
+}
+
+fn bench_relax_via(c: &mut Criterion) {
+    let n = 5_000;
+    let via: Vec<u32> = (0..n).map(|i| (i % 97) as u32).collect();
+    c.bench_function("relax_via/5000-cols", |b| {
+        b.iter_batched(
+            || vec![INF / 2; n],
+            |mut row| black_box(relax_via(&mut row, 3, &via)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_multilevel_partition(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 3, WeightModel::Unit, 2).unwrap();
+    c.bench_function("multilevel/ba-5000-k16", |b| {
+        b.iter(|| {
+            let p = MultilevelPartitioner::seeded(3).partition(&g, 16).unwrap();
+            black_box(p)
+        })
+    });
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let m = PlantedPartition { communities: 10, size: 100, p_in: 0.1, p_out: 0.002 };
+    let (g, _) = planted_partition(&m, WeightModel::Unit, 4).unwrap();
+    c.bench_function("louvain/sbm-1000", |b| {
+        b.iter(|| black_box(louvain(&g, &LouvainConfig::default())))
+    });
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let bytes = vec![vec![4096usize; 16]; 16];
+    let model = LogPModel::ethernet_1g();
+    c.bench_function("schedule/tournament-rounds-p64", |b| {
+        b.iter(|| black_box(tournament_rounds(black_box(64))))
+    });
+    c.bench_function("schedule/all-to-all-cost-p16", |b| {
+        b.iter(|| black_box(all_to_all_cost_us(ExchangeSchedule::Pairwise, &model, &bytes)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules
+}
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --scale <n>   graph size (default 2000; the paper uses 50,000 — see
+//!               EXPERIMENTS.md for the scaling rationale)
+//! --procs <P>   logical processors (default 16, as in the paper)
+//! --seed <s>    RNG seed (default 42)
+//! --csv <path>  also write the table as CSV
+//! ```
+//!
+//! Reported *time* is the LogP-simulated cluster time (compute max per
+//! superstep + modelled communication) — the quantity comparable to the
+//! paper's minutes on its 16-processor testbed. Wall-clock of this
+//! in-process run is also shown for transparency.
+
+use aaa_core::EngineConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Paper-scale constants.
+pub const PAPER_VERTICES: usize = 50_000;
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    pub scale: usize,
+    pub procs: usize,
+    pub seed: u64,
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self { scale: 2_000, procs: 16, seed: 42, csv: None }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut take = |what: &str| -> String {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {what}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = take("--scale").parse().expect("--scale wants an integer"),
+                "--procs" => out.procs = take("--procs").parse().expect("--procs wants an integer"),
+                "--seed" => out.seed = take("--seed").parse().expect("--seed wants an integer"),
+                "--csv" => out.csv = Some(PathBuf::from(take("--csv"))),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale n] [--procs P] [--seed s] [--csv path]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales a paper-sized quantity (defined against 50,000 vertices) down
+    /// to this run's graph size, keeping at least `min`.
+    pub fn scaled(&self, paper_value: usize, min: usize) -> usize {
+        ((paper_value as f64 * self.scale as f64 / PAPER_VERTICES as f64).round() as usize).max(min)
+    }
+
+    /// Engine configuration for this run (parallel execution, 1 Gb/s
+    /// Ethernet LogP pricing — the paper's testbed).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::with_procs(self.procs)
+    }
+}
+
+/// A printable/CSV-able results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table and optionally writes CSV.
+    pub fn emit(&self, csv: Option<&PathBuf>) {
+        print!("{}", self.render());
+        if let Some(path) = csv {
+            let mut s = String::new();
+            let _ = writeln!(s, "{}", self.headers.join(","));
+            for row in &self.rows {
+                let _ = writeln!(s, "{}", row.join(","));
+            }
+            std::fs::write(path, s).expect("CSV write");
+            println!("(csv written to {})", path.display());
+        }
+    }
+}
+
+/// Formats simulated microseconds as seconds with sensible precision.
+pub fn fmt_sim_secs(us: f64) -> String {
+    format!("{:.2}", us / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_rounds_and_floors() {
+        let a = CommonArgs { scale: 2_000, ..Default::default() };
+        assert_eq!(a.scaled(500, 1), 20);
+        assert_eq!(a.scaled(6000, 1), 240);
+        assert_eq!(a.scaled(1, 5), 5); // floor
+        let full = CommonArgs { scale: 50_000, ..Default::default() };
+        assert_eq!(full.scaled(512, 1), 512);
+    }
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_seconds() {
+        assert_eq!(fmt_sim_secs(1_500_000.0), "1.50");
+    }
+}
+
+pub mod experiments;

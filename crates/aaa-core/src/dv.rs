@@ -1,0 +1,313 @@
+//! Per-rank distance-vector storage.
+//!
+//! Each processor keeps a Distance Vector (DV) per **local** vertex — the
+//! current estimate of its shortest-path distance to *every* vertex in the
+//! graph — plus cached DVs of its **external boundary** vertices as received
+//! from neighboring processors (§IV.C of the paper).
+//!
+//! Two invariants carry the whole anytime analysis:
+//!
+//! * entries only ever *decrease* (min-merge), so partial results are always
+//!   an upper bound on true distances and quality is monotone;
+//! * on vertex addition, every row grows by the new columns with amortized
+//!   doubling — the `O(n)` resize cost the paper accounts for in §IV.C.1a.
+
+use aaa_graph::{Dist, VertexId, INF};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Distance-vector store for one rank.
+#[derive(Debug, Clone, Default)]
+pub struct DvStore {
+    /// Number of columns (current global vertex count).
+    n: usize,
+    /// Rows for vertices owned by this rank.
+    local: FxHashMap<VertexId, Vec<Dist>>,
+    /// Cached rows of external boundary vertices (owned elsewhere).
+    cached: FxHashMap<VertexId, Vec<Dist>>,
+    /// Local rows changed since they were last sent.
+    dirty: FxHashSet<VertexId>,
+}
+
+impl DvStore {
+    /// Creates an empty store with `n` columns.
+    pub fn new(n: usize) -> Self {
+        Self { n, ..Self::default() }
+    }
+
+    /// Current column count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of local rows.
+    pub fn num_local(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Number of cached external rows.
+    pub fn num_cached(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Adds a fresh local row for `v`: all `INF` except `row[v] = 0`.
+    /// Marks it dirty. No-op if the row already exists.
+    pub fn add_local_row(&mut self, v: VertexId) {
+        debug_assert!((v as usize) < self.n, "row {v} beyond column count {}", self.n);
+        self.local.entry(v).or_insert_with(|| {
+            let mut row = vec![INF; self.n];
+            row[v as usize] = 0;
+            row
+        });
+        self.dirty.insert(v);
+    }
+
+    /// Grows every row to `new_n` columns (filled with `INF`).
+    /// `Vec` growth is amortized-doubling, matching the paper's resize
+    /// analysis.
+    pub fn grow_columns(&mut self, new_n: usize) {
+        debug_assert!(new_n >= self.n);
+        self.n = new_n;
+        for row in self.local.values_mut() {
+            row.resize(new_n, INF);
+        }
+        for row in self.cached.values_mut() {
+            row.resize(new_n, INF);
+        }
+    }
+
+    /// Read a row: local first, then cached. `None` if unknown here.
+    pub fn row(&self, v: VertexId) -> Option<&[Dist]> {
+        self.local
+            .get(&v)
+            .or_else(|| self.cached.get(&v))
+            .map(|r| r.as_slice())
+    }
+
+    /// Read a local row.
+    pub fn local_row(&self, v: VertexId) -> Option<&[Dist]> {
+        self.local.get(&v).map(|r| r.as_slice())
+    }
+
+    /// True if `v` has a local row here.
+    pub fn is_local(&self, v: VertexId) -> bool {
+        self.local.contains_key(&v)
+    }
+
+    /// Ids of local rows, sorted (deterministic iteration order).
+    pub fn local_ids_sorted(&self) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> = self.local.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ids of every row available here (local + cached), sorted.
+    pub fn all_ids_sorted(&self) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> =
+            self.local.keys().chain(self.cached.keys()).copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Temporarily removes a local row so it can be mutated while other
+    /// rows are read (split-borrow workaround). Pair with
+    /// [`DvStore::put_back_local`].
+    pub fn take_local(&mut self, v: VertexId) -> Option<Vec<Dist>> {
+        self.local.remove(&v)
+    }
+
+    /// Restores a row taken with [`DvStore::take_local`]; `changed` marks it
+    /// dirty.
+    pub fn put_back_local(&mut self, v: VertexId, row: Vec<Dist>, changed: bool) {
+        debug_assert_eq!(row.len(), self.n);
+        self.local.insert(v, row);
+        if changed {
+            self.dirty.insert(v);
+        }
+    }
+
+    /// Removes a local row entirely (migration). Returns it if present.
+    pub fn remove_local(&mut self, v: VertexId) -> Option<Vec<Dist>> {
+        self.dirty.remove(&v);
+        self.local.remove(&v)
+    }
+
+    /// Installs a migrated row as local (overwrites any cached copy).
+    pub fn install_local(&mut self, v: VertexId, mut row: Vec<Dist>, dirty: bool) {
+        row.resize(self.n, INF);
+        self.cached.remove(&v);
+        self.local.insert(v, row);
+        if dirty {
+            self.dirty.insert(v);
+        }
+    }
+
+    /// Element-wise min-merge into a local row. Returns `true` (and marks
+    /// dirty) if any entry improved.
+    pub fn min_merge_local(&mut self, v: VertexId, incoming: &[Dist]) -> bool {
+        let row = self.local.get_mut(&v).expect("min_merge_local on missing row");
+        let changed = min_merge(row, incoming);
+        if changed {
+            self.dirty.insert(v);
+        }
+        changed
+    }
+
+    /// Min-merges an incoming external-boundary row into the cache
+    /// (creating it if new). Returns `true` if anything improved.
+    pub fn min_merge_cached(&mut self, v: VertexId, incoming: &[Dist]) -> bool {
+        debug_assert!(!self.local.contains_key(&v), "cached merge of a local row {v}");
+        match self.cached.get_mut(&v) {
+            Some(row) => min_merge(row, incoming),
+            None => {
+                let mut row = vec![INF; self.n];
+                min_merge(&mut row, incoming);
+                self.cached.insert(v, row);
+                true
+            }
+        }
+    }
+
+    /// Drops all cached external rows (used on repartition).
+    pub fn clear_cache(&mut self) {
+        self.cached.clear();
+    }
+
+    /// Marks a local row dirty.
+    pub fn mark_dirty(&mut self, v: VertexId) {
+        debug_assert!(self.local.contains_key(&v));
+        self.dirty.insert(v);
+    }
+
+    /// Marks every local row dirty.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.extend(self.local.keys().copied());
+    }
+
+    /// True if any local row awaits sending.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Takes the dirty set, sorted (deterministic send order).
+    pub fn take_dirty_sorted(&mut self) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> = self.dirty.drain().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Memory the rows occupy, in bytes (diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        (self.local.len() + self.cached.len()) * self.n * std::mem::size_of::<Dist>()
+    }
+}
+
+/// Element-wise `dst = min(dst, src)`; returns whether anything changed.
+/// The incoming row may be shorter than `dst` (sender had fewer columns);
+/// missing entries are treated as `INF`.
+pub fn min_merge(dst: &mut [Dist], src: &[Dist]) -> bool {
+    let mut changed = false;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s < *d {
+            *d = s;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_row_is_identity() {
+        let mut dv = DvStore::new(4);
+        dv.add_local_row(2);
+        assert_eq!(dv.row(2).unwrap(), &[INF, INF, 0, INF]);
+        assert!(dv.is_local(2));
+        assert!(dv.has_dirty());
+        assert_eq!(dv.num_local(), 1);
+    }
+
+    #[test]
+    fn grow_columns_extends_all_rows() {
+        let mut dv = DvStore::new(2);
+        dv.add_local_row(0);
+        dv.min_merge_cached(1, &[3, 0]);
+        dv.grow_columns(4);
+        assert_eq!(dv.n(), 4);
+        assert_eq!(dv.row(0).unwrap().len(), 4);
+        assert_eq!(dv.row(1).unwrap(), &[3, 0, INF, INF]);
+    }
+
+    #[test]
+    fn min_merge_only_improves() {
+        let mut dst = vec![5, INF, 2];
+        assert!(min_merge(&mut dst, &[7, 4, 2]));
+        assert_eq!(dst, vec![5, 4, 2]);
+        assert!(!min_merge(&mut dst, &[9, 9, 9]));
+        // Shorter source: missing tail untouched.
+        assert!(min_merge(&mut dst, &[1]));
+        assert_eq!(dst, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn cached_merge_creates_and_improves() {
+        let mut dv = DvStore::new(3);
+        assert!(dv.min_merge_cached(1, &[4, 0, 9]));
+        assert!(dv.min_merge_cached(1, &[4, 0, 5]));
+        assert!(!dv.min_merge_cached(1, &[6, 1, 7]));
+        assert_eq!(dv.row(1).unwrap(), &[4, 0, 5]);
+        assert_eq!(dv.num_cached(), 1);
+        dv.clear_cache();
+        assert!(dv.row(1).is_none());
+    }
+
+    #[test]
+    fn dirty_lifecycle() {
+        let mut dv = DvStore::new(3);
+        dv.add_local_row(0);
+        dv.add_local_row(2);
+        assert_eq!(dv.take_dirty_sorted(), vec![0, 2]);
+        assert!(!dv.has_dirty());
+        dv.min_merge_local(0, &[0, 1, 1]);
+        assert_eq!(dv.take_dirty_sorted(), vec![0]);
+        // No improvement -> no dirt.
+        dv.min_merge_local(0, &[0, 5, 5]);
+        assert!(!dv.has_dirty());
+    }
+
+    #[test]
+    fn take_and_put_back() {
+        let mut dv = DvStore::new(2);
+        dv.add_local_row(0);
+        dv.take_dirty_sorted();
+        let mut row = dv.take_local(0).unwrap();
+        assert!(dv.row(0).is_none());
+        row[1] = 7;
+        dv.put_back_local(0, row, true);
+        assert_eq!(dv.row(0).unwrap(), &[0, 7]);
+        assert!(dv.has_dirty());
+    }
+
+    #[test]
+    fn migration_install_and_remove() {
+        let mut dv = DvStore::new(3);
+        dv.min_merge_cached(1, &[9, 0, 9]);
+        dv.install_local(1, vec![8, 0, 8], true);
+        assert!(dv.is_local(1));
+        assert_eq!(dv.num_cached(), 0);
+        let row = dv.remove_local(1).unwrap();
+        assert_eq!(row, vec![8, 0, 8]);
+        assert!(!dv.has_dirty());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut dv = DvStore::new(100);
+        dv.add_local_row(0);
+        dv.min_merge_cached(5, &[0; 100]);
+        assert_eq!(dv.memory_bytes(), 2 * 100 * 4);
+    }
+}

@@ -1,0 +1,499 @@
+//! The anytime anywhere engine: domain decomposition, initial
+//! approximation, the recombination loop, and the dynamic-update
+//! orchestration (§III–IV of the paper).
+
+use crate::changes::{DynamicChange, VertexBatch};
+use crate::error::CoreError;
+use crate::rank::{GrowMsg, RankState, RowMsg};
+use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
+use aaa_graph::apsp::DistMatrix;
+use aaa_graph::{AdjGraph, PartId, VertexId, Weight};
+use aaa_partition::simple::{BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner};
+use aaa_partition::{MultilevelPartitioner, Partition, Partitioner};
+use aaa_runtime::{Cluster, ClusterConfig, RunStats};
+
+/// Which partitioner the domain-decomposition phase uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdPartitioner {
+    /// Multilevel k-way (the METIS-substitute; the paper's choice).
+    Multilevel { seed: u64 },
+    Block,
+    RoundRobin,
+    Hash,
+    Random { seed: u64 },
+}
+
+impl DdPartitioner {
+    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, CoreError> {
+        let p = match *self {
+            DdPartitioner::Multilevel { seed } => MultilevelPartitioner::seeded(seed).partition(g, k),
+            DdPartitioner::Block => BlockPartitioner.partition(g, k),
+            DdPartitioner::RoundRobin => RoundRobinPartitioner.partition(g, k),
+            DdPartitioner::Hash => HashPartitioner.partition(g, k),
+            DdPartitioner::Random { seed } => RandomPartitioner { seed }.partition(g, k),
+        }?;
+        Ok(p)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of logical processors (the paper uses 16).
+    pub procs: usize,
+    /// Domain-decomposition partitioner.
+    pub dd: DdPartitioner,
+    /// Runtime configuration (execution mode, LogP model, schedule).
+    pub cluster: ClusterConfig,
+    /// Maximum message size `M` in bytes (§IV.C); DV bundles are chunked to
+    /// this cap.
+    pub message_cap_bytes: usize,
+    /// Safety bound on recombination steps per convergence run.
+    pub max_rc_steps: usize,
+    /// Seeded attempts for CutEdge-PS (the paper scores one partition per
+    /// processor and keeps the best).
+    pub cutedge_tries: usize,
+}
+
+impl EngineConfig {
+    /// Default configuration for `p` processors: multilevel DD, parallel
+    /// execution, 1 Gb/s-Ethernet LogP pricing, 1 MiB message cap.
+    pub fn with_procs(p: usize) -> Self {
+        Self {
+            procs: p,
+            dd: DdPartitioner::Multilevel { seed: 0 },
+            cluster: ClusterConfig::default(),
+            message_cap_bytes: 1 << 20,
+            max_rc_steps: 10_000,
+            cutedge_tries: 4,
+        }
+    }
+
+    /// Deterministic variant (sequential rank execution) for tests.
+    pub fn deterministic(p: usize) -> Self {
+        let mut c = Self::with_procs(p);
+        c.cluster.mode = aaa_runtime::ExecutionMode::Sequential;
+        c
+    }
+}
+
+/// Summary of a convergence run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceSummary {
+    /// RC steps executed by this call.
+    pub steps: usize,
+    /// Whether the run reached quiescence (vs. hitting `max_rc_steps`).
+    pub converged: bool,
+}
+
+/// The anytime anywhere closeness-centrality engine.
+///
+/// Construction runs the DD and IA phases; [`AnytimeEngine::rc_step`]
+/// advances the RC phase one step at a time (the *anytime* interface — the
+/// engine can be queried for closeness between any two steps); the
+/// `apply_*` methods incorporate dynamic changes mid-analysis (the
+/// *anywhere* interface).
+pub struct AnytimeEngine {
+    graph: AdjGraph,
+    partition: Partition,
+    cluster: Cluster<RankState>,
+    config: EngineConfig,
+    rc_steps: usize,
+    rr_cursor: usize,
+}
+
+impl AnytimeEngine {
+    /// Domain decomposition + initial approximation.
+    pub fn new(graph: AdjGraph, config: EngineConfig) -> Result<Self, CoreError> {
+        if config.procs == 0 {
+            return Err(CoreError::Config("procs must be ≥ 1".into()));
+        }
+        let dd_started = std::time::Instant::now();
+        let partition = config.dd.partition(&graph, config.procs)?;
+        let dd_us = dd_started.elapsed().as_secs_f64() * 1e6;
+        let owner: Vec<PartId> = partition.assignment().to_vec();
+        let states: Vec<RankState> = (0..config.procs)
+            .map(|r| RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec()))
+            .collect();
+        let mut cluster = Cluster::new(states, config.cluster);
+        // The DD partitioner runs once at the orchestrator; on the paper's
+        // testbed it is parallel ParMETIS on the cluster — charge its time.
+        cluster.charge_compute_us(dd_us);
+        // IA phase: per-source Dijkstra inside every rank's sub-graph.
+        cluster.step(|_, s| s.initial_approximation());
+        Ok(Self { graph, partition, cluster, config, rc_steps: 0, rr_cursor: 0 })
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.config.procs
+    }
+
+    /// The engine's current view of the full graph.
+    pub fn graph(&self) -> &AdjGraph {
+        &self.graph
+    }
+
+    /// The current vertex→processor assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// RC steps executed so far (across convergence runs and injections).
+    pub fn rc_steps_done(&self) -> usize {
+        self.rc_steps
+    }
+
+    /// Accumulated runtime statistics (traffic, simulated time, wall time).
+    pub fn stats(&self) -> RunStats {
+        *self.cluster.stats()
+    }
+
+    /// Executes one recombination step: boundary DV exchange under the
+    /// personalized all-to-all schedule, min-merge, and the local min-plus
+    /// refinement (Fig. 1). Returns `true` while more work remains.
+    pub fn rc_step(&mut self) -> bool {
+        let cap = self.config.message_cap_bytes;
+        self.cluster.exchange(
+            move |_, s: &mut RankState| s.produce_rc_messages(cap),
+            RowMsg::size_bytes,
+            |_, s, inbox| s.consume_rc_messages(inbox),
+        );
+        self.rc_steps += 1;
+        self.cluster
+            .allreduce_or(|_, s| s.last_sent || s.last_changed || s.has_dirty())
+    }
+
+    /// Runs RC steps until no processor has updates left (or the safety
+    /// bound is hit). For a static graph this takes at most P−1 productive
+    /// steps plus one quiescence-detection step.
+    pub fn run_to_convergence(&mut self) -> ConvergenceSummary {
+        let mut steps = 0;
+        while steps < self.config.max_rc_steps {
+            steps += 1;
+            if !self.rc_step() {
+                return ConvergenceSummary { steps, converged: true };
+            }
+        }
+        ConvergenceSummary { steps, converged: false }
+    }
+
+    /// Closeness centrality of every vertex from the *current* partial
+    /// results — the anytime query. Monotonically improving across RC
+    /// steps; exact at convergence.
+    pub fn closeness(&mut self) -> Vec<f64> {
+        let per_rank = self.cluster.step(|_, s| s.local_closeness());
+        let mut out = vec![0.0; self.graph.num_vertices()];
+        for list in per_rank {
+            for (v, c) in list {
+                out[v as usize] = c;
+            }
+        }
+        out
+    }
+
+    /// Gathers the full distance matrix (testing / small graphs only —
+    /// this is Θ(n²) memory at the driver).
+    pub fn distances(&mut self) -> DistMatrix {
+        let per_rank = self.cluster.step(|_, s| s.local_rows());
+        let n = self.graph.num_vertices();
+        let mut m = DistMatrix::new(n);
+        for list in per_rank {
+            for (v, row) in list {
+                for (t, d) in row.into_iter().enumerate() {
+                    m.set(v, t as VertexId, d);
+                }
+            }
+        }
+        m
+    }
+
+    // ----------------------------------------------------------------
+    // Anywhere: dynamic changes
+    // ----------------------------------------------------------------
+
+    /// Applies a dynamic change mid-analysis. Vertex additions honour the
+    /// given strategy; edge changes use the companion algorithms.
+    pub fn apply_change(
+        &mut self,
+        change: &DynamicChange,
+        strategy: AssignStrategy,
+    ) -> Result<(), CoreError> {
+        match change {
+            DynamicChange::AddVertices(batch) => self.apply_vertex_additions(batch, strategy),
+            DynamicChange::RemoveVertices(victims) => self.remove_vertices(victims),
+            DynamicChange::AddEdge { u, v, w } => self.add_edge(*u, *v, *w),
+            DynamicChange::RemoveEdge { u, v } => self.remove_edge(*u, *v),
+            DynamicChange::SetWeight { u, v, w } => self.set_edge_weight(*u, *v, *w),
+        }
+    }
+
+    /// Incorporates a batch of new vertices using the chosen processor
+    /// assignment strategy (the paper's core contribution; Fig. 2 + Fig. 3).
+    /// The caller decides when to continue RC stepping.
+    pub fn apply_vertex_additions(
+        &mut self,
+        batch: &VertexBatch,
+        strategy: AssignStrategy,
+    ) -> Result<(), CoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        batch.validate(self.graph.num_vertices())?;
+        let base = self.graph.num_vertices() as VertexId;
+        match strategy {
+            AssignStrategy::Repartition { seed } => self.apply_repartition(batch, seed),
+            AssignStrategy::RoundRobin => {
+                let owners = round_robin_assign(batch.len(), self.config.procs, self.rr_cursor);
+                self.rr_cursor = (self.rr_cursor + batch.len()) % self.config.procs;
+                self.apply_anywhere(batch, base, owners)
+            }
+            AssignStrategy::CutEdge { seed, tries } => {
+                // CutEdge-PS partitions the new-vertex graph (serial METIS
+                // in the paper); charge that compute to the cluster clock.
+                // `tries = 0` defers to the engine-wide default.
+                let tries = if tries == 0 { self.config.cutedge_tries } else { tries };
+                let started = std::time::Instant::now();
+                let owners = cut_edge_assign(batch, base, self.config.procs, seed, tries)?;
+                self.cluster.charge_compute_us(started.elapsed().as_secs_f64() * 1e6);
+                self.apply_anywhere(batch, base, owners)
+            }
+        }
+    }
+
+    /// Vertex additions with constraint-driven strategy selection
+    /// (Fig. 1 line 16): the policy picks RoundRobin-PS, CutEdge-PS or
+    /// Repartition-S from the batch's size and structure. Returns the
+    /// strategy it chose.
+    pub fn apply_vertex_additions_auto(
+        &mut self,
+        batch: &VertexBatch,
+        policy: &crate::policy::StrategyPolicy,
+    ) -> Result<AssignStrategy, CoreError> {
+        let strategy = policy.choose(batch, self.graph.num_vertices());
+        self.apply_vertex_additions(batch, strategy)?;
+        Ok(strategy)
+    }
+
+    /// The anywhere vertex-addition strategy (Fig. 3): grow DVs, then per
+    /// new edge broadcast both endpoint rows and relax every local row.
+    fn apply_anywhere(
+        &mut self,
+        batch: &VertexBatch,
+        base: VertexId,
+        owners: Vec<PartId>,
+    ) -> Result<(), CoreError> {
+        // Driver-side graph and partition bookkeeping. `validate` ruled out
+        // every failure mode, so these cannot error.
+        self.graph.add_vertices(batch.len());
+        let edges = batch.global_edges(base);
+        for &(a, b, w) in &edges {
+            self.graph.add_edge(a, b, w)?;
+        }
+        self.partition.extend(owners.iter().copied())?;
+
+        // Announce the batch (owners + edges) to every rank.
+        let msg = GrowMsg { base, owners, edges: edges.clone() };
+        self.cluster
+            .broadcast(0, move |_| msg, GrowMsg::size_bytes, |_, s, m| s.grow(m));
+
+        // Fig. 3 main loop: per edge, broadcast the endpoint rows from
+        // their owners (tree broadcast) and run the add-edge relaxation on
+        // every rank.
+        for &(x, y, w) in &edges {
+            let ox = self.partition.part_of(x) as usize;
+            let oy = self.partition.part_of(y) as usize;
+            self.cluster.broadcast(
+                ox,
+                move |s: &mut RankState| (x, s.row_for_broadcast(x)),
+                |(_, r): &(VertexId, Vec<_>)| 8 + 4 * r.len(),
+                |_, s, m| s.stash_row(m.0, &m.1),
+            );
+            self.cluster.broadcast(
+                oy,
+                move |s: &mut RankState| (y, s.row_for_broadcast(y)),
+                |(_, r): &(VertexId, Vec<_>)| 8 + 4 * r.len(),
+                |_, s, m| s.stash_row(m.0, &m.1),
+            );
+            self.cluster.step(move |_, s| s.apply_edge_relax(x, y, w));
+        }
+        // Propagate the batch's effects to rank-local fixed points; changed
+        // rows are now dirty and flow out on the next RC step.
+        self.cluster.step(|_, s| {
+            s.relax_pending();
+            s.clear_gathered();
+        });
+        Ok(())
+    }
+
+    /// Repartition-S (§IV.C.1b): repartition the whole graph (including the
+    /// new vertices), migrate the partial results to their new owners, and
+    /// let subsequent RC steps absorb the change. No per-edge relaxation is
+    /// performed — the paper trades that for the repartition.
+    fn apply_repartition(&mut self, batch: &VertexBatch, seed: u64) -> Result<(), CoreError> {
+        let base = self.graph.num_vertices() as VertexId;
+        self.graph.add_vertices(batch.len());
+        for &(a, b, w) in &batch.global_edges(base) {
+            self.graph.add_edge(a, b, w)?;
+        }
+        self.repartition_and_migrate(seed)
+    }
+
+    /// Repartitions the *current* graph and migrates partial results to the
+    /// new owners. Also usable on its own as the load-rebalancing operation
+    /// the paper lists as future work ("graph rebalancing strategies to
+    /// deal with load imbalances").
+    pub fn rebalance(&mut self, seed: u64) -> Result<(), CoreError> {
+        self.repartition_and_migrate(seed)
+    }
+
+    fn repartition_and_migrate(&mut self, seed: u64) -> Result<(), CoreError> {
+        // The whole-graph repartitioning is the strategy's main cost
+        // (parallel ParMETIS in the paper) — charge its compute time.
+        let started = std::time::Instant::now();
+        let new_part = MultilevelPartitioner::seeded(seed).partition(&self.graph, self.config.procs)?;
+        self.cluster.charge_compute_us(started.elapsed().as_secs_f64() * 1e6);
+        let assignment: Vec<PartId> = new_part.assignment().to_vec();
+
+        // Price the assignment broadcast (every rank must learn the map).
+        let payload = assignment.clone();
+        self.cluster.broadcast(0, move |_| payload, |a| 4 * a.len(), |_, _, _| {});
+
+        // Migrate rows to their new owners; each rank rebuilds its local
+        // structures from the new map. The closures only need disjoint
+        // parts of `self`.
+        let graph = &self.graph;
+        let owner_ref: &[PartId] = &assignment;
+        self.cluster.exchange(
+            move |_, s: &mut RankState| s.migrate_out(owner_ref),
+            RowMsg::size_bytes,
+            move |_, s, inbox| {
+                s.migrate_in(owner_ref, inbox, |v| graph.neighbors(v).to_vec());
+            },
+        );
+        self.partition = new_part;
+        Ok(())
+    }
+
+    /// Dynamic **vertex deletion** — the extension the paper lists as
+    /// future work (§VI). Deletion is *logical*: the vertex keeps its id
+    /// (global ids are stable across the cluster's DV columns) but loses
+    /// every incident edge, making it isolated and giving it closeness 0.
+    /// Shortest paths through it are invalidated, so the engine performs the
+    /// same partial restart as edge deletion.
+    pub fn remove_vertices(&mut self, victims: &[VertexId]) -> Result<(), CoreError> {
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let n = self.graph.num_vertices();
+        for &v in victims {
+            if v as usize >= n {
+                return Err(CoreError::InvalidChange(format!(
+                    "cannot remove vertex {v}: graph has {n} vertices"
+                )));
+            }
+        }
+        // Collect and remove all incident edges at the driver.
+        let mut removed_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for &v in victims {
+            let nbrs: Vec<VertexId> = self.graph.neighbors(v).iter().map(|&(t, _)| t).collect();
+            for t in nbrs {
+                // A batch may list both endpoints; the edge is gone after
+                // the first removal.
+                if self.graph.has_edge(v, t) {
+                    self.graph.remove_edge(v, t)?;
+                    removed_edges.push((v, t));
+                }
+            }
+        }
+        let payload = removed_edges.clone();
+        self.cluster.broadcast(
+            0,
+            move |_| payload,
+            |edges| 8 * edges.len(),
+            |_, s, edges| {
+                for &(a, b) in edges {
+                    s.erase_edge(a, b);
+                }
+            },
+        );
+        self.partial_restart();
+        Ok(())
+    }
+
+    /// Dynamic edge addition (the authors' algorithm [9]): record the edge
+    /// everywhere, broadcast both endpoint rows, relax.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), CoreError> {
+        self.graph.add_edge(u, v, w)?;
+        self.cluster.broadcast(
+            0,
+            move |_| (u, v, w),
+            |_| 12,
+            |_, s, &(a, b, w)| s.record_edge(a, b, w),
+        );
+        self.relax_single_edge(u, v, w);
+        Ok(())
+    }
+
+    /// Dynamic edge-weight change (companion algorithm [7]). A decrease is
+    /// a relaxation; an increase invalidates shortest paths and triggers
+    /// the partial restart shared with deletion.
+    pub fn set_edge_weight(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), CoreError> {
+        let old = self
+            .graph
+            .edge_weight(u, v)
+            .ok_or(CoreError::Graph(aaa_graph::GraphError::MissingEdge { u, v }))?;
+        self.graph.set_weight(u, v, w)?;
+        self.cluster.broadcast(
+            0,
+            move |_| (u, v, w),
+            |_| 12,
+            |_, s, &(a, b, w)| s.reweight_edge(a, b, w),
+        );
+        if w < old {
+            self.relax_single_edge(u, v, w);
+        } else if w > old {
+            self.partial_restart();
+        }
+        Ok(())
+    }
+
+    /// Dynamic edge deletion (simplified variant of the authors' deletion
+    /// algorithm [10]): the decomposition and DV columns are kept, but
+    /// every rank recomputes its rows from its local sub-graph and the RC
+    /// phase re-converges — a partial restart that reuses the anytime
+    /// structure rather than the stale distances.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), CoreError> {
+        self.graph.remove_edge(u, v)?;
+        self.cluster
+            .broadcast(0, move |_| (u, v), |_| 8, |_, s, &(a, b)| s.erase_edge(a, b));
+        self.partial_restart();
+        Ok(())
+    }
+
+    fn relax_single_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        let ou = self.partition.part_of(u) as usize;
+        let ov = self.partition.part_of(v) as usize;
+        self.cluster.broadcast(
+            ou,
+            move |s: &mut RankState| (u, s.row_for_broadcast(u)),
+            |(_, r): &(VertexId, Vec<_>)| 8 + 4 * r.len(),
+            |_, s, m| s.stash_row(m.0, &m.1),
+        );
+        self.cluster.broadcast(
+            ov,
+            move |s: &mut RankState| (v, s.row_for_broadcast(v)),
+            |(_, r): &(VertexId, Vec<_>)| 8 + 4 * r.len(),
+            |_, s, m| s.stash_row(m.0, &m.1),
+        );
+        self.cluster.step(move |_, s| {
+            s.apply_edge_relax(u, v, w);
+            s.relax_pending();
+            s.clear_gathered();
+        });
+    }
+
+    fn partial_restart(&mut self) {
+        self.cluster.step(|_, s| s.recompute_from_scratch());
+    }
+}

@@ -1,0 +1,58 @@
+//! Typed errors for the engine.
+
+use aaa_graph::GraphError;
+use aaa_partition::PartitionError;
+use std::fmt;
+
+/// Errors produced by engine construction or dynamic updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying graph operation failed (bad edge, out-of-range id…).
+    Graph(GraphError),
+    /// Partitioning failed.
+    Partition(PartitionError),
+    /// Configuration is invalid (e.g. zero processors).
+    Config(String),
+    /// A dynamic change referenced data that does not exist.
+    InvalidChange(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Partition(e) => write!(f, "partition error: {e}"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+            CoreError::InvalidChange(m) => write!(f, "invalid dynamic change: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<PartitionError> for CoreError {
+    fn from(e: PartitionError) -> Self {
+        CoreError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = GraphError::SelfLoop { vertex: 3 }.into();
+        assert!(e.to_string().contains("self-loop"));
+        let e: CoreError = PartitionError::ZeroParts.into();
+        assert!(e.to_string().contains("at least one part"));
+        let e = CoreError::Config("procs = 0".into());
+        assert!(e.to_string().contains("procs = 0"));
+    }
+}

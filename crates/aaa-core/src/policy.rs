@@ -1,0 +1,130 @@
+//! Constraint-driven strategy selection.
+//!
+//! Line 16 of the paper's recombination template (Fig. 1) is
+//! "Choose Recombination strategy(ies) based on the constraints": the
+//! framework is supposed to pick how to incorporate a change from a set of
+//! constraints (user thresholds, system state, change magnitude) rather
+//! than hard-coding one strategy. This module provides that chooser —
+//! [`StrategyPolicy`] — encoding the decision rule the paper's §V.B.4
+//! summary derives empirically:
+//!
+//! * small batches, or changes arriving continuously → anywhere vertex
+//!   addition (CutEdge-PS when the batch has internal community structure,
+//!   RoundRobin-PS otherwise);
+//! * large single-step batches → Repartition-S.
+
+use crate::changes::VertexBatch;
+use crate::strategies::AssignStrategy;
+
+/// Tunable constraints for strategy selection.
+#[derive(Debug, Clone)]
+pub struct StrategyPolicy {
+    /// If `batch.len() / graph_vertices` exceeds this, repartition.
+    /// The paper's crossovers (Figs. 5–6) sit around 3–6 k of 50 k
+    /// vertices; 0.05 is the midpoint.
+    pub repartition_fraction: f64,
+    /// Minimum ratio of batch-internal edges to batch vertices for
+    /// CutEdge-PS to be worth its partitioning overhead. Below it the
+    /// batch has no exploitable community structure and RoundRobin-PS is
+    /// strictly cheaper.
+    pub cutedge_internal_ratio: f64,
+    /// Seed for the partitioning strategies.
+    pub seed: u64,
+    /// CutEdge-PS seeded attempts.
+    pub cutedge_tries: usize,
+}
+
+impl Default for StrategyPolicy {
+    fn default() -> Self {
+        Self { repartition_fraction: 0.05, cutedge_internal_ratio: 0.5, seed: 0, cutedge_tries: 4 }
+    }
+}
+
+impl StrategyPolicy {
+    /// Chooses the assignment strategy for `batch` arriving on a graph of
+    /// `graph_vertices` vertices.
+    pub fn choose(&self, batch: &VertexBatch, graph_vertices: usize) -> AssignStrategy {
+        if graph_vertices > 0 {
+            let fraction = batch.len() as f64 / graph_vertices as f64;
+            if fraction > self.repartition_fraction {
+                return AssignStrategy::Repartition { seed: self.seed };
+            }
+        }
+        let base = graph_vertices as u32;
+        let internal = batch.internal_edges(base).len();
+        if !batch.is_empty() && internal as f64 / batch.len() as f64 >= self.cutedge_internal_ratio {
+            AssignStrategy::CutEdge { seed: self.seed, tries: self.cutedge_tries }
+        } else {
+            AssignStrategy::RoundRobin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::NewVertex;
+
+    #[allow(clippy::needless_range_loop)]
+    fn batch_with_internal(count: usize, internal_edges: usize) -> VertexBatch {
+        let base = 1000u32; // callers use graph_vertices = 1000
+        let mut vertices: Vec<NewVertex> = (0..count).map(|_| NewVertex { edges: vec![] }).collect();
+        let mut placed = 0;
+        'outer: for i in 1..count {
+            for j in 0..i {
+                if placed >= internal_edges {
+                    break 'outer;
+                }
+                vertices[i].edges.push((base + j as u32, 1));
+                placed += 1;
+            }
+        }
+        VertexBatch { vertices }
+    }
+
+    #[test]
+    fn large_batches_repartition() {
+        let policy = StrategyPolicy::default();
+        let batch = batch_with_internal(100, 0);
+        assert!(matches!(
+            policy.choose(&batch, 1000),
+            AssignStrategy::Repartition { .. }
+        ));
+    }
+
+    #[test]
+    fn small_structured_batches_use_cutedge() {
+        let policy = StrategyPolicy::default();
+        let batch = batch_with_internal(20, 30);
+        assert!(matches!(
+            policy.choose(&batch, 1000),
+            AssignStrategy::CutEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn small_unstructured_batches_use_round_robin() {
+        let policy = StrategyPolicy::default();
+        let batch = batch_with_internal(20, 2);
+        assert!(matches!(policy.choose(&batch, 1000), AssignStrategy::RoundRobin));
+    }
+
+    #[test]
+    fn empty_graph_never_divides_by_zero() {
+        let policy = StrategyPolicy::default();
+        let batch = batch_with_internal(5, 0);
+        let _ = policy.choose(&batch, 0);
+    }
+
+    #[test]
+    fn thresholds_are_respected() {
+        let strict = StrategyPolicy { repartition_fraction: 0.001, ..Default::default() };
+        let batch = batch_with_internal(5, 0);
+        assert!(matches!(
+            strict.choose(&batch, 1000),
+            AssignStrategy::Repartition { .. }
+        ));
+        let lax = StrategyPolicy { repartition_fraction: 1.0, cutedge_internal_ratio: 0.0, ..Default::default() };
+        assert!(matches!(lax.choose(&batch, 1000), AssignStrategy::CutEdge { .. }));
+    }
+}

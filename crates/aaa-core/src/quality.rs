@@ -1,0 +1,111 @@
+//! Anytime-quality instrumentation.
+//!
+//! The anytime property (§III) promises solutions whose quality improves
+//! monotonically (non-decreasing) with computation. [`QualityTracker`]
+//! measures that: it compares the engine's partial closeness values against
+//! the exact values for the current graph and records the error per RC step.
+
+use aaa_graph::closeness::{closeness_exact, mean_relative_error, top_k};
+use aaa_graph::{AdjGraph, Csr};
+
+/// One quality sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySample {
+    /// RC steps completed when the sample was taken.
+    pub rc_step: usize,
+    /// Mean relative closeness error vs. exact.
+    pub error: f64,
+    /// Fraction of the true top-k most central vertices already identified.
+    pub top_k_recall: f64,
+}
+
+/// Tracks solution quality across recombination steps.
+#[derive(Debug, Clone)]
+pub struct QualityTracker {
+    exact: Vec<f64>,
+    exact_top: Vec<u32>,
+    k: usize,
+    samples: Vec<QualitySample>,
+}
+
+impl QualityTracker {
+    /// Computes the exact reference for `graph` (Θ(n·(m+n log n)) — meant
+    /// for evaluation harnesses, not production paths). `k` sets the
+    /// top-k recall metric (clamped to `n`).
+    pub fn new(graph: &AdjGraph, k: usize) -> Self {
+        let exact = closeness_exact(&Csr::from_adj(graph));
+        let k = k.min(exact.len()).max(1.min(exact.len()));
+        let exact_top = top_k(&exact, k);
+        Self { exact, exact_top, k, samples: Vec::new() }
+    }
+
+    /// Records a sample from the engine's current estimate.
+    pub fn record(&mut self, rc_step: usize, estimate: &[f64]) -> QualitySample {
+        assert_eq!(estimate.len(), self.exact.len(), "graph changed under the tracker");
+        let error = mean_relative_error(estimate, &self.exact);
+        let est_top = top_k(estimate, self.k);
+        let hits = est_top.iter().filter(|v| self.exact_top.contains(v)).count();
+        let recall = if self.k == 0 { 1.0 } else { hits as f64 / self.k as f64 };
+        let sample = QualitySample { rc_step, error, top_k_recall: recall };
+        self.samples.push(sample);
+        sample
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[QualitySample] {
+        &self.samples
+    }
+
+    /// True if the recorded error never increased — the anytime guarantee
+    /// for static graphs (allowing for floating-point jitter).
+    pub fn error_is_monotone_nonincreasing(&self) -> bool {
+        self.samples
+            .windows(2)
+            .all(|w| w[1].error <= w[0].error + 1e-9)
+    }
+
+    /// The exact closeness values (reference).
+    pub fn exact(&self) -> &[f64] {
+        &self.exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_graph::generators::{barabasi_albert, WeightModel};
+
+    #[test]
+    fn tracker_records_and_checks_monotonicity() {
+        let g = barabasi_albert(30, 2, WeightModel::Unit, 2).unwrap();
+        let mut t = QualityTracker::new(&g, 5);
+        let exact = t.exact().to_vec();
+        // Degenerate estimate, then the exact values: error must drop.
+        let zeros = vec![0.0; 30];
+        let s1 = t.record(0, &zeros);
+        let s2 = t.record(1, &exact);
+        assert!(s1.error > s2.error);
+        assert!(s2.error < 1e-12);
+        assert!((s2.top_k_recall - 1.0).abs() < 1e-12);
+        assert!(t.error_is_monotone_nonincreasing());
+        assert_eq!(t.samples().len(), 2);
+    }
+
+    #[test]
+    fn non_monotone_sequences_are_detected() {
+        let g = barabasi_albert(20, 2, WeightModel::Unit, 4).unwrap();
+        let mut t = QualityTracker::new(&g, 3);
+        let exact = t.exact().to_vec();
+        t.record(0, &exact);
+        t.record(1, &[0.0; 20]);
+        assert!(!t.error_is_monotone_nonincreasing());
+    }
+
+    #[test]
+    #[should_panic(expected = "graph changed")]
+    fn rejects_length_mismatch() {
+        let g = barabasi_albert(10, 2, WeightModel::Unit, 1).unwrap();
+        let mut t = QualityTracker::new(&g, 3);
+        t.record(0, &[0.0; 5]);
+    }
+}

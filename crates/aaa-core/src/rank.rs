@@ -1,0 +1,794 @@
+//! Per-processor state and the rank-local pieces of the algorithm:
+//! the IA-phase Dijkstra, the recombination-step produce/consume logic,
+//! the min-plus relaxation used everywhere, and the dynamic-update hooks.
+
+use crate::dv::DvStore;
+use aaa_graph::{closeness::closeness_from_row, dist_add, Dist, PartId, VertexId, Weight, INF};
+use aaa_runtime::Rank;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A bundle of distance-vector rows travelling between ranks.
+#[derive(Debug, Clone)]
+pub struct RowMsg {
+    pub rows: Vec<(VertexId, Vec<Dist>)>,
+}
+
+impl RowMsg {
+    /// Wire size: 8-byte header per row plus 4 bytes per entry — what the
+    /// LogP pricing sees.
+    pub fn size_bytes(&self) -> usize {
+        self.rows.iter().map(|(_, r)| 8 + 4 * r.len()).sum()
+    }
+}
+
+/// Broadcast payload announcing a batch of new vertices (Fig. 3 inputs):
+/// owners of the `k` vertices starting at global id `base`, plus all new
+/// edges in insertion order.
+#[derive(Debug, Clone)]
+pub struct GrowMsg {
+    pub base: VertexId,
+    pub owners: Vec<PartId>,
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl GrowMsg {
+    pub fn size_bytes(&self) -> usize {
+        8 + 4 * self.owners.len() + 12 * self.edges.len()
+    }
+}
+
+/// The state a single logical processor owns.
+#[derive(Debug, Clone)]
+pub struct RankState {
+    rank: Rank,
+    /// Owner of every global vertex (replicated partition map).
+    owner: Vec<PartId>,
+    /// Sorted global ids of the vertices this rank owns.
+    local: Vec<VertexId>,
+    /// Adjacency of local vertices, in global ids (includes cut edges).
+    adj: FxHashMap<VertexId, Vec<(VertexId, Weight)>>,
+    /// Distance vectors.
+    dv: DvStore,
+    /// Rows gathered for the in-flight edge relaxation (Fig. 3 broadcasts).
+    gathered: FxHashMap<VertexId, Vec<Dist>>,
+    /// Local rows changed by dynamic updates, pending intra-rank relaxation.
+    pending: FxHashSet<VertexId>,
+    /// Whether the last produce emitted anything / consume changed anything
+    /// (drives the global convergence reduction).
+    pub last_sent: bool,
+    pub last_changed: bool,
+}
+
+impl RankState {
+    /// Builds the state for `rank` from the global graph and partition.
+    /// `adjacency_of` must yield the neighbor list of any vertex.
+    pub fn build(
+        rank: Rank,
+        owner: Vec<PartId>,
+        adjacency_of: impl Fn(VertexId) -> Vec<(VertexId, Weight)>,
+    ) -> Self {
+        let n = owner.len();
+        let local: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| owner[v as usize] as usize == rank)
+            .collect();
+        let mut adj = FxHashMap::default();
+        let mut dv = DvStore::new(n);
+        for &v in &local {
+            adj.insert(v, adjacency_of(v));
+            dv.add_local_row(v);
+        }
+        Self {
+            rank,
+            owner,
+            local,
+            adj,
+            dv,
+            gathered: FxHashMap::default(),
+            pending: FxHashSet::default(),
+            last_sent: false,
+            last_changed: false,
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Global vertex count as this rank sees it.
+    pub fn n_global(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Sorted local vertex ids.
+    pub fn local_vertices(&self) -> &[VertexId] {
+        &self.local
+    }
+
+    /// The distance-vector store (read access for tests/diagnostics).
+    pub fn dv(&self) -> &DvStore {
+        &self.dv
+    }
+
+    /// True if this rank has rows waiting to be sent.
+    pub fn has_dirty(&self) -> bool {
+        self.dv.has_dirty()
+    }
+
+    // --------------------------------------------------------------------
+    // IA phase
+    // --------------------------------------------------------------------
+
+    /// Initial approximation: Dijkstra from every local vertex over the
+    /// *local sub-graph* (local vertices plus external boundary vertices,
+    /// using only edges incident to local vertices — §IV.B).
+    pub fn initial_approximation(&mut self) {
+        let (ids, index_of, adj_local) = self.local_subgraph();
+        let m = ids.len();
+        let mut dist = vec![INF; m];
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        for &v in &self.local.clone() {
+            let s = index_of[&v];
+            dist.fill(INF);
+            dist[s as usize] = 0;
+            heap.clear();
+            heap.push(Reverse((0, s)));
+            while let Some(Reverse((d, x))) = heap.pop() {
+                if d > dist[x as usize] {
+                    continue;
+                }
+                for &(t, w) in &adj_local[x as usize] {
+                    let nd = dist_add(d, w as Dist);
+                    if nd < dist[t as usize] {
+                        dist[t as usize] = nd;
+                        heap.push(Reverse((nd, t)));
+                    }
+                }
+            }
+            // Write results into the global-indexed row.
+            let mut row = self.dv.take_local(v).expect("IA row must exist");
+            let mut changed = false;
+            for (i, &d) in dist.iter().enumerate() {
+                let g = ids[i] as usize;
+                if d < row[g] {
+                    row[g] = d;
+                    changed = true;
+                }
+            }
+            self.dv.put_back_local(v, row, changed);
+        }
+    }
+
+    /// Resets every local row to the trivial estimate and reruns the IA
+    /// Dijkstra. Used by the deletion strategy (partial restart that keeps
+    /// the decomposition — a simplified variant of the authors' edge-
+    /// deletion algorithm [10]).
+    pub fn recompute_from_scratch(&mut self) {
+        let n = self.dv.n();
+        for &v in &self.local.clone() {
+            let mut row = vec![INF; n];
+            row[v as usize] = 0;
+            self.dv.install_local(v, row, true);
+        }
+        self.dv.clear_cache();
+        self.pending.clear();
+        self.initial_approximation();
+        self.dv.mark_all_dirty();
+    }
+
+    /// Local sub-graph in dense local indices:
+    /// returns (local-index → global id, global id → local index, adjacency).
+    #[allow(clippy::type_complexity)]
+    fn local_subgraph(
+        &self,
+    ) -> (Vec<VertexId>, FxHashMap<VertexId, u32>, Vec<Vec<(u32, Weight)>>) {
+        let mut ids: Vec<VertexId> = self.local.clone();
+        let mut index_of: FxHashMap<VertexId, u32> = FxHashMap::default();
+        for (i, &v) in ids.iter().enumerate() {
+            index_of.insert(v, i as u32);
+        }
+        // External boundary vertices get the tail indices.
+        for &v in &self.local {
+            for &(t, _) in &self.adj[&v] {
+                index_of.entry(t).or_insert_with(|| {
+                    ids.push(t);
+                    (ids.len() - 1) as u32
+                });
+            }
+        }
+        let mut adj_local = vec![Vec::new(); ids.len()];
+        for &v in &self.local {
+            let vi = index_of[&v];
+            for &(t, w) in &self.adj[&v] {
+                let ti = index_of[&t];
+                adj_local[vi as usize].push((ti, w));
+                // Cut edges exist only in the local vertex's list; mirror
+                // them so Dijkstra can relax through boundary vertices.
+                // Local-local edges already appear in both lists.
+                if !self.dv.is_local(t) {
+                    adj_local[ti as usize].push((vi, w));
+                }
+            }
+        }
+        (ids, index_of, adj_local)
+    }
+
+    // --------------------------------------------------------------------
+    // RC phase
+    // --------------------------------------------------------------------
+
+    /// Destination ranks that need vertex `v`'s row: owners of its remote
+    /// neighbors.
+    fn boundary_destinations(&self, v: VertexId) -> Vec<Rank> {
+        let mut dests: Vec<Rank> = self
+            .adj
+            .get(&v)
+            .map(|l| {
+                l.iter()
+                    .map(|&(t, _)| self.owner[t as usize] as Rank)
+                    .filter(|&q| q != self.rank)
+                    .collect()
+            })
+            .unwrap_or_default();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+
+    /// Produce phase of one RC step: bundle every dirty *boundary* row for
+    /// each neighboring rank, chunked to at most `cap_bytes` per message
+    /// (the paper's maximum message size `M`). Dirty non-boundary rows are
+    /// simply retired — no one else needs them.
+    pub fn produce_rc_messages(&mut self, cap_bytes: usize) -> Vec<(Rank, RowMsg)> {
+        let dirty = self.dv.take_dirty_sorted();
+        let mut buckets: FxHashMap<Rank, Vec<(VertexId, Vec<Dist>)>> = FxHashMap::default();
+        for v in dirty {
+            let dests = self.boundary_destinations(v);
+            if dests.is_empty() {
+                continue;
+            }
+            let row = self.dv.local_row(v).expect("dirty row must be local").to_vec();
+            for q in dests {
+                buckets.entry(q).or_default().push((v, row.clone()));
+            }
+        }
+        let mut out = Vec::new();
+        let mut dests: Vec<Rank> = buckets.keys().copied().collect();
+        dests.sort_unstable();
+        for q in dests {
+            let rows = buckets.remove(&q).expect("bucket exists");
+            // Chunk to the message cap; every chunk carries ≥ 1 row.
+            let mut chunk: Vec<(VertexId, Vec<Dist>)> = Vec::new();
+            let mut bytes = 0usize;
+            for (v, row) in rows {
+                let sz = 8 + 4 * row.len();
+                if !chunk.is_empty() && bytes + sz > cap_bytes {
+                    out.push((q, RowMsg { rows: std::mem::take(&mut chunk) }));
+                    bytes = 0;
+                }
+                bytes += sz;
+                chunk.push((v, row));
+            }
+            if !chunk.is_empty() {
+                out.push((q, RowMsg { rows: chunk }));
+            }
+        }
+        self.last_sent = !out.is_empty();
+        out
+    }
+
+    /// Consume phase of one RC step: min-merge received boundary rows and
+    /// run the recombination strategy (min-plus relaxation with the changed
+    /// rows as pivots — the Floyd–Warshall-flavoured local refresh of
+    /// §IV.C.1). Sets [`RankState::last_changed`].
+    pub fn consume_rc_messages(&mut self, inbox: Vec<(Rank, RowMsg)>) {
+        let mut worklist: FxHashSet<VertexId> = FxHashSet::default();
+        for (_, msg) in inbox {
+            for (v, row) in msg.rows {
+                let changed = if self.dv.is_local(v) {
+                    self.dv.min_merge_local(v, &row)
+                } else {
+                    self.dv.min_merge_cached(v, &row)
+                };
+                if changed {
+                    worklist.insert(v);
+                }
+            }
+        }
+        // Any dynamic-update pivots that have not been propagated yet join
+        // this step's worklist.
+        worklist.extend(self.pending.drain());
+        self.last_changed = self.relax_worklist(worklist);
+    }
+
+    /// Min-plus relaxation until the rank-local fixed point (the paper's
+    /// Floyd–Warshall-flavoured local refresh, §IV.C.1).
+    ///
+    /// A relaxation `D[v][·] ← min(D[v][·], D[v][u] + D[u][·])` can newly
+    /// improve only when (a) pivot `u`'s row changed, or (b) row `v`'s
+    /// column `u` changed. Each round therefore relaxes every local row
+    /// through the rows that changed last round, and additionally re-relaxes
+    /// *rows that changed themselves* through **all** available pivots —
+    /// covering case (b). Monotone (entries only decrease) and terminating
+    /// (u32 distances strictly decrease). Returns whether any local row
+    /// changed.
+    pub fn relax_worklist(&mut self, initial: FxHashSet<VertexId>) -> bool {
+        let mut pivots: Vec<VertexId> = initial.iter().copied().collect();
+        pivots.sort_unstable();
+        // Changed local rows have new column values, so they start as
+        // full-relaxation targets too (cached ids in the set are harmless —
+        // they are never iterated as `v`).
+        let mut full_targets: FxHashSet<VertexId> = initial;
+        let locals = self.local.clone();
+        let all_rows = self.dv.all_ids_sorted();
+        let mut any = false;
+        while !pivots.is_empty() || !full_targets.is_empty() {
+            let mut next: FxHashSet<VertexId> = FxHashSet::default();
+            for &v in &locals {
+                let mut row = match self.dv.take_local(v) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                let mut changed = false;
+                let pivot_set: &[VertexId] =
+                    if full_targets.contains(&v) { &all_rows } else { &pivots };
+                for &u in pivot_set {
+                    if u == v {
+                        continue;
+                    }
+                    let through = row[u as usize];
+                    if through == INF {
+                        continue;
+                    }
+                    if let Some(urow) = self.dv.row(u) {
+                        changed |= relax_via(&mut row, through, urow);
+                    }
+                }
+                self.dv.put_back_local(v, row, changed);
+                if changed {
+                    next.insert(v);
+                    any = true;
+                }
+            }
+            pivots = next.iter().copied().collect();
+            pivots.sort_unstable();
+            full_targets = next;
+        }
+        any
+    }
+
+    // --------------------------------------------------------------------
+    // Dynamic updates (anywhere)
+    // --------------------------------------------------------------------
+
+    /// Applies a [`GrowMsg`]: extends the owner map and DV columns, creates
+    /// rows/adjacency for newly owned vertices, and records new edges
+    /// incident to local vertices (Fig. 3 lines 10–18 and 35–42).
+    pub fn grow(&mut self, msg: &GrowMsg) {
+        debug_assert_eq!(msg.base as usize, self.owner.len(), "grow out of order");
+        self.owner.extend_from_slice(&msg.owners);
+        self.dv.grow_columns(self.owner.len());
+        for row in self.gathered.values_mut() {
+            row.resize(self.owner.len(), INF);
+        }
+        for (i, &o) in msg.owners.iter().enumerate() {
+            if o as usize == self.rank {
+                let v = msg.base + i as VertexId;
+                self.local.push(v);
+                self.adj.insert(v, Vec::new());
+                self.dv.add_local_row(v);
+                self.pending.insert(v);
+            }
+        }
+        self.local.sort_unstable();
+        for &(a, b, w) in &msg.edges {
+            self.record_edge(a, b, w);
+        }
+    }
+
+    /// Records an edge in the local adjacency (both endpoints if owned).
+    pub fn record_edge(&mut self, a: VertexId, b: VertexId, w: Weight) {
+        if self.owner[a as usize] as usize == self.rank {
+            let l = self.adj.entry(a).or_default();
+            if !l.iter().any(|&(t, _)| t == b) {
+                l.push((b, w));
+            }
+        }
+        if self.owner[b as usize] as usize == self.rank {
+            let l = self.adj.entry(b).or_default();
+            if !l.iter().any(|&(t, _)| t == a) {
+                l.push((a, w));
+            }
+        }
+    }
+
+    /// Removes an edge from the local adjacency.
+    pub fn erase_edge(&mut self, a: VertexId, b: VertexId) {
+        if let Some(l) = self.adj.get_mut(&a) {
+            l.retain(|&(t, _)| t != b);
+        }
+        if let Some(l) = self.adj.get_mut(&b) {
+            l.retain(|&(t, _)| t != a);
+        }
+    }
+
+    /// Updates an edge weight in the local adjacency.
+    pub fn reweight_edge(&mut self, a: VertexId, b: VertexId, w: Weight) {
+        if let Some(l) = self.adj.get_mut(&a) {
+            for e in l.iter_mut() {
+                if e.0 == b {
+                    e.1 = w;
+                }
+            }
+        }
+        if let Some(l) = self.adj.get_mut(&b) {
+            for e in l.iter_mut() {
+                if e.0 == a {
+                    e.1 = w;
+                }
+            }
+        }
+    }
+
+    /// Clones the current row of `v` for broadcasting (Fig. 3 line 22).
+    /// Falls back to the trivial row if this rank has never seen `v`
+    /// (cannot happen for owners).
+    pub fn row_for_broadcast(&self, v: VertexId) -> Vec<Dist> {
+        match self.dv.row(v) {
+            Some(r) => r.to_vec(),
+            None => {
+                let mut row = vec![INF; self.dv.n()];
+                row[v as usize] = 0;
+                row
+            }
+        }
+    }
+
+    /// Stashes a broadcast row for the in-flight edge relaxation.
+    pub fn stash_row(&mut self, v: VertexId, row: &[Dist]) {
+        let mut r = row.to_vec();
+        r.resize(self.dv.n(), INF);
+        self.gathered.insert(v, r);
+    }
+
+    /// The edge-addition relaxation (Fig. 3 lines 26–34, from the authors'
+    /// edge-addition algorithm [9]): for every local row `a` and the new
+    /// edge `(x, y, w)`, test
+    /// `D[a][t] > D[a][x] + w + D[y][t]` and the symmetric direction, using
+    /// the stashed broadcast rows of `x` and `y`.
+    pub fn apply_edge_relax(&mut self, x: VertexId, y: VertexId, w: Weight) {
+        let rx = self.gathered.get(&x).cloned();
+        let ry = self.gathered.get(&y).cloned();
+        let locals = self.local.clone();
+        for &a in &locals {
+            let mut row = match self.dv.take_local(a) {
+                Some(r) => r,
+                None => continue,
+            };
+            let mut changed = false;
+            if let Some(ref ry) = ry {
+                let dx = row[x as usize];
+                if dx != INF {
+                    changed |= relax_via(&mut row, dist_add(dx, w as Dist), ry);
+                }
+            }
+            if let Some(ref rx) = rx {
+                let dy = row[y as usize];
+                if dy != INF {
+                    changed |= relax_via(&mut row, dist_add(dy, w as Dist), rx);
+                }
+            }
+            self.dv.put_back_local(a, row, changed);
+            if changed {
+                self.pending.insert(a);
+            }
+        }
+    }
+
+    /// Clears the broadcast stash (end of a dynamic batch).
+    pub fn clear_gathered(&mut self) {
+        self.gathered.clear();
+    }
+
+    /// Runs the intra-rank relaxation over all pivots accumulated by
+    /// dynamic updates, so partial results are consistent before the next
+    /// RC exchange.
+    pub fn relax_pending(&mut self) {
+        let pending: FxHashSet<VertexId> = self.pending.drain().collect();
+        self.relax_worklist(pending);
+    }
+
+    // --------------------------------------------------------------------
+    // Repartition-S support
+    // --------------------------------------------------------------------
+
+    /// Produce side of the migration exchange: removes rows whose vertex
+    /// now belongs elsewhere and addresses them to the new owner.
+    pub fn migrate_out(&mut self, new_owner: &[PartId]) -> Vec<(Rank, RowMsg)> {
+        let mut buckets: FxHashMap<Rank, Vec<(VertexId, Vec<Dist>)>> = FxHashMap::default();
+        for &v in &self.local.clone() {
+            let q = new_owner[v as usize] as Rank;
+            if q != self.rank {
+                if let Some(row) = self.dv.remove_local(v) {
+                    buckets.entry(q).or_default().push((v, row));
+                }
+            }
+        }
+        let mut dests: Vec<Rank> = buckets.keys().copied().collect();
+        dests.sort_unstable();
+        dests
+            .into_iter()
+            .map(|q| (q, RowMsg { rows: buckets.remove(&q).expect("bucket") }))
+            .collect()
+    }
+
+    /// Consume side of the migration exchange: installs the new ownership,
+    /// rebuilds local structures from `adjacency_of`, installs received
+    /// rows, creates trivial rows for vertices that never had one (new
+    /// vertices under Repartition-S keep only their direct edges — the
+    /// paper's "DVs of the existing vertices are not immediately updated"),
+    /// and marks everything dirty so the next RC steps redistribute state.
+    pub fn migrate_in(
+        &mut self,
+        new_owner: &[PartId],
+        inbox: Vec<(Rank, RowMsg)>,
+        adjacency_of: impl Fn(VertexId) -> Vec<(VertexId, Weight)>,
+    ) {
+        self.owner = new_owner.to_vec();
+        let n = self.owner.len();
+        self.dv.grow_columns(n);
+        self.dv.clear_cache();
+        self.gathered.clear();
+        self.pending.clear();
+        self.local = (0..n as VertexId)
+            .filter(|&v| self.owner[v as usize] as usize == self.rank)
+            .collect();
+        self.adj.clear();
+        for &v in &self.local {
+            self.adj.insert(v, adjacency_of(v));
+        }
+        for (_, msg) in inbox {
+            for (v, row) in msg.rows {
+                debug_assert_eq!(self.owner[v as usize] as usize, self.rank);
+                self.dv.install_local(v, row, true);
+            }
+        }
+        // Rows this rank kept across the migration stay; fresh vertices get
+        // the trivial row. Every local row is then re-seeded with its
+        // direct edges — stale rows know nothing about edges added with the
+        // batch, and the RC relaxation can only propagate facts that exist
+        // in some row.
+        for &v in &self.local.clone() {
+            if !self.dv.is_local(v) {
+                let mut row = vec![INF; n];
+                row[v as usize] = 0;
+                self.dv.install_local(v, row, true);
+            }
+            let mut row = self.dv.take_local(v).expect("local row exists");
+            let mut changed = false;
+            for &(t, w) in &self.adj[&v] {
+                if (w as Dist) < row[t as usize] {
+                    row[t as usize] = w as Dist;
+                    changed = true;
+                }
+            }
+            self.dv.put_back_local(v, row, changed);
+        }
+        // Force a full local relaxation on the next RC step: the migration
+        // changed which rows live together, so every pairing is new here.
+        self.pending.extend(self.local.iter().copied());
+        self.dv.mark_all_dirty();
+    }
+
+    // --------------------------------------------------------------------
+    // Queries
+    // --------------------------------------------------------------------
+
+    /// Closeness centrality of every local vertex from its current DV.
+    pub fn local_closeness(&self) -> Vec<(VertexId, f64)> {
+        self.local
+            .iter()
+            .map(|&v| (v, closeness_from_row(self.dv.local_row(v).expect("local row"))))
+            .collect()
+    }
+
+    /// Clones all local rows (testing / gather).
+    pub fn local_rows(&self) -> Vec<(VertexId, Vec<Dist>)> {
+        self.local
+            .iter()
+            .map(|&v| (v, self.dv.local_row(v).expect("local row").to_vec()))
+            .collect()
+    }
+}
+
+/// Relaxes `row[t] = min(row[t], through + via[t])` for all `t`.
+/// Returns whether anything improved. This is the inner loop of the whole
+/// engine — kept branch-light so it vectorizes.
+#[inline]
+pub fn relax_via(row: &mut [Dist], through: Dist, via: &[Dist]) -> bool {
+    if through == INF {
+        return false;
+    }
+    let mut changed = false;
+    for (r, &b) in row.iter_mut().zip(via) {
+        let cand = through.saturating_add(b);
+        if cand < *r {
+            *r = cand;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3 (unit weights) split as {0,1} | {2,3}.
+    fn two_rank_path() -> (RankState, RankState) {
+        let owner = vec![0, 0, 1, 1];
+        let adj = |v: VertexId| -> Vec<(VertexId, Weight)> {
+            match v {
+                0 => vec![(1, 1)],
+                1 => vec![(0, 1), (2, 1)],
+                2 => vec![(1, 1), (3, 1)],
+                3 => vec![(2, 1)],
+                _ => vec![],
+            }
+        };
+        (RankState::build(0, owner.clone(), adj), RankState::build(1, owner, adj))
+    }
+
+    #[test]
+    fn build_assigns_locals_and_rows() {
+        let (r0, r1) = two_rank_path();
+        assert_eq!(r0.local_vertices(), &[0, 1]);
+        assert_eq!(r1.local_vertices(), &[2, 3]);
+        assert_eq!(r0.dv().row(0).unwrap()[0], 0);
+        assert_eq!(r0.dv().row(0).unwrap()[3], INF);
+    }
+
+    #[test]
+    fn ia_covers_local_subgraph_including_boundary() {
+        let (mut r0, _) = two_rank_path();
+        r0.initial_approximation();
+        // Rank 0 sees 0,1 and boundary vertex 2 via the cut edge 1-2.
+        let row0 = r0.dv().row(0).unwrap();
+        assert_eq!(row0[1], 1);
+        assert_eq!(row0[2], 2);
+        assert_eq!(row0[3], INF); // 3 invisible to rank 0
+    }
+
+    #[test]
+    fn rc_exchange_converges_on_path() {
+        let (mut r0, mut r1) = two_rank_path();
+        r0.initial_approximation();
+        r1.initial_approximation();
+        // Simulate RC steps by hand until quiet.
+        for _ in 0..4 {
+            let out0 = r0.produce_rc_messages(usize::MAX);
+            let out1 = r1.produce_rc_messages(usize::MAX);
+            let to1: Vec<(usize, RowMsg)> =
+                out0.into_iter().filter(|&(q, _)| q == 1).map(|(_, m)| (0, m)).collect();
+            let to0: Vec<(usize, RowMsg)> =
+                out1.into_iter().filter(|&(q, _)| q == 0).map(|(_, m)| (1, m)).collect();
+            r0.consume_rc_messages(to0);
+            r1.consume_rc_messages(to1);
+        }
+        assert_eq!(r0.dv().row(0).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(r1.dv().row(3).unwrap(), &[3, 2, 1, 0]);
+        // Quiescent now: nothing left to send on either side.
+        assert!(r0.produce_rc_messages(usize::MAX).is_empty());
+        assert!(r1.produce_rc_messages(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn produce_clears_dirty_and_chunks_to_cap() {
+        let (mut r0, _) = two_rank_path();
+        r0.initial_approximation();
+        // Only vertex 1 is boundary (neighbor 2 owned by rank 1).
+        let msgs = r0.produce_rc_messages(1); // tiny cap: one row per message
+        assert!(msgs.iter().all(|(q, _)| *q == 1));
+        let total_rows: usize = msgs.iter().map(|(_, m)| m.rows.len()).sum();
+        assert_eq!(total_rows, 1);
+        assert!(!r0.has_dirty());
+        // Nothing new -> nothing to send.
+        assert!(r0.produce_rc_messages(usize::MAX).is_empty());
+        assert!(!r0.last_sent);
+    }
+
+    #[test]
+    fn grow_extends_columns_and_adds_local_vertex() {
+        let (mut r0, _) = two_rank_path();
+        r0.initial_approximation();
+        let msg = GrowMsg { base: 4, owners: vec![0], edges: vec![(4, 1, 2)] };
+        r0.grow(&msg);
+        assert_eq!(r0.n_global(), 5);
+        assert_eq!(r0.local_vertices(), &[0, 1, 4]);
+        assert_eq!(r0.dv().row(4).unwrap()[4], 0);
+        assert_eq!(r0.dv().row(0).unwrap().len(), 5);
+        // Edge recorded for both local endpoints.
+        assert!(r0.adj[&4].contains(&(1, 2)));
+        assert!(r0.adj[&1].contains(&(4, 2)));
+    }
+
+    #[test]
+    fn edge_relax_uses_gathered_rows() {
+        let (mut r0, _) = two_rank_path();
+        r0.initial_approximation();
+        // Pretend a new edge 0-3 of weight 1; rank 0 gathers row(3).
+        r0.stash_row(3, &[INF, INF, 1, 0]);
+        r0.stash_row(0, &r0.row_for_broadcast(0));
+        r0.apply_edge_relax(0, 3, 1);
+        // Row 0 learns d(0,3) = 1 and d(0,2) = 2 (via 3).
+        let row0 = r0.dv().row(0).unwrap();
+        assert_eq!(row0[3], 1);
+        assert_eq!(row0[2], 2);
+        // Row 1: d(1,3) ≤ d(1,0) + 1 + 0 = 2.
+        assert_eq!(r0.dv().row(1).unwrap()[3], 2);
+        r0.clear_gathered();
+        r0.relax_pending();
+    }
+
+    #[test]
+    fn relax_via_saturates_and_detects_change() {
+        let mut row = vec![5, INF, 3];
+        assert!(relax_via(&mut row, 1, &[3, 2, 9]));
+        assert_eq!(row, vec![4, 3, 3]);
+        assert!(!relax_via(&mut row, INF, &[0, 0, 0]));
+        assert!(!relax_via(&mut row, 10, &[INF, INF, INF]));
+    }
+
+    #[test]
+    fn migration_roundtrip() {
+        let (mut r0, mut r1) = two_rank_path();
+        r0.initial_approximation();
+        r1.initial_approximation();
+        // Move vertex 1 to rank 1.
+        let new_owner = vec![0, 1, 1, 1];
+        let adj = |v: VertexId| -> Vec<(VertexId, Weight)> {
+            match v {
+                0 => vec![(1, 1)],
+                1 => vec![(0, 1), (2, 1)],
+                2 => vec![(1, 1), (3, 1)],
+                3 => vec![(2, 1)],
+                _ => vec![],
+            }
+        };
+        let out0 = r0.migrate_out(&new_owner);
+        assert_eq!(out0.len(), 1);
+        assert_eq!(out0[0].0, 1);
+        let out1 = r1.migrate_out(&new_owner);
+        assert!(out1.is_empty());
+        r0.migrate_in(&new_owner, vec![], adj);
+        r1.migrate_in(&new_owner, out0.into_iter().map(|(_, m)| (0, m)).collect(), adj);
+        assert_eq!(r0.local_vertices(), &[0]);
+        assert_eq!(r1.local_vertices(), &[1, 2, 3]);
+        // Migrated row kept its partial results (d(1,2) = 1 from IA).
+        assert_eq!(r1.dv().row(1).unwrap()[2], 1);
+        assert!(r1.has_dirty());
+    }
+
+    #[test]
+    fn closeness_of_local_rows() {
+        let (mut r0, _) = two_rank_path();
+        r0.initial_approximation();
+        let c = r0.local_closeness();
+        assert_eq!(c.len(), 2);
+        // Vertex 0: knows d=1 (v1), d=2 (v2) -> 1/3.
+        let c0 = c.iter().find(|&&(v, _)| v == 0).unwrap().1;
+        assert!((c0 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_erase_and_reweight() {
+        let (mut r0, _) = two_rank_path();
+        r0.reweight_edge(0, 1, 9);
+        assert!(r0.adj[&0].contains(&(1, 9)));
+        assert!(r0.adj[&1].contains(&(0, 9)));
+        r0.erase_edge(0, 1);
+        assert!(r0.adj[&0].is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Closeness centrality (the paper's Eq. 1) and comparison utilities.
+//!
+//! The paper defines `C(v) = 1 / Σ_u d(v, u)`. On disconnected graphs that
+//! sum is infinite; like most SNA tools we sum over *reachable* vertices
+//! only and document the convention. A vertex that reaches nothing has
+//! centrality 0.
+
+use crate::apsp::DistMatrix;
+use crate::{Csr, Dist, INF};
+use rayon::prelude::*;
+
+/// Closeness of every vertex from a full distance matrix.
+pub fn closeness_from_matrix(m: &DistMatrix) -> Vec<f64> {
+    (0..m.n())
+        .map(|v| closeness_from_row(m.row(v as u32)))
+        .collect()
+}
+
+/// Closeness of a single vertex given its distance row.
+///
+/// `1 / Σ d(v,u)` over reachable `u ≠ v`; 0.0 if nothing is reachable.
+pub fn closeness_from_row(row: &[Dist]) -> f64 {
+    let mut sum: u64 = 0;
+    let mut reachable = 0u64;
+    for &d in row {
+        if d != INF && d != 0 {
+            sum += d as u64;
+            reachable += 1;
+        }
+    }
+    if reachable == 0 || sum == 0 {
+        0.0
+    } else {
+        1.0 / sum as f64
+    }
+}
+
+/// Exact closeness for a graph, computed via parallel Dijkstra without
+/// materializing the full matrix (used at paper scale where n² is large).
+pub fn closeness_exact(g: &Csr) -> Vec<f64> {
+    let n = g.num_vertices();
+    (0..n)
+        .into_par_iter()
+        .map_init(
+            || vec![INF; n],
+            |buf, s| {
+                crate::sssp::dijkstra_into(g, s as u32, buf);
+                closeness_from_row(buf)
+            },
+        )
+        .collect()
+}
+
+/// Mean absolute relative error between an estimate and the exact values.
+/// Pairs where both are zero contribute zero; an exact zero with a nonzero
+/// estimate contributes the absolute estimate.
+pub fn mean_relative_error(estimate: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), exact.len(), "length mismatch");
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = estimate
+        .iter()
+        .zip(exact)
+        .map(|(&e, &x)| if x == 0.0 { e.abs() } else { (e - x).abs() / x })
+        .sum();
+    total / exact.len() as f64
+}
+
+/// Indices of the top-`k` vertices by centrality, ties broken by id.
+pub fn top_k(centrality: &[f64], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..centrality.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        centrality[b as usize]
+            .partial_cmp(&centrality[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apsp::apsp_dijkstra, AdjGraph};
+
+    fn star() -> Csr {
+        // Star with center 0 and leaves 1..=4, unit weights.
+        let mut g = AdjGraph::with_vertices(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf, 1).unwrap();
+        }
+        Csr::from_adj(&g)
+    }
+
+    #[test]
+    fn star_center_is_most_central() {
+        let c = closeness_exact(&star());
+        // Center: 4 neighbors at distance 1 -> 1/4.
+        assert!((c[0] - 0.25).abs() < 1e-12);
+        // Leaf: 1 + 2+2+2 = 7 -> 1/7.
+        assert!((c[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(top_k(&c, 1), vec![0]);
+    }
+
+    #[test]
+    fn matrix_and_direct_agree() {
+        let g = star();
+        let m = apsp_dijkstra(&g);
+        assert_eq!(closeness_from_matrix(&m), closeness_exact(&g));
+    }
+
+    #[test]
+    fn isolated_vertex_has_zero_closeness() {
+        let g = Csr::from_adj(&AdjGraph::with_vertices(3));
+        let c = closeness_exact(&g);
+        assert_eq!(c, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn error_metric_basics() {
+        assert_eq!(mean_relative_error(&[], &[]), 0.0);
+        assert!((mean_relative_error(&[1.0, 2.0], &[1.0, 2.0])).abs() < 1e-12);
+        let e = mean_relative_error(&[0.5, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.25).abs() < 1e-12);
+        // exact zero, estimate nonzero
+        let e = mean_relative_error(&[0.5], &[0.0]);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_id() {
+        let c = vec![0.3, 0.5, 0.5, 0.1];
+        assert_eq!(top_k(&c, 3), vec![1, 2, 0]);
+        assert_eq!(top_k(&c, 10).len(), 4);
+    }
+}

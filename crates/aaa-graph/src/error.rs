@@ -1,0 +1,75 @@
+//! Typed errors for graph construction, mutation and I/O.
+
+use crate::VertexId;
+use std::fmt;
+
+/// Errors produced by graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced an out-of-range vertex.
+    VertexOutOfRange { vertex: VertexId, len: usize },
+    /// Self-loops are rejected: they never change a shortest path and the
+    /// paper's model has none.
+    SelfLoop { vertex: VertexId },
+    /// The edge already exists (use `set_weight` to change a weight).
+    DuplicateEdge { u: VertexId, v: VertexId },
+    /// The edge was not found.
+    MissingEdge { u: VertexId, v: VertexId },
+    /// Edge weights must be strictly positive for Dijkstra-based phases.
+    ZeroWeight { u: VertexId, v: VertexId },
+    /// Parse or structural error while reading a graph file.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(String),
+    /// An operation received an argument outside its domain
+    /// (e.g. generating a graph with zero vertices).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, len } => {
+                write!(f, "vertex {vertex} out of range (graph has {len} vertices)")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} rejected"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) not found"),
+            GraphError::ZeroWeight { u, v } => {
+                write!(f, "edge ({u}, {v}) has zero weight; weights must be positive")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Barabási–Albert preferential attachment.
+
+use super::{check_n, WeightModel};
+use crate::{AdjGraph, GraphError, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a scale-free graph with `n` vertices where each new vertex
+/// attaches to `m` existing vertices with probability proportional to their
+/// degree (the classic BA process).
+///
+/// The first `m.max(1)` vertices form a small clique seed so early
+/// attachments have targets. Degree-proportional sampling uses the standard
+/// "repeated endpoints" trick: picking a uniform element of the list of all
+/// edge endpoints selects a vertex with probability `deg(v) / 2|E|`.
+pub fn barabasi_albert(
+    n: usize,
+    m: usize,
+    weights: WeightModel,
+    seed: u64,
+) -> Result<AdjGraph, GraphError> {
+    check_n(n)?;
+    if m == 0 {
+        return Err(GraphError::InvalidArgument("attachment count m must be ≥ 1".into()));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let seed_size = (m + 1).min(n);
+    let mut g = AdjGraph::with_vertices(n);
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            g.add_edge(u, v, weights.sample(&mut rng))?;
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in seed_size as VertexId..n as VertexId {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        // At most `m` distinct targets; fewer only if the graph is tiny.
+        let want = m.min(v as usize);
+        let mut guard = 0usize;
+        while chosen.len() < want && guard < 50 * (want + 1) {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        // Fallback to uniform choice if the multiset kept colliding.
+        while chosen.len() < want {
+            let t = rng.gen_range(0..v);
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            g.add_edge(v, t, weights.sample(&mut rng))?;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_simple;
+    use crate::stats::connected_components;
+    use crate::Csr;
+
+    #[test]
+    fn sizes_are_as_expected() {
+        let g = barabasi_albert(200, 3, WeightModel::Unit, 7).unwrap();
+        assert_eq!(g.num_vertices(), 200);
+        // Seed clique of 4 = 6 edges, then 196 vertices × 3 edges.
+        assert_eq!(g.num_edges(), 6 + 196 * 3);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn is_connected() {
+        let g = barabasi_albert(500, 2, WeightModel::Unit, 42).unwrap();
+        let comps = connected_components(&Csr::from_adj(&g));
+        assert_eq!(comps.num_components, 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = barabasi_albert(100, 2, WeightModel::Unit, 5).unwrap();
+        let b = barabasi_albert(100, 2, WeightModel::Unit, 5).unwrap();
+        assert_eq!(a, b);
+        let c = barabasi_albert(100, 2, WeightModel::Unit, 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Scale-free: the max degree should greatly exceed the average.
+        let g = barabasi_albert(2000, 2, WeightModel::Unit, 11).unwrap();
+        let max_deg = (0..2000).map(|v| g.degree(v as u32)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 2000.0;
+        assert!(max_deg as f64 > 5.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let g = barabasi_albert(1, 3, WeightModel::Unit, 0).unwrap();
+        assert_eq!(g.num_vertices(), 1);
+        let g = barabasi_albert(2, 3, WeightModel::Unit, 0).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(barabasi_albert(0, 2, WeightModel::Unit, 0).is_err());
+        assert!(barabasi_albert(10, 0, WeightModel::Unit, 0).is_err());
+    }
+
+    #[test]
+    fn weighted_variant_stays_in_range() {
+        let g = barabasi_albert(100, 2, WeightModel::UniformRange { lo: 2, hi: 5 }, 3).unwrap();
+        for (_, _, w) in g.edges() {
+            assert!((2..=5).contains(&w));
+        }
+        assert_simple(&g);
+    }
+}

@@ -1,0 +1,96 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use super::{check_n, WeightModel};
+use crate::{AdjGraph, GraphError, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rustc_hash::FxHashSet;
+
+/// Generates a uniform random graph with exactly `m_edges` distinct edges
+/// (or the maximum possible, if `m_edges` exceeds `n(n-1)/2`).
+pub fn erdos_renyi(
+    n: usize,
+    m_edges: usize,
+    weights: WeightModel,
+    seed: u64,
+) -> Result<AdjGraph, GraphError> {
+    check_n(n)?;
+    let max_edges = n * (n - 1) / 2;
+    let m_edges = m_edges.min(max_edges);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = AdjGraph::with_vertices(n);
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    // Rejection sampling is fine while the graph is sparse; fall back to
+    // full enumeration when the request is dense.
+    if m_edges * 3 < max_edges || max_edges < 64 {
+        while seen.len() < m_edges {
+            let u = rng.gen_range(0..n as VertexId);
+            let v = rng.gen_range(0..n as VertexId);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                g.add_edge(key.0, key.1, weights.sample(&mut rng))?;
+            }
+        }
+    } else {
+        let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(max_edges);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                all.push((u, v));
+            }
+        }
+        // Partial Fisher–Yates: choose m_edges distinct pairs.
+        for i in 0..m_edges {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            let (u, v) = all[i];
+            g.add_edge(u, v, weights.sample(&mut rng))?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_simple;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 250, WeightModel::Unit, 9).unwrap();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn dense_request_caps_at_complete_graph() {
+        let g = erdos_renyi(10, 10_000, WeightModel::Unit, 1).unwrap();
+        assert_eq!(g.num_edges(), 45);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn dense_path_takes_subset() {
+        // 40 of 45 possible edges exercises the Fisher–Yates branch.
+        let g = erdos_renyi(10, 40, WeightModel::Unit, 4).unwrap();
+        assert_eq!(g.num_edges(), 40);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = erdos_renyi(50, 100, WeightModel::Unit, 3).unwrap();
+        let b = erdos_renyi(50, 100, WeightModel::Unit, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_edges_and_zero_vertices() {
+        let g = erdos_renyi(5, 0, WeightModel::Unit, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(erdos_renyi(0, 5, WeightModel::Unit, 0).is_err());
+    }
+}

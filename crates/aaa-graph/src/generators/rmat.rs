@@ -1,0 +1,121 @@
+//! R-MAT (recursive matrix) power-law graphs.
+
+use super::{check_n, WeightModel};
+use crate::{AdjGraph, GraphError, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// R-MAT quadrant probabilities. Must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The Graph500-style defaults.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    fn validate(&self) -> Result<(), GraphError> {
+        let sum = self.a + self.b + self.c + self.d;
+        if [self.a, self.b, self.c, self.d].iter().any(|p| *p < 0.0) || (sum - 1.0).abs() > 1e-6 {
+            return Err(GraphError::InvalidArgument(format!(
+                "R-MAT probabilities must be non-negative and sum to 1 (got {sum})"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and approximately
+/// `edge_factor * 2^scale` edges (duplicates and self-loops are dropped, so
+/// the realized count is slightly lower).
+pub fn rmat(
+    scale: u32,
+    edge_factor: usize,
+    params: RmatParams,
+    weights: WeightModel,
+    seed: u64,
+) -> Result<AdjGraph, GraphError> {
+    params.validate()?;
+    let n = 1usize << scale;
+    check_n(n)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = AdjGraph::with_vertices(n);
+    let target = edge_factor * n;
+    for _ in 0..target {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        while hi_u - lo_u > 1 {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < params.a {
+                (false, false)
+            } else if r < params.a + params.b {
+                (true, false)
+            } else if r < params.a + params.b + params.c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        let (u, v) = (lo_u as VertexId, lo_v as VertexId);
+        if u != v {
+            let _ = g.add_or_min_edge(u, v, weights.sample(&mut rng))?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_simple;
+
+    #[test]
+    fn generates_power_of_two_vertices() {
+        let g = rmat(8, 4, RmatParams::default(), WeightModel::Unit, 1).unwrap();
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0 && g.num_edges() <= 1024);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_skewed_degrees() {
+        let g = rmat(10, 8, RmatParams::default(), WeightModel::Unit, 2).unwrap();
+        let n = g.num_vertices();
+        let max_deg = (0..n).map(|v| g.degree(v as u32)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        assert!(max_deg as f64 > 4.0 * avg, "max {max_deg} avg {avg}");
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let bad = RmatParams { a: 0.9, b: 0.5, c: 0.1, d: 0.1 };
+        assert!(rmat(4, 2, bad, WeightModel::Unit, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = rmat(6, 3, RmatParams::default(), WeightModel::Unit, 5).unwrap();
+        let b = rmat(6, 3, RmatParams::default(), WeightModel::Unit, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

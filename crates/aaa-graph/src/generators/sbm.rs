@@ -1,0 +1,174 @@
+//! Planted-partition stochastic block model.
+//!
+//! Produces graphs with explicit community structure. The vertex-addition
+//! experiments of the paper feed CutEdge-PS batches of vertices "extracted
+//! from a larger graph using Louvain" (§V.B.2); the harness generates those
+//! larger graphs with this model so the communities are real and recoverable.
+
+use super::{check_n, WeightModel};
+use crate::{AdjGraph, GraphError, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of a planted-partition model.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// Number of communities.
+    pub communities: usize,
+    /// Vertices per community.
+    pub size: usize,
+    /// Probability of an edge inside a community.
+    pub p_in: f64,
+    /// Probability of an edge between communities.
+    pub p_out: f64,
+}
+
+impl PlantedPartition {
+    fn validate(&self) -> Result<(), GraphError> {
+        if self.communities == 0 || self.size == 0 {
+            return Err(GraphError::InvalidArgument("communities and size must be ≥ 1".into()));
+        }
+        for (name, p) in [("p_in", self.p_in), ("p_out", self.p_out)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::InvalidArgument(format!("{name} = {p} not in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates a planted-partition graph. Returns the graph and the ground
+/// truth community label of each vertex. Community `c` owns the contiguous
+/// id range `c*size .. (c+1)*size`.
+pub fn planted_partition(
+    params: &PlantedPartition,
+    weights: WeightModel,
+    seed: u64,
+) -> Result<(AdjGraph, Vec<u32>), GraphError> {
+    params.validate()?;
+    let n = params.communities * params.size;
+    check_n(n)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = AdjGraph::with_vertices(n);
+    let labels: Vec<u32> = (0..n).map(|v| (v / params.size) as u32).collect();
+    // Geometric skipping keeps generation O(E) even for small probabilities.
+    let pair_stream = |p: f64, g: &mut AdjGraph, rng: &mut ChaCha8Rng, pairs: &mut dyn FnMut(usize) -> Option<(VertexId, VertexId)>, total: usize| -> Result<(), GraphError> {
+        if p <= 0.0 {
+            return Ok(());
+        }
+        if p >= 1.0 {
+            for i in 0..total {
+                if let Some((u, v)) = pairs(i) {
+                    g.add_or_min_edge(u, v, weights.sample(rng))?;
+                }
+            }
+            return Ok(());
+        }
+        let log1p = (1.0 - p).ln();
+        let mut i: f64 = -1.0;
+        loop {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            i += 1.0 + (r.ln() / log1p).floor();
+            if i < 0.0 || i as usize >= total {
+                break;
+            }
+            if let Some((u, v)) = pairs(i as usize) {
+                g.add_or_min_edge(u, v, weights.sample(rng))?;
+            }
+        }
+        Ok(())
+    };
+
+    // Intra-community pairs, community by community.
+    let s = params.size;
+    for c in 0..params.communities {
+        let base = (c * s) as VertexId;
+        let total = s * (s - 1) / 2;
+        let mut idx_to_pair = |i: usize| -> Option<(VertexId, VertexId)> {
+            // Unrank pair i within the community's upper triangle.
+            let (mut u, mut rem) = (0usize, i);
+            let mut row_len = s - 1;
+            while rem >= row_len {
+                rem -= row_len;
+                u += 1;
+                row_len -= 1;
+            }
+            let v = u + 1 + rem;
+            Some((base + u as VertexId, base + v as VertexId))
+        };
+        pair_stream(params.p_in, &mut g, &mut rng, &mut idx_to_pair, total)?;
+    }
+    // Inter-community pairs: iterate ordered community pairs.
+    for c1 in 0..params.communities {
+        for c2 in (c1 + 1)..params.communities {
+            let base1 = (c1 * s) as VertexId;
+            let base2 = (c2 * s) as VertexId;
+            let total = s * s;
+            let mut idx_to_pair = |i: usize| -> Option<(VertexId, VertexId)> {
+                Some((base1 + (i / s) as VertexId, base2 + (i % s) as VertexId))
+            };
+            pair_stream(params.p_out, &mut g, &mut rng, &mut idx_to_pair, total)?;
+        }
+    }
+    Ok((g, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_simple;
+
+    fn model() -> PlantedPartition {
+        PlantedPartition { communities: 4, size: 50, p_in: 0.3, p_out: 0.01 }
+    }
+
+    #[test]
+    fn structure_is_simple_and_labeled() {
+        let (g, labels) = planted_partition(&model(), WeightModel::Unit, 1).unwrap();
+        assert_eq!(g.num_vertices(), 200);
+        assert_eq!(labels.len(), 200);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[199], 3);
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn intra_edges_dominate() {
+        let (g, labels) = planted_partition(&model(), WeightModel::Unit, 2).unwrap();
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let (g, _) = planted_partition(&model(), WeightModel::Unit, 3).unwrap();
+        // E[intra] = 4 * C(50,2) * 0.3 = 1470; E[inter] = 6*2500*0.01 = 150.
+        let e = g.num_edges() as f64;
+        assert!((1000.0..2300.0).contains(&e), "edges {e}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let m = PlantedPartition { communities: 2, size: 4, p_in: 1.0, p_out: 0.0 };
+        let (g, _) = planted_partition(&m, WeightModel::Unit, 0).unwrap();
+        assert_eq!(g.num_edges(), 2 * 6); // two K4s
+        let m = PlantedPartition { communities: 2, size: 4, p_in: 0.0, p_out: 0.0 };
+        let (g, _) = planted_partition(&m, WeightModel::Unit, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let m = PlantedPartition { communities: 0, size: 4, p_in: 0.5, p_out: 0.1 };
+        assert!(planted_partition(&m, WeightModel::Unit, 0).is_err());
+        let m = PlantedPartition { communities: 2, size: 4, p_in: 1.5, p_out: 0.1 };
+        assert!(planted_partition(&m, WeightModel::Unit, 0).is_err());
+    }
+}

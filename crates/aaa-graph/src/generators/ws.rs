@@ -1,0 +1,96 @@
+//! Watts–Strogatz small-world graphs.
+
+use super::{check_n, WeightModel};
+use crate::{AdjGraph, GraphError, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex connects to its `k` nearest neighbors (`k` rounded down to even),
+/// with each edge rewired to a uniform random target with probability
+/// `beta ∈ [0, 1]`.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    weights: WeightModel,
+    seed: u64,
+) -> Result<AdjGraph, GraphError> {
+    check_n(n)?;
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidArgument(format!("beta {beta} not in [0, 1]")));
+    }
+    let half = (k / 2).min(n.saturating_sub(1) / 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = AdjGraph::with_vertices(n);
+    for u in 0..n {
+        for step in 1..=half {
+            let v = (u + step) % n;
+            let (u, v) = (u as VertexId, v as VertexId);
+            if rng.gen_bool(beta) {
+                // Rewire: keep u, pick a fresh target; skip on collision
+                // rather than loop forever on tiny graphs.
+                let mut placed = false;
+                for _ in 0..16 {
+                    let t = rng.gen_range(0..n as VertexId);
+                    if t != u && !g.has_edge(u, t) {
+                        g.add_edge(u, t, weights.sample(&mut rng))?;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed && u != v && !g.has_edge(u, v) {
+                    g.add_edge(u, v, weights.sample(&mut rng))?;
+                }
+            } else if !g.has_edge(u, v) {
+                g.add_edge(u, v, weights.sample(&mut rng))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_simple;
+    use crate::stats::connected_components;
+    use crate::Csr;
+
+    #[test]
+    fn ring_lattice_at_beta_zero() {
+        let g = watts_strogatz(20, 4, 0.0, WeightModel::Unit, 1).unwrap();
+        assert_eq!(g.num_edges(), 40); // n * k/2
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_simple(&g);
+    }
+
+    #[test]
+    fn rewiring_changes_structure_but_keeps_simplicity() {
+        let g = watts_strogatz(200, 6, 0.3, WeightModel::Unit, 2).unwrap();
+        assert_simple(&g);
+        // Edge count can only shrink slightly on collisions.
+        assert!(g.num_edges() <= 600 && g.num_edges() > 500);
+    }
+
+    #[test]
+    fn stays_mostly_connected() {
+        let g = watts_strogatz(300, 6, 0.1, WeightModel::Unit, 3).unwrap();
+        let comps = connected_components(&Csr::from_adj(&g));
+        assert_eq!(comps.num_components, 1);
+    }
+
+    #[test]
+    fn rejects_bad_beta_and_zero_n() {
+        assert!(watts_strogatz(10, 2, 1.5, WeightModel::Unit, 0).is_err());
+        assert!(watts_strogatz(0, 2, 0.5, WeightModel::Unit, 0).is_err());
+    }
+
+    #[test]
+    fn tiny_n_does_not_panic() {
+        let g = watts_strogatz(2, 4, 0.5, WeightModel::Unit, 0).unwrap();
+        assert!(g.num_edges() <= 1);
+    }
+}

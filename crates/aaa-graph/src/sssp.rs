@@ -1,0 +1,120 @@
+//! Single-source shortest paths: binary-heap Dijkstra and unweighted BFS.
+//!
+//! These are the reference kernels. The engine's IA phase in `aaa-core` runs
+//! the same Dijkstra per local vertex (the paper uses a multithreaded
+//! Dijkstra there, §IV.B), and the test suites use them as ground truth.
+
+use crate::{dist_add, Csr, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Dijkstra from `source` over a CSR graph. Returns the distance to every
+/// vertex (`INF` when unreachable).
+pub fn dijkstra(g: &Csr, source: VertexId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_vertices()];
+    dijkstra_into(g, source, &mut dist);
+    dist
+}
+
+/// Dijkstra writing into a caller-provided buffer (reused across sources to
+/// avoid reallocating in the hot APSP loops). The buffer is reset to `INF`.
+pub fn dijkstra_into(g: &Csr, source: VertexId, dist: &mut [Dist]) {
+    debug_assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(INF);
+    if g.num_vertices() == 0 {
+        return;
+    }
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (t, w) in g.neighbors(v) {
+            let nd = dist_add(d, w as Dist);
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse((nd, t)));
+            }
+        }
+    }
+}
+
+/// Breadth-first search distances (hop counts) from `source`.
+pub fn bfs(g: &Csr, source: VertexId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for t in g.targets(v) {
+            if dist[*t as usize] == INF {
+                dist[*t as usize] = d + 1;
+                queue.push_back(*t);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdjGraph;
+
+    /// 0 -1- 1 -1- 2    3 (isolated)   with shortcut 0-2 weight 5
+    fn path_graph() -> Csr {
+        let mut g = AdjGraph::with_vertices(4);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(0, 2, 5).unwrap();
+        Csr::from_adj(&g)
+    }
+
+    #[test]
+    fn dijkstra_prefers_shorter_path() {
+        let d = dijkstra(&path_graph(), 0);
+        assert_eq!(d, vec![0, 1, 2, INF]);
+    }
+
+    #[test]
+    fn dijkstra_from_middle() {
+        let d = dijkstra(&path_graph(), 1);
+        assert_eq!(d, vec![1, 0, 1, INF]);
+    }
+
+    #[test]
+    fn dijkstra_isolated_source() {
+        let d = dijkstra(&path_graph(), 3);
+        assert_eq!(d, vec![INF, INF, INF, 0]);
+    }
+
+    #[test]
+    fn bfs_counts_hops_ignoring_weights() {
+        let d = bfs(&path_graph(), 0);
+        // BFS ignores weights: 0-2 is one hop via the weight-5 edge.
+        assert_eq!(d, vec![0, 1, 1, INF]);
+    }
+
+    #[test]
+    fn dijkstra_into_reuses_buffer() {
+        let g = path_graph();
+        let mut buf = vec![0; 4];
+        dijkstra_into(&g, 2, &mut buf);
+        assert_eq!(buf, vec![2, 1, 0, INF]);
+        dijkstra_into(&g, 0, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2, INF]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_adj(&AdjGraph::new());
+        assert!(dijkstra(&g, 0).is_empty());
+        assert!(bfs(&g, 0).is_empty());
+    }
+}

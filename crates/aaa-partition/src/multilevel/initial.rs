@@ -1,0 +1,143 @@
+//! Greedy graph growing: the initial k-way partition on the coarsest graph.
+
+use super::WGraph;
+use aaa_graph::PartId;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const UNASSIGNED: PartId = PartId::MAX;
+
+/// Grows `k` regions one at a time. Each region starts from a random
+/// unassigned seed and repeatedly absorbs the unassigned frontier vertex
+/// with the strongest connection to the region (lazy max-heap), until the
+/// region reaches its weight target. Leftovers go to the lightest part.
+#[allow(clippy::needless_range_loop)] // part/v are rank-semantic indices
+pub(crate) fn greedy_graph_growing(g: &WGraph, k: usize, rng: &mut ChaCha8Rng) -> Vec<PartId> {
+    let n = g.n();
+    let mut label = vec![UNASSIGNED; n];
+    if n == 0 {
+        return label;
+    }
+    let total = g.total_vwgt();
+    let target = (total as f64 / k as f64).ceil() as u64;
+    let mut load = vec![0u64; k];
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.shuffle(rng);
+    let mut seed_cursor = 0usize;
+
+    for part in 0..k.saturating_sub(1) {
+        // Heap of (connection weight, vertex); lazily revalidated.
+        let mut heap: BinaryHeap<(u64, Reverse<u32>)> = BinaryHeap::new();
+        let mut conn = vec![0u64; n];
+        while load[part] < target {
+            let v = match heap.pop() {
+                Some((w, Reverse(v))) if label[v as usize] == UNASSIGNED && w >= conn[v as usize] => v,
+                Some((_, Reverse(v))) if label[v as usize] == UNASSIGNED => {
+                    // Stale weight; re-push the current value.
+                    heap.push((conn[v as usize], Reverse(v)));
+                    continue;
+                }
+                Some(_) => continue, // already assigned elsewhere
+                None => {
+                    // Frontier exhausted (disconnected region): new seed.
+                    let mut fresh = None;
+                    while seed_cursor < seeds.len() {
+                        let s = seeds[seed_cursor];
+                        seed_cursor += 1;
+                        if label[s as usize] == UNASSIGNED {
+                            fresh = Some(s);
+                            break;
+                        }
+                    }
+                    match fresh {
+                        Some(s) => s,
+                        None => break, // nothing left anywhere
+                    }
+                }
+            };
+            label[v as usize] = part as PartId;
+            load[part] += g.vwgt[v as usize];
+            for &(t, w) in &g.adj[v as usize] {
+                if label[t as usize] == UNASSIGNED {
+                    conn[t as usize] += w;
+                    heap.push((conn[t as usize], Reverse(t)));
+                }
+            }
+        }
+    }
+    // Everything unassigned goes to the last part first, then rebalance
+    // trivially by assigning to the lightest part.
+    for v in 0..n {
+        if label[v] == UNASSIGNED {
+            let lightest = (0..k).min_by_key(|&p| load[p]).unwrap_or(k - 1);
+            label[v] = lightest as PartId;
+            load[lightest] += g.vwgt[v];
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_graph::AdjGraph;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> WGraph {
+        let mut g = AdjGraph::with_vertices(12);
+        for c in 0..2u32 {
+            let base = c * 6;
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    g.add_edge(base + u, base + v, 1).unwrap();
+                }
+            }
+        }
+        g.add_edge(0, 6, 1).unwrap();
+        WGraph::from_adj(&g)
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = two_cliques();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let label = greedy_graph_growing(&g, 3, &mut rng);
+        assert_eq!(label.len(), 12);
+        assert!(label.iter().all(|&l| (l as usize) < 3));
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = two_cliques();
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let label = greedy_graph_growing(&g, 2, &mut rng);
+            let c0 = label.iter().filter(|&&l| l == 0).count();
+            assert!((4..=8).contains(&c0), "seed {seed}: part0 has {c0}");
+        }
+    }
+
+    #[test]
+    fn single_part() {
+        let g = two_cliques();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let label = greedy_graph_growing(&g, 1, &mut rng);
+        assert!(label.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn handles_isolated_vertices() {
+        let g = WGraph::from_adj(&AdjGraph::with_vertices(10));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let label = greedy_graph_growing(&g, 4, &mut rng);
+        assert!(label.iter().all(|&l| (l as usize) < 4));
+        // All parts should receive something close to fair.
+        let mut sizes = vec![0; 4];
+        for &l in &label {
+            sizes[l as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s >= 1), "sizes {sizes:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Heavy-edge matching for the coarsening phase.
+
+use super::WGraph;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+/// Computes a heavy-edge matching and returns the fine→coarse map.
+///
+/// Vertices are visited in random order; an unmatched vertex is merged with
+/// its unmatched neighbor of maximum edge weight (ties: smaller id).
+/// Unmatched leftovers become singleton coarse vertices. Coarse ids are
+/// dense and assigned in visit order.
+pub(crate) fn heavy_edge_matching(g: &WGraph, rng: &mut ChaCha8Rng) -> Vec<u32> {
+    let n = g.n();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut map = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut next = 0u32;
+    for &v in &order {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for &(t, w) in &g.adj[v as usize] {
+            if map[t as usize] == UNMATCHED {
+                let better = match best {
+                    None => true,
+                    Some((bw, bt)) => w > bw || (w == bw && t < bt),
+                };
+                if better {
+                    best = Some((w, t));
+                }
+            }
+        }
+        map[v as usize] = next;
+        if let Some((_, t)) = best {
+            map[t as usize] = next;
+        }
+        next += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_graph::AdjGraph;
+    use rand::SeedableRng;
+
+    fn wgraph(edges: &[(u32, u32, u32)], n: usize) -> WGraph {
+        let mut g = AdjGraph::with_vertices(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w).unwrap();
+        }
+        WGraph::from_adj(&g)
+    }
+
+    #[test]
+    fn map_is_dense_and_total() {
+        let g = wgraph(&[(0, 1, 1), (1, 2, 1), (2, 3, 1)], 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let map = heavy_edge_matching(&g, &mut rng);
+        assert_eq!(map.len(), 5);
+        let max = *map.iter().max().unwrap();
+        // Every coarse id in 0..=max appears.
+        for c in 0..=max {
+            assert!(map.contains(&c), "missing coarse id {c}");
+        }
+    }
+
+    #[test]
+    fn pairs_have_at_most_two_members() {
+        let g = wgraph(&[(0, 1, 1), (0, 2, 1), (0, 3, 1)], 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let map = heavy_edge_matching(&g, &mut rng);
+        let max = *map.iter().max().unwrap() as usize;
+        let mut counts = vec![0; max + 1];
+        for &c in &map {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        // Two heavy pairs (0-1, 2-3) with light cross edges: regardless of
+        // visit order, every vertex's heaviest unmatched neighbor is its
+        // heavy partner, so the matching is forced.
+        let g = wgraph(&[(0, 1, 100), (2, 3, 100), (0, 2, 1), (1, 3, 1)], 4);
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let map = heavy_edge_matching(&g, &mut rng);
+            assert_eq!(map[0], map[1], "seed {seed}");
+            assert_eq!(map[2], map[3], "seed {seed}");
+            assert_ne!(map[0], map[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let g = wgraph(&[], 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let map = heavy_edge_matching(&g, &mut rng);
+        let mut sorted = map.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

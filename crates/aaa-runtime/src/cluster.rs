@@ -1,0 +1,342 @@
+//! The BSP cluster: P ranks with private state, superstep execution,
+//! message routing and cost accounting.
+
+use crate::logp::LogPModel;
+use crate::schedule::{all_to_all_cost_us, ExchangeSchedule};
+use crate::stats::RunStats;
+use crate::Rank;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// How rank computation is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Ranks run one after another — bit-deterministic, used by tests.
+    Sequential,
+    /// Ranks run concurrently on the rayon pool (the production mode; this
+    /// is where the real parallel speedup comes from).
+    #[default]
+    Parallel,
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterConfig {
+    pub model: LogPModel,
+    pub schedule: ExchangeSchedule,
+    pub mode: ExecutionMode,
+}
+
+/// A fixed set of `P` ranks advanced in BSP supersteps.
+///
+/// All mutation of rank state flows through [`Cluster::step`],
+/// [`Cluster::exchange`], [`Cluster::broadcast`] or [`Cluster::allreduce_or`],
+/// which measure compute time and price traffic with the LogP model.
+#[derive(Debug)]
+pub struct Cluster<S> {
+    states: Vec<S>,
+    config: ClusterConfig,
+    stats: RunStats,
+}
+
+impl<S: Send> Cluster<S> {
+    /// Creates a cluster owning one state per rank.
+    pub fn new(states: Vec<S>, config: ClusterConfig) -> Self {
+        assert!(!states.is_empty(), "cluster needs at least one rank");
+        Self { states, config, stats: RunStats::default() }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Read-only access to rank states.
+    pub fn ranks(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Accumulated statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consumes the cluster, returning states and statistics.
+    pub fn into_parts(self) -> (Vec<S>, RunStats) {
+        (self.states, self.stats)
+    }
+
+    /// Charges driver-side compute to the simulated clock. Used for work
+    /// that conceptually runs on the cluster but is executed once at the
+    /// orchestrator (e.g. the repartitioning algorithm, which in the
+    /// paper's setup runs as parallel ParMETIS on the same machines).
+    pub fn charge_compute_us(&mut self, us: f64) {
+        self.stats.sim_compute_us += us;
+    }
+
+    fn record_compute(&mut self, per_rank_us: &[f64], wall: std::time::Duration) {
+        let max = per_rank_us.iter().copied().fold(0.0f64, f64::max);
+        self.stats.sim_compute_us += max;
+        self.stats.supersteps += 1;
+        self.stats.wall += wall;
+    }
+
+    /// Runs `f` on every rank (a compute-only superstep); returns the
+    /// per-rank results in rank order.
+    pub fn step<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Rank, &mut S) -> R + Sync,
+    {
+        let started = Instant::now();
+        let timed = |(rank, state): (usize, &mut S)| {
+            let t = Instant::now();
+            let out = f(rank, state);
+            (t.elapsed().as_secs_f64() * 1e6, out)
+        };
+        let results: Vec<(f64, R)> = match self.config.mode {
+            ExecutionMode::Sequential => self.states.iter_mut().enumerate().map(timed).collect(),
+            ExecutionMode::Parallel => {
+                self.states.par_iter_mut().enumerate().map(timed).collect()
+            }
+        };
+        let wall = started.elapsed();
+        let (times, outs): (Vec<f64>, Vec<R>) = results.into_iter().unzip();
+        self.record_compute(&times, wall);
+        outs
+    }
+
+    /// A full exchange superstep:
+    ///
+    /// 1. every rank *produces* addressed messages,
+    /// 2. traffic is priced under the configured all-to-all schedule,
+    /// 3. messages are delivered (in sender order — deterministic),
+    /// 4. every rank *consumes* its inbox.
+    ///
+    /// Self-addressed messages are delivered locally and cost nothing.
+    ///
+    /// # Panics
+    /// If a message is addressed to a rank `>= P`.
+    pub fn exchange<M, FP, FS, FC>(&mut self, produce: FP, size_of: FS, consume: FC)
+    where
+        M: Send,
+        FP: Fn(Rank, &mut S) -> Vec<(Rank, M)> + Sync,
+        FS: Fn(&M) -> usize + Sync,
+        FC: Fn(Rank, &mut S, Vec<(Rank, M)>) + Sync,
+    {
+        let p = self.p();
+        // Phase 1: produce (compute superstep).
+        let outboxes: Vec<Vec<(Rank, M)>> = self.step(produce);
+
+        // Phase 2: price and route.
+        let mut bytes = vec![vec![0usize; p]; p];
+        let mut inboxes: Vec<Vec<(Rank, M)>> = (0..p).map(|_| Vec::new()).collect();
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            for (dst, msg) in outbox {
+                assert!(dst < p, "rank {src} addressed message to nonexistent rank {dst}");
+                if dst != src {
+                    let sz = size_of(&msg);
+                    bytes[src][dst] += sz;
+                    self.stats.messages += 1;
+                    self.stats.bytes += sz as u64;
+                }
+                inboxes[dst].push((src, msg));
+            }
+        }
+        self.stats.sim_comm_us +=
+            all_to_all_cost_us(self.config.schedule, &self.config.model, &bytes);
+
+        // Phase 3: consume (compute superstep).
+        let started = Instant::now();
+        let timed = |((rank, state), inbox): ((usize, &mut S), Vec<(Rank, M)>)| {
+            let t = Instant::now();
+            consume(rank, state, inbox);
+            t.elapsed().as_secs_f64() * 1e6
+        };
+        let times: Vec<f64> = match self.config.mode {
+            ExecutionMode::Sequential => self
+                .states
+                .iter_mut()
+                .enumerate()
+                .zip(inboxes)
+                .map(timed)
+                .collect(),
+            ExecutionMode::Parallel => self
+                .states
+                .par_iter_mut()
+                .enumerate()
+                .zip(inboxes)
+                .map(timed)
+                .collect(),
+        };
+        let wall = started.elapsed();
+        self.record_compute(&times, wall);
+    }
+
+    /// Broadcast from `root`: `produce` builds the payload on the root rank,
+    /// then every rank (including the root) consumes a reference to it.
+    /// Priced as a binomial tree of `size` bytes.
+    pub fn broadcast<M, FP, FC>(&mut self, root: Rank, produce: FP, size_of: impl Fn(&M) -> usize, consume: FC)
+    where
+        M: Sync + Send,
+        FP: FnOnce(&mut S) -> M,
+        FC: Fn(Rank, &mut S, &M) + Sync,
+    {
+        assert!(root < self.p(), "broadcast root {root} out of range");
+        let payload = produce(&mut self.states[root]);
+        let sz = size_of(&payload);
+        let p = self.p();
+        self.stats.sim_comm_us += self.config.model.broadcast_cost_us(p, sz);
+        self.stats.messages += (p - 1) as u64;
+        self.stats.bytes += (sz * (p - 1)) as u64;
+        self.stats.collectives += 1;
+        let payload_ref = &payload;
+        self.step(move |rank, state| consume(rank, state, payload_ref));
+    }
+
+    /// OR-reduction over a per-rank predicate, priced as an all-reduce tree
+    /// (up + down: `2·ceil(log2 P)` one-byte messages).
+    pub fn allreduce_or<F>(&mut self, f: F) -> bool
+    where
+        F: Fn(Rank, &S) -> bool + Sync,
+    {
+        let p = self.p();
+        let result = self.states.iter().enumerate().any(|(r, s)| f(r, s));
+        self.stats.sim_comm_us += 2.0 * self.config.model.broadcast_cost_us(p, 1);
+        self.stats.collectives += 1;
+        result
+    }
+
+    /// MAX-reduction over per-rank `u64` values, same pricing as
+    /// [`Cluster::allreduce_or`].
+    pub fn allreduce_max<F>(&mut self, f: F) -> u64
+    where
+        F: Fn(Rank, &S) -> u64 + Sync,
+    {
+        let p = self.p();
+        let result = self.states.iter().enumerate().map(|(r, s)| f(r, s)).max().unwrap_or(0);
+        self.stats.sim_comm_us += 2.0 * self.config.model.broadcast_cost_us(p, 8);
+        self.stats.collectives += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mode: ExecutionMode) -> ClusterConfig {
+        ClusterConfig { model: LogPModel::ethernet_1g(), schedule: ExchangeSchedule::Sequential, mode }
+    }
+
+    #[test]
+    fn step_runs_on_every_rank() {
+        let mut c = Cluster::new(vec![0u64; 4], config(ExecutionMode::Sequential));
+        let out = c.step(|rank, s| {
+            *s = rank as u64 * 10;
+            rank
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(c.ranks(), &[0, 10, 20, 30]);
+        assert_eq!(c.stats().supersteps, 1);
+    }
+
+    #[test]
+    fn exchange_routes_messages_in_sender_order() {
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
+            let mut c = Cluster::new(vec![Vec::<(usize, u32)>::new(); 3], config(mode));
+            // Every rank sends its id×100 to every other rank.
+            c.exchange(
+                |rank, _| {
+                    (0..3)
+                        .filter(|&d| d != rank)
+                        .map(|d| (d, (rank * 100) as u32))
+                        .collect()
+                },
+                |_| 4,
+                |_, inbox_store, inbox| {
+                    *inbox_store = inbox;
+                },
+            );
+            // Each inbox has two messages, ordered by sender.
+            for (rank, inbox) in c.ranks().iter().enumerate() {
+                let expected: Vec<(usize, u32)> = (0..3)
+                    .filter(|&s| s != rank)
+                    .map(|s| (s, (s * 100) as u32))
+                    .collect();
+                assert_eq!(inbox, &expected, "mode {mode:?} rank {rank}");
+            }
+            assert_eq!(c.stats().messages, 6);
+            assert_eq!(c.stats().bytes, 24);
+            assert!(c.stats().sim_comm_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let mut c = Cluster::new(vec![0u32; 2], config(ExecutionMode::Sequential));
+        c.exchange(
+            |rank, _| vec![(rank, 7u32)],
+            |_| 1000,
+            |_, s, inbox| *s = inbox[0].1,
+        );
+        assert_eq!(c.ranks(), &[7, 7]);
+        assert_eq!(c.stats().messages, 0);
+        assert_eq!(c.stats().sim_comm_us, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent rank")]
+    fn exchange_panics_on_bad_destination() {
+        let mut c = Cluster::new(vec![(); 2], config(ExecutionMode::Sequential));
+        c.exchange(|_, _| vec![(9usize, 0u8)], |_| 1, |_, _, _| {});
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut c = Cluster::new(vec![0u32; 5], config(ExecutionMode::Parallel));
+        c.broadcast(2, |_| 42u32, |_| 4, |_, s, &m| *s = m);
+        assert_eq!(c.ranks(), &[42; 5]);
+        assert_eq!(c.stats().messages, 4);
+        assert_eq!(c.stats().collectives, 1);
+        assert!(c.stats().sim_comm_us > 0.0);
+    }
+
+    #[test]
+    fn allreduce_or_and_max() {
+        let mut c = Cluster::new(vec![0u64, 5, 3], config(ExecutionMode::Sequential));
+        assert!(!c.allreduce_or(|_, &s| s > 10));
+        assert!(c.allreduce_or(|_, &s| s > 4));
+        assert_eq!(c.allreduce_max(|_, &s| s), 5);
+        assert_eq!(c.stats().collectives, 3);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let run = |mode| {
+            let mut c = Cluster::new(vec![0u64; 8], config(mode));
+            for round in 0..3u64 {
+                c.exchange(
+                    |rank, s| vec![((rank + 1) % 8, *s + rank as u64 + round)],
+                    |_| 8,
+                    |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+                );
+            }
+            let (states, stats) = c.into_parts();
+            (states, stats.messages, stats.bytes)
+        };
+        assert_eq!(run(ExecutionMode::Sequential), run(ExecutionMode::Parallel));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::<u8>::new(vec![], config(ExecutionMode::Sequential));
+    }
+}

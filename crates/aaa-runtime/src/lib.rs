@@ -1,0 +1,35 @@
+//! In-process message-passing runtime: the cluster substitute.
+//!
+//! The paper evaluates on a 32-node MPI cluster; its runtime analysis is
+//! written in the LogP model (§IV.C). This crate reproduces that substrate
+//! in-process:
+//!
+//! * [`Cluster`] — P logical ranks, each owning private state, advanced in
+//!   BSP supersteps. Rank computation runs concurrently (rayon) or
+//!   sequentially (bit-deterministic, used by tests); messages are routed
+//!   between supersteps.
+//! * [`LogPModel`] — latency/overhead/gap/bandwidth parameters that price
+//!   every message, so each run yields a *simulated communication time*
+//!   alongside real wall-clock time.
+//! * [`schedule`] — the communication schedules the paper uses: a
+//!   serialized personalized all-to-all ("only one message traverses the
+//!   network at any given time", §IV.C) plus a pairwise tournament
+//!   alternative, and the binomial broadcast tree behind the vertex-addition
+//!   row broadcasts (Fig. 3, line 22).
+//!
+//! Correctness of the algorithms above never depends on the cost model —
+//! it only prices traffic; message *routing* is exact.
+
+pub mod cluster;
+pub mod logp;
+pub mod schedule;
+pub mod spmd;
+pub mod stats;
+
+pub use cluster::{Cluster, ClusterConfig, ExecutionMode};
+pub use logp::LogPModel;
+pub use schedule::ExchangeSchedule;
+pub use stats::RunStats;
+
+/// Rank index within a cluster.
+pub type Rank = usize;

@@ -1,0 +1,187 @@
+//! Communication schedules.
+//!
+//! The paper's recombination phase uses "a personalized all-to-all
+//! communication schedule that ensures only one message traverses the
+//! network at any given time" (§IV.C). That serialized schedule is
+//! [`ExchangeSchedule::Sequential`]. [`ExchangeSchedule::Pairwise`] is the
+//! classic tournament (circle-method) schedule in which every round is a
+//! perfect matching — an ablation target, since it trades the paper's
+//! flood-avoidance for parallel rounds.
+
+use crate::logp::LogPModel;
+use crate::Rank;
+
+/// How a personalized all-to-all is priced/ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeSchedule {
+    /// One message on the wire at a time (the paper's schedule):
+    /// total cost = Σ over messages of the full message cost.
+    #[default]
+    Sequential,
+    /// Tournament rounds: cost = Σ over rounds of the max pair cost.
+    Pairwise,
+}
+
+/// The tournament (circle method) round structure for `p` ranks: a list of
+/// rounds, each a set of disjoint pairs. Every unordered pair appears in
+/// exactly one round. For odd `p` a bye is inserted internally.
+pub fn tournament_rounds(p: usize) -> Vec<Vec<(Rank, Rank)>> {
+    if p < 2 {
+        return Vec::new();
+    }
+    // Work with an even number of slots; `p` odd gets a phantom slot.
+    let slots = if p.is_multiple_of(2) { p } else { p + 1 };
+    let phantom = slots - 1;
+    let mut ring: Vec<usize> = (0..slots).collect();
+    let mut rounds = Vec::with_capacity(slots - 1);
+    for _ in 0..slots - 1 {
+        let mut pairs = Vec::with_capacity(slots / 2);
+        for i in 0..slots / 2 {
+            let (a, b) = (ring[i], ring[slots - 1 - i]);
+            if p % 2 == 1 && (a == phantom || b == phantom) {
+                continue; // bye
+            }
+            pairs.push((a.min(b), a.max(b)));
+        }
+        rounds.push(pairs);
+        // Rotate all but the first element.
+        ring[1..].rotate_right(1);
+    }
+    rounds
+}
+
+/// Simulated time for a personalized all-to-all where `bytes[i][j]` is the
+/// payload rank `i` sends to rank `j` (0 = no message).
+pub fn all_to_all_cost_us(
+    schedule: ExchangeSchedule,
+    model: &LogPModel,
+    bytes: &[Vec<usize>],
+) -> f64 {
+    let p = bytes.len();
+    match schedule {
+        ExchangeSchedule::Sequential => {
+            let mut total = 0.0;
+            let mut sent = 0usize;
+            for row in bytes {
+                for &b in row {
+                    if b > 0 {
+                        total += model.message_cost_us(b);
+                        sent += 1;
+                    }
+                }
+            }
+            // Consecutive injections are also separated by the gap.
+            if sent > 1 {
+                total += (sent as f64 - 1.0) * model.gap_us;
+            }
+            total
+        }
+        ExchangeSchedule::Pairwise => {
+            let mut total = 0.0;
+            for round in tournament_rounds(p) {
+                let mut worst = 0.0f64;
+                for (a, b) in round {
+                    // Both directions exchanged within the round.
+                    let cost = model.message_cost_us(bytes[a][b]).max(model.message_cost_us(bytes[b][a]));
+                    let cost = if bytes[a][b] == 0 && bytes[b][a] == 0 { 0.0 } else { cost };
+                    worst = worst.max(cost);
+                }
+                total += worst;
+            }
+            total
+        }
+    }
+}
+
+/// Binomial broadcast tree rooted at `root`: returns `(parent, children)`
+/// edges as a list of `(from, to)` in dependency order. Rank numbering is
+/// relative (rank `r` maps to `(r + root) % p`).
+pub fn broadcast_tree(p: usize, root: Rank) -> Vec<(Rank, Rank)> {
+    let mut edges = Vec::new();
+    let mut covered = 1usize;
+    while covered < p {
+        let wave = covered.min(p - covered);
+        for i in 0..wave {
+            let from = (i + root) % p;
+            let to = (i + covered + root) % p;
+            edges.push((from, to));
+        }
+        covered += wave;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tournament_valid(p: usize) {
+        let rounds = tournament_rounds(p);
+        let mut seen = std::collections::HashSet::new();
+        for round in &rounds {
+            let mut used = std::collections::HashSet::new();
+            for &(a, b) in round {
+                assert!(a < b && b < p, "pair ({a},{b}) invalid for p={p}");
+                assert!(used.insert(a), "rank {a} twice in a round");
+                assert!(used.insert(b), "rank {b} twice in a round");
+                assert!(seen.insert((a, b)), "pair ({a},{b}) repeated");
+            }
+        }
+        assert_eq!(seen.len(), p * (p - 1) / 2, "p={p}: not all pairs covered");
+    }
+
+    #[test]
+    fn tournament_covers_all_pairs_even_and_odd() {
+        for p in [2, 3, 4, 5, 8, 16, 17] {
+            assert_tournament_valid(p);
+        }
+        assert!(tournament_rounds(1).is_empty());
+        assert!(tournament_rounds(0).is_empty());
+    }
+
+    #[test]
+    fn sequential_cost_sums_messages() {
+        let m = LogPModel { latency_us: 10.0, overhead_us: 0.0, gap_us: 0.0, per_byte_us: 0.0 };
+        // 3 ranks, two messages.
+        let bytes = vec![vec![0, 5, 0], vec![0, 0, 7], vec![0, 0, 0]];
+        let c = all_to_all_cost_us(ExchangeSchedule::Sequential, &m, &bytes);
+        assert!((c - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_cost_is_max_per_round() {
+        let m = LogPModel { latency_us: 10.0, overhead_us: 0.0, gap_us: 0.0, per_byte_us: 0.0 };
+        // 2 ranks: both directions in one round -> one 10 µs round.
+        let bytes = vec![vec![0, 5], vec![7, 0]];
+        let c = all_to_all_cost_us(ExchangeSchedule::Pairwise, &m, &bytes);
+        assert!((c - 10.0).abs() < 1e-9);
+        // Sequential pays twice.
+        let c = all_to_all_cost_us(ExchangeSchedule::Sequential, &m, &bytes);
+        assert!((c - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traffic_is_free() {
+        let m = LogPModel::ethernet_1g();
+        let bytes = vec![vec![0; 4]; 4];
+        for s in [ExchangeSchedule::Sequential, ExchangeSchedule::Pairwise] {
+            assert_eq!(all_to_all_cost_us(s, &m, &bytes), 0.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_tree_reaches_everyone_once() {
+        for p in [1usize, 2, 3, 7, 8, 16] {
+            for root in [0, p.saturating_sub(1)] {
+                let edges = broadcast_tree(p, root);
+                assert_eq!(edges.len(), p.saturating_sub(1), "p={p}");
+                let mut reached = std::collections::HashSet::from([root]);
+                for (from, to) in edges {
+                    assert!(reached.contains(&from), "p={p}: {from} sends before receiving");
+                    assert!(reached.insert(to), "p={p}: {to} reached twice");
+                }
+                assert_eq!(reached.len(), p.max(1));
+            }
+        }
+    }
+}

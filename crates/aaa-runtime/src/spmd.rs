@@ -1,0 +1,332 @@
+//! SPMD thread-per-rank execution: each logical processor runs on its own
+//! OS thread and communicates through channels — the programming model of
+//! the paper's MPI deployment, in-process.
+//!
+//! The orchestrated BSP [`crate::Cluster`] is what the engine uses (it
+//! gives deterministic replay and clean cost accounting); this module is
+//! the lower-level substrate variant: point-to-point sends, blocking
+//! receives, barriers and all-reductions between genuinely concurrent
+//! ranks. The test suite runs a distributed Bellman–Ford on it to show the
+//! two runtimes express the same algorithms.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crate::Rank;
+
+/// Per-rank communication context handed to an SPMD body.
+pub struct SpmdCtx<M: Send> {
+    rank: Rank,
+    p: usize,
+    tx: Vec<Sender<(Rank, M)>>,
+    rx: Receiver<(Rank, M)>,
+    barrier: Arc<Barrier>,
+    reduce: Arc<Mutex<Vec<u64>>>,
+}
+
+impl<M: Send> SpmdCtx<M> {
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Sends `msg` to rank `to` (non-blocking; channels are unbounded).
+    ///
+    /// # Panics
+    /// If `to` is out of range. Sending to a rank that already returned is
+    /// allowed — the message is dropped with the channel.
+    pub fn send(&self, to: Rank, msg: M) {
+        assert!(to < self.p, "rank {} sent to nonexistent rank {to}", self.rank);
+        // A disconnected receiver means the peer has finished; dropping the
+        // message mirrors MPI's freedom to complete sends after peer exit.
+        let _ = self.tx[to].send((self.rank, msg));
+    }
+
+    /// Blocks until a message arrives; returns `(from, message)`.
+    pub fn recv(&self) -> (Rank, M) {
+        self.rx.recv().expect("all senders dropped while receiving")
+    }
+
+    /// Receives with a timeout (`None` on expiry).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(Rank, M)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Drains every message currently queued.
+    pub fn drain(&self) -> Vec<(Rank, M)> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.rx.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// MAX all-reduction (two barriers; every rank contributes first).
+    pub fn allreduce_max(&self, value: u64) -> u64 {
+        {
+            self.reduce.lock()[self.rank] = value;
+        }
+        self.barrier();
+        let result = *self.reduce.lock().iter().max().expect("p >= 1");
+        self.barrier();
+        result
+    }
+
+    /// OR all-reduction.
+    pub fn allreduce_or(&self, value: bool) -> bool {
+        self.allreduce_max(value as u64) != 0
+    }
+
+    /// SUM all-reduction. Values are summed as u64; the caller is
+    /// responsible for overflow headroom.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        {
+            self.reduce.lock()[self.rank] = value;
+        }
+        self.barrier();
+        let result = self.reduce.lock().iter().sum();
+        self.barrier();
+        result
+    }
+}
+
+/// Runs `body` on `p` concurrent ranks and returns their results in rank
+/// order. Panics in any rank propagate after all threads are joined.
+pub fn run_spmd<M, R, F>(p: usize, body: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(SpmdCtx<M>) -> R + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(p));
+    let reduce = Arc::new(Mutex::new(vec![0u64; p]));
+    let body = &body;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let ctx = SpmdCtx {
+                rank,
+                p,
+                tx: senders.clone(),
+                rx,
+                barrier: Arc::clone(&barrier),
+                reduce: Arc::clone(&reduce),
+            };
+            handles.push(scope.spawn(move || body(ctx)));
+        }
+        // Drop the original senders so channels close when ranks finish.
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPMD rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{broadcast_tree, tournament_rounds};
+
+    #[test]
+    fn ring_pass() {
+        let results = run_spmd::<u64, u64, _>(4, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.p();
+            ctx.send(next, ctx.rank() as u64 * 10);
+            let (from, v) = ctx.recv();
+            assert_eq!(from, (ctx.rank() + ctx.p() - 1) % ctx.p());
+            v
+        });
+        assert_eq!(results, vec![30, 0, 10, 20]);
+    }
+
+    #[test]
+    fn tournament_all_to_all_covers_all_pairs() {
+        let p = 5;
+        let results = run_spmd::<u64, Vec<Rank>, _>(p, |ctx| {
+            let mut partners_seen = Vec::new();
+            for round in tournament_rounds(ctx.p()) {
+                let me = round.iter().find(|&&(a, b)| a == ctx.rank() || b == ctx.rank());
+                if let Some(&(a, b)) = me {
+                    let partner = if a == ctx.rank() { b } else { a };
+                    ctx.send(partner, ctx.rank() as u64);
+                    let (from, v) = ctx.recv();
+                    assert_eq!(from, partner);
+                    assert_eq!(v, partner as u64);
+                    partners_seen.push(partner);
+                }
+                ctx.barrier();
+            }
+            partners_seen.sort_unstable();
+            partners_seen
+        });
+        for (rank, partners) in results.into_iter().enumerate() {
+            let expected: Vec<Rank> = (0..p).filter(|&q| q != rank).collect();
+            assert_eq!(partners, expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_all() {
+        let p = 7;
+        let root = 2;
+        let results = run_spmd::<u64, u64, _>(p, |ctx| {
+            let edges = broadcast_tree(ctx.p(), root);
+            let mut value = if ctx.rank() == root { 99 } else { 0 };
+            for (from, to) in edges {
+                if ctx.rank() == to {
+                    let (src, v) = ctx.recv();
+                    assert_eq!(src, from);
+                    value = v;
+                }
+                if ctx.rank() == from {
+                    ctx.send(to, value);
+                }
+                // Edges are in dependency order: a value is always received
+                // before it must be forwarded, so no barrier is needed.
+            }
+            value
+        });
+        assert_eq!(results, vec![99; p]);
+    }
+
+    #[test]
+    fn reductions() {
+        let results = run_spmd::<(), (u64, bool, u64), _>(6, |ctx| {
+            let max = ctx.allreduce_max(ctx.rank() as u64);
+            let any = ctx.allreduce_or(ctx.rank() == 3);
+            let sum = ctx.allreduce_sum(1);
+            (max, any, sum)
+        });
+        for (max, any, sum) in results {
+            assert_eq!(max, 5);
+            assert!(any);
+            assert_eq!(sum, 6);
+        }
+    }
+
+    #[test]
+    fn repeated_reductions_do_not_interfere() {
+        let results = run_spmd::<(), Vec<u64>, _>(3, |ctx| {
+            (0..10u64).map(|i| ctx.allreduce_max(ctx.rank() as u64 + i)).collect()
+        });
+        for per_rank in results {
+            let expected: Vec<u64> = (0..10u64).map(|i| 2 + i).collect();
+            assert_eq!(per_rank, expected);
+        }
+    }
+
+    #[test]
+    fn drain_and_timeout() {
+        run_spmd::<u32, (), _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7);
+                ctx.send(1, 8);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                let msgs = ctx.drain();
+                assert_eq!(msgs.len(), 2);
+                assert!(ctx.recv_timeout(Duration::from_millis(10)).is_none());
+            }
+        });
+    }
+
+    /// Distributed Bellman–Ford over block-partitioned vertices: the same
+    /// boundary-exchange pattern as the engine's RC phase, on real threads.
+    #[test]
+    fn distributed_bellman_ford_matches_dijkstra() {
+        use aaa_graph::generators::{barabasi_albert, WeightModel};
+        use aaa_graph::{sssp::dijkstra, Csr, Dist, INF};
+
+        let g = barabasi_albert(120, 2, WeightModel::UniformRange { lo: 1, hi: 5 }, 3).unwrap();
+        let csr = Csr::from_adj(&g);
+        let n = csr.num_vertices();
+        let p = 4;
+        let expected = dijkstra(&csr, 0);
+
+        let per = n.div_ceil(p);
+        let csr_ref = &csr;
+        let results = run_spmd::<(u32, Dist), Vec<(u32, Dist)>, _>(p, move |ctx| {
+            let lo = ctx.rank() * per;
+            let hi = ((ctx.rank() + 1) * per).min(n);
+            let mut dist = vec![INF; n];
+            if lo == 0 {
+                dist[0] = 0;
+            }
+            loop {
+                // Local relaxation to a fixed point over owned vertices.
+                let mut changed_any = true;
+                let mut frontier_updates: Vec<(u32, Dist)> = Vec::new();
+                while changed_any {
+                    changed_any = false;
+                    for v in lo..hi {
+                        let dv = dist[v];
+                        if dv == INF {
+                            continue;
+                        }
+                        for (t, w) in csr_ref.neighbors(v as u32) {
+                            let nd = dv.saturating_add(w);
+                            if nd < dist[t as usize] {
+                                dist[t as usize] = nd;
+                                if (t as usize) < lo || t as usize >= hi {
+                                    frontier_updates.push((t, nd));
+                                } else {
+                                    changed_any = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Exchange cross-partition updates.
+                for &(t, d) in &frontier_updates {
+                    let owner = (t as usize / per).min(p - 1);
+                    ctx.send(owner, (t, d));
+                }
+                ctx.barrier();
+                let mut improved = false;
+                for (_, (t, d)) in ctx.drain() {
+                    if d < dist[t as usize] {
+                        dist[t as usize] = d;
+                        improved = true;
+                    }
+                }
+                if !ctx.allreduce_or(improved || !frontier_updates.is_empty()) {
+                    break;
+                }
+            }
+            (lo..hi).map(|v| (v as u32, dist[v])).collect()
+        });
+        let mut got = vec![INF; n];
+        for chunk in results {
+            for (v, d) in chunk {
+                got[v as usize] = d;
+            }
+        }
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Run statistics: traffic counters and the two clocks (wall, simulated).
+
+use std::time::Duration;
+
+/// Accumulated statistics for a cluster run.
+///
+/// * `wall` is real elapsed time of the in-process execution.
+/// * `sim_comm_us` is what the same traffic would cost on the modelled
+///   network (LogP-priced); `sim_compute_us` is the per-superstep maximum
+///   rank compute time, summed — together they approximate the runtime the
+///   paper measures on its cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Point-to-point messages routed.
+    pub messages: u64,
+    /// Total payload bytes routed.
+    pub bytes: u64,
+    /// Simulated communication time (µs).
+    pub sim_comm_us: f64,
+    /// Simulated compute time: Σ over supersteps of max rank time (µs).
+    pub sim_compute_us: f64,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Collective operations (broadcasts, reductions) executed.
+    pub collectives: u64,
+    /// Real elapsed time of rank computation.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Total simulated time (µs): compute + communication.
+    pub fn sim_total_us(&self) -> f64 {
+        self.sim_comm_us + self.sim_compute_us
+    }
+
+    /// Total simulated time in seconds.
+    pub fn sim_total_secs(&self) -> f64 {
+        self.sim_total_us() / 1e6
+    }
+
+    /// Merges another stats block into this one (used when a run is
+    /// composed of phases measured separately).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.sim_comm_us += other.sim_comm_us;
+        self.sim_compute_us += other.sim_compute_us;
+        self.supersteps += other.supersteps;
+        self.collectives += other.collectives;
+        self.wall += other.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = RunStats { sim_comm_us: 10.0, sim_compute_us: 5.0, messages: 2, bytes: 100, supersteps: 1, collectives: 0, wall: Duration::from_millis(3) };
+        let b = RunStats { sim_comm_us: 1.0, sim_compute_us: 2.0, messages: 1, bytes: 50, supersteps: 2, collectives: 1, wall: Duration::from_millis(4) };
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.supersteps, 3);
+        assert_eq!(a.collectives, 1);
+        assert!((a.sim_total_us() - 18.0).abs() < 1e-12);
+        assert!((a.sim_total_secs() - 18.0e-6).abs() < 1e-15);
+        assert_eq!(a.wall, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.sim_total_us(), 0.0);
+        assert_eq!(s.messages, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Explores the substrates on their own: generates graphs with several
+//! models, partitions them with every partitioner, and detects communities
+//! with Louvain — printing the quality metrics the engine's DD phase cares
+//! about (cut edges, balance, boundary sizes).
+//!
+//! ```text
+//! cargo run --release --example partition_explorer
+//! ```
+
+use anytime_anywhere::graph::community::{louvain, LouvainConfig};
+use anytime_anywhere::graph::generators::*;
+use anytime_anywhere::graph::AdjGraph;
+use anytime_anywhere::partition::simple::{
+    BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
+};
+use anytime_anywhere::partition::{
+    boundary_vertices, cut_edges, vertex_balance, MultilevelPartitioner, Partitioner,
+};
+
+const K: usize = 8;
+
+fn report(name: &str, g: &AdjGraph) {
+    println!("\n=== {name}: {} vertices, {} edges ===", g.num_vertices(), g.num_edges());
+    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("multilevel", Box::new(MultilevelPartitioner::seeded(1))),
+        ("block", Box::new(BlockPartitioner)),
+        ("round-robin", Box::new(RoundRobinPartitioner)),
+        ("hash", Box::new(HashPartitioner)),
+        ("random", Box::new(RandomPartitioner { seed: 1 })),
+    ];
+    println!("{:>12}  {:>9}  {:>8}  {:>10}", "partitioner", "cut-edges", "balance", "boundary");
+    for (pname, p) in partitioners {
+        let part = p.partition(g, K).expect("partitioning succeeds");
+        let boundary: usize = boundary_vertices(g, &part).iter().map(|b| b.len()).sum();
+        println!(
+            "{:>12}  {:>9}  {:>8.3}  {:>10}",
+            pname,
+            cut_edges(g, &part),
+            vertex_balance(&part),
+            boundary
+        );
+    }
+    let communities = louvain(g, &LouvainConfig::default());
+    println!(
+        "louvain: {} communities, modularity {:.3}",
+        communities.num_communities, communities.modularity
+    );
+}
+
+fn main() {
+    let ba = barabasi_albert(4_000, 3, WeightModel::Unit, 7).expect("valid params");
+    report("Barabási–Albert (scale-free)", &ba);
+
+    let (sbm, _) = planted_partition(
+        &PlantedPartition { communities: 8, size: 500, p_in: 0.02, p_out: 0.0005 },
+        WeightModel::Unit,
+        7,
+    )
+    .expect("valid params");
+    report("planted partition (communities)", &sbm);
+
+    let ws = watts_strogatz(4_000, 6, 0.1, WeightModel::Unit, 7).expect("valid params");
+    report("Watts–Strogatz (small world)", &ws);
+
+    let rm = rmat(12, 4, RmatParams::default(), WeightModel::Unit, 7).expect("valid params");
+    report("R-MAT (power law)", &rm);
+
+    println!("\nThe multilevel partitioner should dominate the cut-edge column —");
+    println!("that is why the paper's DD phase uses METIS-family partitioning.");
+}

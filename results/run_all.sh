@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every figure table at default scale. Outputs to results/.
+set -x
+cd /root/repo
+B=./target/release
+for fig in fig4 fig5 fig6 fig8 anytime_quality ablation_partitioner ablation_logp; do
+  $B/$fig --csv results/$fig.csv > results/$fig.txt  || echo "FAILED: $fig" >> results/failures.txt
+  echo "done: $fig"
+done
+$B/fig7 --csv results/fig7.csv > results/fig7.txt 2> results/fig7.time || echo "FAILED: fig7" >> results/failures.txt
+echo "done: fig7"
+echo ALL_DONE

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Tail of the experiment suite. fig8 runs first (timing-sensitive, keep the
+# box idle); the remaining experiments report deterministic counts/errors
+# (fig7, quality) or LogP-priced comm (ablation_logp) and tolerate load.
+# Scales are reduced where noted; see EXPERIMENTS.md.
+set -x
+cd /root/repo
+B=./target/release
+$B/fig8 --scale 1200 --csv results/fig8.csv > results/fig8.txt 2>&1 || echo "FAILED: fig8" >> results/failures.txt
+echo "done: fig8"
+$B/anytime_quality --scale 1500 --csv results/anytime_quality.csv > results/anytime_quality.txt 2>&1 || echo "FAILED: anytime_quality" >> results/failures.txt
+echo "done: anytime_quality"
+$B/ablation_partitioner --scale 1200 --csv results/ablation_partitioner.csv > results/ablation_partitioner.txt 2>&1 || echo "FAILED: ablation_partitioner" >> results/failures.txt
+echo "done: ablation_partitioner"
+$B/ablation_logp --scale 1000 --csv results/ablation_logp.csv > results/ablation_logp.txt 2>&1 || echo "FAILED: ablation_logp" >> results/failures.txt
+echo "done: ablation_logp"
+$B/fig7 --csv results/fig7.csv > results/fig7.txt 2>&1 || echo "FAILED: fig7" >> results/failures.txt
+echo "done: fig7"
+echo REST_DONE

@@ -1,0 +1,99 @@
+//! The *anytime* guarantee (§III): interrupted at any RC step, the engine
+//! yields a usable solution whose quality improves monotonically with
+//! computation.
+
+use anytime_anywhere::core::changes::preferential_batch;
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, EngineConfig, QualityTracker};
+use anytime_anywhere::graph::generators::{barabasi_albert, watts_strogatz, WeightModel};
+use anytime_anywhere::graph::INF;
+
+#[test]
+fn closeness_error_decreases_monotonically_across_rc_steps() {
+    let g = barabasi_albert(150, 2, WeightModel::Unit, 19).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(8)).unwrap();
+    let mut tracker = QualityTracker::new(&g, 10);
+    tracker.record(0, &engine.closeness());
+    for step in 1..=10 {
+        if !engine.rc_step() {
+            tracker.record(step, &engine.closeness());
+            break;
+        }
+        tracker.record(step, &engine.closeness());
+    }
+    assert!(tracker.error_is_monotone_nonincreasing(), "samples: {:?}", tracker.samples());
+    // Converged error is zero.
+    let last = tracker.samples().last().unwrap();
+    assert!(last.error < 1e-12, "final error {}", last.error);
+    assert!((last.top_k_recall - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn distance_estimates_never_increase() {
+    let g = watts_strogatz(100, 4, 0.2, WeightModel::Unit, 23).unwrap();
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(5)).unwrap();
+    let mut prev = engine.distances();
+    loop {
+        let more = engine.rc_step();
+        let cur = engine.distances();
+        for u in 0..100u32 {
+            for v in 0..100u32 {
+                assert!(
+                    cur.get(u, v) <= prev.get(u, v),
+                    "d({u},{v}) increased: {} -> {}",
+                    prev.get(u, v),
+                    cur.get(u, v)
+                );
+            }
+        }
+        prev = cur;
+        if !more {
+            break;
+        }
+    }
+}
+
+#[test]
+fn partial_results_are_usable_before_convergence() {
+    // After IA + a single RC step, every vertex must already know its
+    // intra-partition neighborhood: no all-INF rows (on a connected graph
+    // with every part non-singleton this means nonzero closeness).
+    let g = barabasi_albert(200, 3, WeightModel::Unit, 29).unwrap();
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+    engine.rc_step();
+    let c = engine.closeness();
+    let nonzero = c.iter().filter(|&&x| x > 0.0).count();
+    assert!(nonzero >= 190, "only {nonzero} vertices have usable estimates");
+}
+
+#[test]
+fn quality_improves_through_dynamic_changes_too() {
+    // After an injection, estimates for the final graph keep improving
+    // monotonically (min-merge never regresses).
+    let g = barabasi_albert(100, 2, WeightModel::Unit, 31).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.rc_step();
+    let batch = preferential_batch(&g, 10, 2, 7);
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).unwrap();
+
+    let mut prev = engine.distances();
+    loop {
+        let more = engine.rc_step();
+        let cur = engine.distances();
+        let n = cur.n();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                assert!(cur.get(u, v) <= prev.get(u, v));
+            }
+        }
+        prev = cur;
+        if !more {
+            break;
+        }
+    }
+    // And nothing is left unreachable that should not be.
+    let unreachable = (0..prev.n() as u32)
+        .flat_map(|u| (0..prev.n() as u32).map(move |v| (u, v)))
+        .filter(|&(u, v)| prev.get(u, v) == INF)
+        .count();
+    assert_eq!(unreachable, 0, "graph is connected after additions");
+}

@@ -1,0 +1,64 @@
+//! Cross-checks between the SNA measures on generated graphs — the kind of
+//! sanity invariants a downstream SNA user relies on.
+
+use anytime_anywhere::graph::centrality::{
+    betweenness_centrality, clustering_coefficients, degree_centrality, eigenvector_centrality,
+};
+use anytime_anywhere::graph::closeness::{closeness_exact, top_k};
+use anytime_anywhere::graph::generators::*;
+use anytime_anywhere::graph::Csr;
+
+#[test]
+fn hubs_dominate_every_centrality_on_scale_free_graphs() {
+    let g = barabasi_albert(400, 2, WeightModel::Unit, 3).unwrap();
+    let csr = Csr::from_adj(&g);
+    let hub = (0..400u32).max_by_key(|&v| csr.degree(v)).unwrap();
+
+    let deg = degree_centrality(&csr);
+    let close = closeness_exact(&csr);
+    let betw = betweenness_centrality(&csr);
+    let eig = eigenvector_centrality(&csr, 300, 1e-10);
+
+    // The top-degree hub should rank inside the top 5 of every measure.
+    for (name, values) in [("degree", &deg), ("closeness", &close), ("betweenness", &betw), ("eigenvector", &eig)] {
+        let top = top_k(values, 5);
+        assert!(top.contains(&hub), "{name}: hub {hub} not in top-5 {top:?}");
+    }
+}
+
+#[test]
+fn small_world_graphs_cluster_more_than_random() {
+    let ws = watts_strogatz(600, 6, 0.05, WeightModel::Unit, 4).unwrap();
+    let er = erdos_renyi(600, 1800, WeightModel::Unit, 4).unwrap();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let c_ws = mean(&clustering_coefficients(&Csr::from_adj(&ws)));
+    let c_er = mean(&clustering_coefficients(&Csr::from_adj(&er)));
+    assert!(c_ws > 3.0 * c_er, "WS {c_ws} vs ER {c_er}");
+}
+
+#[test]
+fn betweenness_total_is_bounded_by_pair_count() {
+    // Σ betweenness ≤ number of ordered intermediate pair assignments:
+    // each unordered pair contributes a total dependency ≤ (path length),
+    // but a crude bound suffices: every pair (s,t) distributes exactly
+    // (number of intermediate vertices on its shortest paths) ≤ n.
+    let g = barabasi_albert(150, 2, WeightModel::Unit, 6).unwrap();
+    let csr = Csr::from_adj(&g);
+    let b = betweenness_centrality(&csr);
+    let n = 150.0f64;
+    let total: f64 = b.iter().sum();
+    assert!(total <= n * n * n);
+    assert!(b.iter().all(|&x| x >= -1e-9));
+}
+
+#[test]
+fn centrality_functions_handle_degenerate_graphs() {
+    use anytime_anywhere::graph::AdjGraph;
+    let empty = Csr::from_adj(&AdjGraph::new());
+    assert!(betweenness_centrality(&empty).is_empty());
+    assert!(degree_centrality(&empty).is_empty());
+    let single = Csr::from_adj(&AdjGraph::with_vertices(1));
+    assert_eq!(degree_centrality(&single), vec![0.0]);
+    assert_eq!(betweenness_centrality(&single), vec![0.0]);
+    assert_eq!(clustering_coefficients(&single), vec![0.0]);
+}

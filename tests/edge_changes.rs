@@ -1,0 +1,128 @@
+//! The companion dynamic-edge strategies: additions [9], deletions [10],
+//! weight changes [7] — each must converge to the from-scratch answer on
+//! the final graph.
+
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, DynamicChange, EngineConfig};
+use anytime_anywhere::graph::apsp::apsp_dijkstra;
+use anytime_anywhere::graph::generators::{barabasi_albert, erdos_renyi, WeightModel};
+use anytime_anywhere::graph::{AdjGraph, Csr};
+
+fn assert_matches_reference(engine: &mut AnytimeEngine, expected_graph: &AdjGraph) {
+    let summary = engine.run_to_convergence();
+    assert!(summary.converged);
+    let reference = apsp_dijkstra(&Csr::from_adj(expected_graph));
+    assert_eq!(engine.distances(), reference);
+}
+
+#[test]
+fn edge_addition_mid_analysis() {
+    let g = barabasi_albert(80, 2, WeightModel::Unit, 3).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.rc_step();
+    // Find a non-edge pair far apart.
+    let (u, v) = (0u32, 79u32);
+    let mut full = g.clone();
+    if !full.has_edge(u, v) {
+        full.add_edge(u, v, 1).unwrap();
+        engine.add_edge(u, v, 1).unwrap();
+    }
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn many_edge_additions_connect_components() {
+    // Disconnected ER graph; add bridges dynamically.
+    let g = erdos_renyi(60, 25, WeightModel::Unit, 5).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+    let mut full = g.clone();
+    for i in 0..10u32 {
+        let (u, v) = (i, 59 - i);
+        if u != v && !full.has_edge(u, v) {
+            full.add_edge(u, v, 2).unwrap();
+            engine.add_edge(u, v, 2).unwrap();
+        }
+    }
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn edge_deletion_partial_restart() {
+    let g = barabasi_albert(60, 3, WeightModel::Unit, 7).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+    let (u, v, _) = g.edges().next().unwrap();
+    let mut full = g.clone();
+    full.remove_edge(u, v).unwrap();
+    engine.remove_edge(u, v).unwrap();
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn weight_decrease_is_incremental() {
+    let g = barabasi_albert(70, 2, WeightModel::UniformRange { lo: 3, hi: 9 }, 11).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+    let (u, v, _) = g.edges().nth(5).unwrap();
+    let mut full = g.clone();
+    full.set_weight(u, v, 1).unwrap();
+    engine.set_edge_weight(u, v, 1).unwrap();
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn weight_increase_invalidates_and_recovers() {
+    let g = barabasi_albert(60, 2, WeightModel::Unit, 13).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+    let (u, v, _) = g.edges().next().unwrap();
+    let mut full = g.clone();
+    full.set_weight(u, v, 50).unwrap();
+    engine.set_edge_weight(u, v, 50).unwrap();
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn mixed_change_stream_via_apply_change() {
+    let g = barabasi_albert(50, 2, WeightModel::Unit, 17).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(3)).unwrap();
+    let mut full = g.clone();
+    engine.rc_step();
+
+    // Addition.
+    if !full.has_edge(3, 47) {
+        full.add_edge(3, 47, 2).unwrap();
+        engine
+            .apply_change(&DynamicChange::AddEdge { u: 3, v: 47, w: 2 }, AssignStrategy::RoundRobin)
+            .unwrap();
+    }
+    engine.rc_step();
+    // Weight change.
+    let (u, v, _) = full.edges().nth(3).unwrap();
+    full.set_weight(u, v, 4).unwrap();
+    engine
+        .apply_change(&DynamicChange::SetWeight { u, v, w: 4 }, AssignStrategy::RoundRobin)
+        .unwrap();
+    engine.rc_step();
+    // Deletion.
+    let (u, v, _) = full.edges().nth(10).unwrap();
+    full.remove_edge(u, v).unwrap();
+    engine
+        .apply_change(&DynamicChange::RemoveEdge { u, v }, AssignStrategy::RoundRobin)
+        .unwrap();
+
+    assert_matches_reference(&mut engine, &full);
+}
+
+#[test]
+fn bad_edge_operations_error_cleanly() {
+    let g = barabasi_albert(20, 2, WeightModel::Unit, 1).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(2)).unwrap();
+    let (u, v, _) = g.edges().next().unwrap();
+    assert!(engine.add_edge(u, v, 1).is_err()); // duplicate
+    assert!(engine.add_edge(0, 0, 1).is_err()); // self-loop
+    assert!(engine.remove_edge(0, 19).is_err() || g.has_edge(0, 19));
+    assert!(engine.set_edge_weight(0, 0, 2).is_err());
+    // Still functional.
+    assert_matches_reference(&mut engine, &g);
+}

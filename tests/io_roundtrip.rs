@@ -1,0 +1,74 @@
+//! File I/O round-trips through real temporary files, plus interop between
+//! the formats.
+
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::graph::io::{
+    read_edge_list, read_edge_list_file, read_pajek, write_edge_list, write_edge_list_file,
+    write_pajek,
+};
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aaa-io-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn edge_list_file_roundtrip_preserves_graph() {
+    let g = barabasi_albert(120, 2, WeightModel::UniformRange { lo: 1, hi: 9 }, 5).unwrap();
+    let path = tmpdir().join("graph.edges");
+    write_edge_list_file(&g, &path).unwrap();
+    let back = read_edge_list_file(&path).unwrap();
+    assert_eq!(back.num_vertices(), g.num_vertices());
+    assert_eq!(back.num_edges(), g.num_edges());
+    for (u, v, w) in g.edges() {
+        assert_eq!(back.edge_weight(u, v), Some(w));
+    }
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn pajek_and_edge_list_agree() {
+    let g = barabasi_albert(60, 2, WeightModel::Unit, 9).unwrap();
+    let mut pajek_bytes = Vec::new();
+    write_pajek(&g, &mut pajek_bytes).unwrap();
+    let mut el_bytes = Vec::new();
+    write_edge_list(&g, &mut el_bytes).unwrap();
+    let from_pajek = read_pajek(&pajek_bytes[..]).unwrap();
+    let from_el = read_edge_list(&el_bytes[..]).unwrap();
+    assert_eq!(from_pajek.num_edges(), from_el.num_edges());
+    for (u, v, w) in from_el.edges() {
+        assert_eq!(from_pajek.edge_weight(u, v), Some(w));
+    }
+}
+
+#[test]
+fn pajek_preserves_isolated_trailing_vertices() {
+    use anytime_anywhere::graph::AdjGraph;
+    let mut g = AdjGraph::with_vertices(10);
+    g.add_edge(0, 1, 1).unwrap();
+    // Vertices 2..10 isolated; Pajek's *Vertices header must carry them.
+    let mut buf = Vec::new();
+    write_pajek(&g, &mut buf).unwrap();
+    let back = read_pajek(&buf[..]).unwrap();
+    assert_eq!(back.num_vertices(), 10);
+    assert_eq!(back.num_edges(), 1);
+}
+
+#[test]
+fn corrupt_files_produce_typed_errors_not_panics() {
+    use anytime_anywhere::graph::GraphError;
+    // Must return errors (or tolerate), never panic.
+    for text in ["1 2 x", "nonsense", "*Vertices\n", "1"] {
+        let _ = read_edge_list(text.as_bytes());
+        let _ = read_pajek(text.as_bytes());
+    }
+    assert!(read_edge_list("1 2 x".as_bytes()).is_err());
+    assert!(read_edge_list("nonsense".as_bytes()).is_err());
+    assert!(read_pajek("*Vertices\n".as_bytes()).is_err());
+    // Specific: bad weight with correct line number.
+    match read_edge_list("0 1 1\n0 2 bad\n".as_bytes()) {
+        Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests over the whole stack: random graphs, random
+//! partitions, random dynamic-change streams — the distributed engine must
+//! always agree with the single-machine reference.
+
+use anytime_anywhere::core::{
+    AnytimeEngine, AssignStrategy, EngineConfig, NewVertex, VertexBatch,
+};
+use anytime_anywhere::graph::apsp::{apsp_dijkstra, floyd_warshall};
+use anytime_anywhere::graph::community::{louvain, modularity, LouvainConfig};
+use anytime_anywhere::graph::{AdjGraph, Csr, GraphBuilder};
+use anytime_anywhere::partition::{
+    cut_edges, vertex_balance, MultilevelPartitioner, Partitioner,
+};
+use proptest::prelude::*;
+
+/// An arbitrary simple weighted graph with `n ∈ [2, 40]` vertices.
+fn arb_graph() -> impl Strategy<Value = AdjGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..10),
+            0..(3 * n),
+        );
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::with_vertices(n);
+            for (u, v, w) in edges {
+                b.edge(u, v, w);
+            }
+            b.build().expect("builder output is always valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_apsp_equals_floyd_warshall(g in arb_graph()) {
+        let csr = Csr::from_adj(&g);
+        prop_assert_eq!(apsp_dijkstra(&csr), floyd_warshall(&csr));
+    }
+
+    #[test]
+    fn engine_fixed_point_equals_reference(g in arb_graph(), p in 1usize..6) {
+        let reference = apsp_dijkstra(&Csr::from_adj(&g));
+        let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(p)).unwrap();
+        let summary = engine.run_to_convergence();
+        prop_assert!(summary.converged);
+        prop_assert_eq!(engine.distances(), reference);
+    }
+
+    #[test]
+    fn dynamic_addition_equals_scratch(
+        g in arb_graph(),
+        p in 2usize..5,
+        count in 1usize..6,
+        strategy_pick in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let base = g.num_vertices() as u32;
+        // Random batch: each new vertex gets 0–3 edges to anything earlier.
+        let mut vertices = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for i in 0..count {
+            let me = base + i as u32;
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(0..4u32) {
+                let t = rng.gen_range(0..me);
+                let key = (t.min(me), t.max(me));
+                if used.insert(key) {
+                    edges.push((t, rng.gen_range(1..6u32)));
+                }
+            }
+            vertices.push(NewVertex { edges });
+        }
+        let batch = VertexBatch { vertices };
+        let strategy = match strategy_pick {
+            0 => AssignStrategy::RoundRobin,
+            1 => AssignStrategy::CutEdge { seed, tries: 1 },
+            _ => AssignStrategy::Repartition { seed },
+        };
+
+        let mut full = g.clone();
+        full.add_vertices(batch.len());
+        for (a, b, w) in batch.global_edges(base) {
+            full.add_edge(a, b, w).unwrap();
+        }
+        let reference = apsp_dijkstra(&Csr::from_adj(&full));
+
+        let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(p)).unwrap();
+        for _ in 0..(seed % 4) {
+            engine.rc_step();
+        }
+        engine.apply_vertex_additions(&batch, strategy).unwrap();
+        let summary = engine.run_to_convergence();
+        prop_assert!(summary.converged);
+        prop_assert_eq!(engine.distances(), reference);
+    }
+
+    #[test]
+    fn multilevel_partition_is_valid_and_balanced(g in arb_graph(), k in 1usize..6) {
+        let part = MultilevelPartitioner::seeded(7).partition(&g, k).unwrap();
+        prop_assert_eq!(part.len(), g.num_vertices());
+        prop_assert!(part.assignment().iter().all(|&p| (p as usize) < k));
+        if g.num_vertices() >= 2 * k {
+            // Reasonable balance on non-degenerate instances.
+            prop_assert!(vertex_balance(&part) <= 2.0, "balance {}", vertex_balance(&part));
+        }
+        // Cut never exceeds total edge count.
+        prop_assert!(cut_edges(&g, &part) <= g.num_edges());
+    }
+
+    #[test]
+    fn louvain_labels_are_valid_and_no_worse_than_singletons(g in arb_graph()) {
+        let a = louvain(&g, &LouvainConfig::default());
+        prop_assert_eq!(a.label.len(), g.num_vertices());
+        prop_assert!(a.label.iter().all(|&l| (l as usize) < a.num_communities.max(1)));
+        let singletons: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let q0 = modularity(&g, &singletons);
+        prop_assert!(a.modularity >= q0 - 1e-9);
+        // Modularity is bounded.
+        prop_assert!(a.modularity <= 1.0 + 1e-9 && a.modularity >= -0.5 - 1e-9);
+    }
+
+    #[test]
+    fn edge_deletion_equals_scratch(g in arb_graph(), p in 1usize..4, pick in 0usize..50) {
+        prop_assume!(g.num_edges() > 0);
+        let (u, v, _) = g.edges().nth(pick % g.num_edges()).unwrap();
+        let mut full = g.clone();
+        full.remove_edge(u, v).unwrap();
+        let reference = apsp_dijkstra(&Csr::from_adj(&full));
+        let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(p)).unwrap();
+        engine.run_to_convergence();
+        engine.remove_edge(u, v).unwrap();
+        engine.run_to_convergence();
+        prop_assert_eq!(engine.distances(), reference);
+    }
+}

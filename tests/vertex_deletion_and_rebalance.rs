@@ -1,0 +1,120 @@
+//! The paper's future-work extensions: dynamic vertex deletions and
+//! explicit load rebalancing.
+
+use anytime_anywhere::core::changes::preferential_batch;
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, DynamicChange, EngineConfig};
+use anytime_anywhere::graph::apsp::apsp_dijkstra;
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::graph::{AdjGraph, Csr};
+use anytime_anywhere::partition::vertex_balance;
+
+fn isolate(g: &mut AdjGraph, v: u32) {
+    let nbrs: Vec<u32> = g.neighbors(v).iter().map(|&(t, _)| t).collect();
+    for t in nbrs {
+        g.remove_edge(v, t).unwrap();
+    }
+}
+
+#[test]
+fn vertex_deletion_matches_scratch_on_isolated_graph() {
+    let g = barabasi_albert(60, 2, WeightModel::Unit, 9).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+
+    let victims = [3u32, 17, 40];
+    engine.remove_vertices(&victims).unwrap();
+    engine.run_to_convergence();
+
+    let mut expected = g.clone();
+    for &v in &victims {
+        isolate(&mut expected, v);
+    }
+    let reference = apsp_dijkstra(&Csr::from_adj(&expected));
+    assert_eq!(engine.distances(), reference);
+    // Deleted vertices have closeness 0; the rest match the reduced graph.
+    let c = engine.closeness();
+    for &v in &victims {
+        assert_eq!(c[v as usize], 0.0);
+    }
+}
+
+#[test]
+fn deleting_a_hub_changes_other_centralities() {
+    let g = barabasi_albert(80, 2, WeightModel::Unit, 15).unwrap();
+    let hub = (0..80u32).max_by_key(|&v| g.degree(v)).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+    let before = engine.closeness();
+    engine.remove_vertices(&[hub]).unwrap();
+    engine.run_to_convergence();
+    let after = engine.closeness();
+    assert_eq!(after[hub as usize], 0.0);
+    assert_ne!(before, after);
+}
+
+#[test]
+fn deletion_then_addition_round_trip() {
+    let g = barabasi_albert(50, 2, WeightModel::Unit, 21).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(3)).unwrap();
+    engine.run_to_convergence();
+    engine
+        .apply_change(&DynamicChange::RemoveVertices(vec![5, 6]), AssignStrategy::RoundRobin)
+        .unwrap();
+    engine.rc_step();
+    let batch = preferential_batch(engine.graph(), 4, 2, 33);
+    engine.apply_vertex_additions(&batch, AssignStrategy::CutEdge { seed: 0, tries: 2 }).unwrap();
+    engine.run_to_convergence();
+
+    let mut expected = g.clone();
+    isolate(&mut expected, 5);
+    isolate(&mut expected, 6);
+    let base = expected.num_vertices() as u32;
+    expected.add_vertices(batch.len());
+    for (a, b, w) in batch.global_edges(base) {
+        expected.add_edge(a, b, w).unwrap();
+    }
+    assert_eq!(engine.distances(), apsp_dijkstra(&Csr::from_adj(&expected)));
+}
+
+#[test]
+fn invalid_deletions_are_rejected() {
+    let g = barabasi_albert(20, 2, WeightModel::Unit, 1).unwrap();
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(2)).unwrap();
+    assert!(engine.remove_vertices(&[99]).is_err());
+    // Deleting an already-isolated vertex twice is fine (idempotent).
+    engine.remove_vertices(&[0]).unwrap();
+    engine.remove_vertices(&[0]).unwrap();
+    engine.run_to_convergence();
+    assert_eq!(engine.closeness()[0], 0.0);
+}
+
+#[test]
+fn rebalance_restores_balance_after_skewed_additions() {
+    let g = barabasi_albert(100, 2, WeightModel::Unit, 4).unwrap();
+    let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(4)).unwrap();
+    engine.run_to_convergence();
+
+    // Skew the partition: several batches under CutEdge-PS with all-internal
+    // community structure can pile onto few processors.
+    for seed in 0..6u64 {
+        let batch = preferential_batch(engine.graph(), 8, 2, 50 + seed);
+        engine
+            .apply_vertex_additions(&batch, AssignStrategy::CutEdge { seed, tries: 1 })
+            .unwrap();
+        engine.rc_step();
+    }
+    let skewed = vertex_balance(engine.partition());
+
+    engine.rebalance(7).unwrap();
+    engine.run_to_convergence();
+    let rebalanced = vertex_balance(engine.partition());
+    assert!(
+        rebalanced <= skewed + 1e-9,
+        "rebalance made things worse: {skewed} -> {rebalanced}"
+    );
+    assert!(rebalanced <= 1.2, "still imbalanced: {rebalanced}");
+
+    // And correctness is preserved.
+    let reference = apsp_dijkstra(&Csr::from_adj(engine.graph()));
+    assert_eq!(engine.distances(), reference);
+}
