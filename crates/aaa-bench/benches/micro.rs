@@ -15,9 +15,7 @@ use std::hint::black_box;
 fn bench_dijkstra(c: &mut Criterion) {
     let g = barabasi_albert(2_000, 3, WeightModel::Unit, 1).unwrap();
     let csr = Csr::from_adj(&g);
-    c.bench_function("dijkstra/ba-2000-m3", |b| {
-        b.iter(|| black_box(dijkstra(&csr, black_box(0))))
-    });
+    c.bench_function("dijkstra/ba-2000-m3", |b| b.iter(|| black_box(dijkstra(&csr, black_box(0)))));
 }
 
 fn bench_relax_via(c: &mut Criterion) {

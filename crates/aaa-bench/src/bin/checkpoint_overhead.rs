@@ -1,0 +1,12 @@
+//! Measures anytime-persistence overhead: snapshot size and checkpoint /
+//! restore latency at `--scale`/4, `--scale`/2 and `--scale` vertices.
+
+use aaa_bench::{experiments, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::parse();
+    experiments::checkpoint_overhead(&args).emit(args.csv.as_ref());
+    println!("\nSnapshot size is dominated by the per-rank DV rows (Θ(n²/P) distances");
+    println!("per rank at convergence), so bytes grow quadratically with the vertex");
+    println!("count while checkpoint/restore time stays I/O-shaped (linear in bytes).");
+}

@@ -8,9 +8,7 @@ fn main() {
     let mut args = CommonArgs::parse();
     // No DV state needed: default to the paper's full scale unless the user
     // explicitly passed --scale.
-    if args.scale == CommonArgs::default().scale
-        && !std::env::args().any(|a| a == "--scale")
-    {
+    if args.scale == CommonArgs::default().scale && !std::env::args().any(|a| a == "--scale") {
         args.scale = 50_000;
     }
     experiments::fig7(&args).emit(args.csv.as_ref());

@@ -6,7 +6,10 @@ use crate::{fmt_sim_secs, CommonArgs, Table};
 use aaa_core::baseline::restart_run;
 use aaa_core::changes::{community_batch, CommunityBatchParams, VertexBatch};
 use aaa_core::strategies::{cut_edge_assign, round_robin_assign};
-use aaa_core::{AnytimeEngine, AssignStrategy, DdPartitioner, EngineConfig, QualityTracker};
+use aaa_core::{
+    AnytimeEngine, AssignStrategy, CheckpointPolicy, ClusterError, ConvergenceSummary, CoreError,
+    DdPartitioner, EngineConfig, FaultPlan, QualityTracker, Snapshot,
+};
 use aaa_graph::generators::{barabasi_albert, WeightModel};
 use aaa_graph::AdjGraph;
 use aaa_partition::quality::new_cut_edges;
@@ -51,6 +54,45 @@ fn step_n(engine: &mut AnytimeEngine, steps: usize) {
     }
 }
 
+/// Drives the engine to convergence under the harness's checkpoint/fault
+/// flags: arms the fault (if any), snapshots per `--checkpoint-every`, and
+/// on an injected rank failure recovers the rank from the latest snapshot
+/// and resumes RC. With neither flag set this is plain
+/// `run_to_convergence`.
+pub fn drive_to_convergence(engine: &mut AnytimeEngine, args: &CommonArgs) -> ConvergenceSummary {
+    if args.checkpoint_every.is_none() && args.fault.is_none() {
+        return engine.run_to_convergence();
+    }
+    if let Some((rank, superstep)) = args.fault {
+        engine.inject_fault(FaultPlan::at(rank, superstep));
+    }
+    let policy = match args.checkpoint_every {
+        Some(n) => CheckpointPolicy::EveryNRcSteps(n),
+        None => CheckpointPolicy::Manual,
+    };
+    // Recovery baseline: without a snapshot from before the failure there
+    // is nothing to restore from, so take one up front.
+    let mut latest = engine.snapshot();
+    loop {
+        let mut newest: Option<Snapshot> = None;
+        let result = engine.run_to_convergence_checkpointed(policy, |bytes| {
+            // Round-trip through the wire format — the persisted artifact
+            // is what a real deployment would recover from.
+            newest = Some(Snapshot::from_bytes(bytes).expect("own snapshot is readable"));
+        });
+        if let Some(s) = newest {
+            latest = s;
+        }
+        match result {
+            Ok(summary) => return summary,
+            Err(CoreError::Cluster(ClusterError::RankFailed { rank, .. })) => {
+                engine.recover_rank(rank, &latest).expect("recovery from snapshot");
+            }
+            Err(e) => panic!("drive failed: {e}"),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Figure 4 — Anytime Anywhere vs. Baseline Restart
 // ---------------------------------------------------------------------------
@@ -81,10 +123,8 @@ pub fn fig4(args: &CommonArgs) -> Table {
     for inject in [0usize, 4, 8] {
         let mut engine = AnytimeEngine::new(g.clone(), args.engine_config()).expect("engine");
         step_n(&mut engine, inject);
-        engine
-            .apply_vertex_additions(&batch, AssignStrategy::RoundRobin)
-            .expect("batch valid");
-        engine.run_to_convergence();
+        engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch valid");
+        drive_to_convergence(&mut engine, args);
         table.row(vec![
             format!("RC{inject}"),
             fmt_sim_secs(engine.stats().sim_total_us()),
@@ -143,9 +183,8 @@ pub fn single_step_additions(args: &CommonArgs, inject_at: usize) -> Table {
 pub fn fig7(args: &CommonArgs) -> Table {
     let g = base_graph(args);
     let base = g.num_vertices() as u32;
-    let initial = MultilevelPartitioner::seeded(args.seed)
-        .partition(&g, args.procs)
-        .expect("partition");
+    let initial =
+        MultilevelPartitioner::seeded(args.seed).partition(&g, args.procs).expect("partition");
 
     let mut table = Table::new(
         format!(
@@ -157,11 +196,8 @@ pub fn fig7(args: &CommonArgs) -> Table {
     for paper_count in [500usize, 1500, 3000, 4500, 6000] {
         let count = args.scaled(paper_count, 8);
         let batch = addition_batch(&g, count, args.seed + paper_count as u64);
-        let edges: Vec<(u32, u32)> = batch
-            .global_edges(base)
-            .iter()
-            .map(|&(a, b, _)| (a, b))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            batch.global_edges(base).iter().map(|&(a, b, _)| (a, b)).collect();
 
         // Repartition-S: repartition the merged graph; new cut edges are
         // the new edges that end up crossing parts.
@@ -242,8 +278,7 @@ pub fn fig8(args: &CommonArgs) -> Table {
             let mut engine = AnytimeEngine::new(g.clone(), args.engine_config()).expect("engine");
             for wave in 0..WAVES {
                 engine.rc_step();
-                let batch =
-                    addition_batch(engine.graph(), per_step, args.seed + 77 + wave as u64);
+                let batch = addition_batch(engine.graph(), per_step, args.seed + 77 + wave as u64);
                 engine.apply_vertex_additions(&batch, strategy).expect("batch valid");
             }
             engine.run_to_convergence();
@@ -274,7 +309,11 @@ pub fn anytime_quality(args: &CommonArgs) -> Table {
     for step in 1..=24 {
         let more = engine.rc_step();
         let s = tracker.record(step, &engine.closeness());
-        table.row(vec![step.to_string(), format!("{:.4}", s.error), format!("{:.2}", s.top_k_recall)]);
+        table.row(vec![
+            step.to_string(),
+            format!("{:.4}", s.error),
+            format!("{:.2}", s.top_k_recall),
+        ]);
         if !more {
             break;
         }
@@ -284,6 +323,45 @@ pub fn anytime_quality(args: &CommonArgs) -> Table {
         "anytime violation: {:?}",
         tracker.samples()
     );
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint overhead
+// ---------------------------------------------------------------------------
+
+/// Snapshot size and (de)serialization cost as the graph grows: converge a
+/// static analysis at `scale/4`, `scale/2` and `scale`, then measure a full
+/// checkpoint round-trip at each size.
+pub fn checkpoint_overhead(args: &CommonArgs) -> Table {
+    let mut table = Table::new(
+        format!("Checkpoint overhead ({} procs, seed {})", args.procs, args.seed),
+        &["vertices", "edges", "snapshot bytes", "checkpoint [µs]", "restore [µs]"],
+    );
+    for scale in [args.scale / 4, args.scale / 2, args.scale] {
+        let scale = scale.max(64);
+        let g = barabasi_albert(scale, 3, WeightModel::Unit, args.seed).expect("generator");
+        let edges = g.num_edges();
+        let mut engine = AnytimeEngine::new(g, args.engine_config()).expect("engine");
+        engine.run_to_convergence();
+
+        let started = std::time::Instant::now();
+        let bytes = engine.checkpoint_bytes().expect("checkpoint");
+        let checkpoint_us = started.elapsed().as_secs_f64() * 1e6;
+
+        let started = std::time::Instant::now();
+        let restored = AnytimeEngine::restore(&bytes[..], args.engine_config()).expect("restore");
+        let restore_us = started.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(restored.rc_steps_done(), engine.rc_steps_done(), "resume point preserved");
+
+        table.row(vec![
+            scale.to_string(),
+            edges.to_string(),
+            bytes.len().to_string(),
+            format!("{checkpoint_us:.0}"),
+            format!("{restore_us:.0}"),
+        ]);
+    }
     table
 }
 
@@ -335,10 +413,9 @@ pub fn ablation_logp(args: &CommonArgs) -> Table {
         ("free", LogPModel::free()),
     ];
     for (net_name, model) in nets {
-        for (sched_name, sched) in [
-            ("sequential", ExchangeSchedule::Sequential),
-            ("pairwise", ExchangeSchedule::Pairwise),
-        ] {
+        for (sched_name, sched) in
+            [("sequential", ExchangeSchedule::Sequential), ("pairwise", ExchangeSchedule::Pairwise)]
+        {
             for (cap_name, cap) in [("64 KiB", 64 << 10), ("1 MiB", 1 << 20)] {
                 let mut cfg: EngineConfig = args.engine_config();
                 cfg.cluster.model = model;
@@ -367,13 +444,15 @@ mod tests {
     /// Tiny-scale smoke tests: every experiment produces a table of the
     /// right shape without panicking.
     fn tiny() -> CommonArgs {
-        CommonArgs { scale: 120, procs: 3, seed: 7, csv: None }
+        CommonArgs { scale: 120, procs: 3, seed: 7, ..Default::default() }
     }
 
     #[test]
     fn fig4_shape() {
         let t = fig4(&tiny());
-        assert!(t.render().lines().filter(|l| l.starts_with("RC") || l.contains("RC")).count() >= 3);
+        assert!(
+            t.render().lines().filter(|l| l.starts_with("RC") || l.contains("RC")).count() >= 3
+        );
     }
 
     #[test]
@@ -386,7 +465,7 @@ mod tests {
 
     #[test]
     fn fig7_shape_and_ordering_signal() {
-        let t = fig7(&CommonArgs { scale: 2_000, procs: 4, seed: 3, csv: None });
+        let t = fig7(&CommonArgs { scale: 2_000, procs: 4, seed: 3, ..Default::default() });
         let r = t.render();
         assert!(r.contains("RoundRobin"));
         assert!(r.lines().count() >= 8);
@@ -402,6 +481,30 @@ mod tests {
     fn quality_is_monotone_at_tiny_scale() {
         let t = anytime_quality(&tiny());
         assert!(t.render().contains("0 (IA)"));
+    }
+
+    #[test]
+    fn checkpoint_overhead_shape() {
+        let t = checkpoint_overhead(&tiny());
+        let r = t.render();
+        assert!(r.contains("snapshot bytes"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fig4_with_checkpoints_and_fault_recovers() {
+        let args = CommonArgs {
+            scale: 120,
+            procs: 3,
+            seed: 7,
+            checkpoint_every: Some(2),
+            fault: Some((1, 4)),
+            ..Default::default()
+        };
+        // The fault fires during each run; the harness must recover from
+        // the latest snapshot and still converge to a full table.
+        let t = fig4(&args);
+        assert!(t.render().lines().count() >= 5);
     }
 
     #[test]

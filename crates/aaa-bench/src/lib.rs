@@ -3,11 +3,14 @@
 //! Every binary accepts:
 //!
 //! ```text
-//! --scale <n>   graph size (default 2000; the paper uses 50,000 — see
-//!               EXPERIMENTS.md for the scaling rationale)
-//! --procs <P>   logical processors (default 16, as in the paper)
-//! --seed <s>    RNG seed (default 42)
-//! --csv <path>  also write the table as CSV
+//! --scale <n>           graph size (default 2000; the paper uses 50,000 —
+//!                       see EXPERIMENTS.md for the scaling rationale)
+//! --procs <P>           logical processors (default 16, as in the paper)
+//! --seed <s>            RNG seed (default 42)
+//! --csv <path>          also write the table as CSV
+//! --checkpoint-every <N>  snapshot the engine after every N RC steps
+//! --fault <R@S>         kill rank R at superstep S; the harness recovers
+//!                       it from the latest snapshot and resumes
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -29,11 +32,16 @@ pub struct CommonArgs {
     pub procs: usize,
     pub seed: u64,
     pub csv: Option<PathBuf>,
+    /// Snapshot after every N RC steps (`--checkpoint-every N`).
+    pub checkpoint_every: Option<usize>,
+    /// Kill rank R at superstep S (`--fault R@S`); recovery comes from the
+    /// latest snapshot.
+    pub fault: Option<(usize, u64)>,
 }
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        Self { scale: 2_000, procs: 16, seed: 42, csv: None }
+        Self { scale: 2_000, procs: 16, seed: 42, csv: None, checkpoint_every: None, fault: None }
     }
 }
 
@@ -54,8 +62,25 @@ impl CommonArgs {
                 "--procs" => out.procs = take("--procs").parse().expect("--procs wants an integer"),
                 "--seed" => out.seed = take("--seed").parse().expect("--seed wants an integer"),
                 "--csv" => out.csv = Some(PathBuf::from(take("--csv"))),
+                "--checkpoint-every" => {
+                    out.checkpoint_every = Some(
+                        take("--checkpoint-every")
+                            .parse()
+                            .expect("--checkpoint-every wants an integer"),
+                    )
+                }
+                "--fault" => {
+                    let spec = take("--fault");
+                    out.fault = Some(parse_fault_spec(&spec).unwrap_or_else(|| {
+                        eprintln!("--fault wants rank@superstep, e.g. --fault 2@5");
+                        std::process::exit(2);
+                    }));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale n] [--procs P] [--seed s] [--csv path]");
+                    eprintln!(
+                        "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
+                         [--checkpoint-every N] [--fault R@S]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -78,6 +103,12 @@ impl CommonArgs {
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig::with_procs(self.procs)
     }
+}
+
+/// Parses a `rank@superstep` fault spec.
+fn parse_fault_spec(spec: &str) -> Option<(usize, u64)> {
+    let (rank, step) = spec.split_once('@')?;
+    Some((rank.trim().parse().ok()?, step.trim().parse().ok()?))
 }
 
 /// A printable/CSV-able results table.
@@ -121,7 +152,8 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ =
+            writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -182,6 +214,14 @@ mod tests {
     #[test]
     fn fmt_seconds() {
         assert_eq!(fmt_sim_secs(1_500_000.0), "1.50");
+    }
+
+    #[test]
+    fn fault_spec_parses() {
+        assert_eq!(parse_fault_spec("2@5"), Some((2, 5)));
+        assert_eq!(parse_fault_spec(" 0 @ 12 "), Some((0, 12)));
+        assert_eq!(parse_fault_spec("2"), None);
+        assert_eq!(parse_fault_spec("a@b"), None);
     }
 }
 

@@ -1,0 +1,74 @@
+//! Typed snapshot errors. A corrupted, truncated, or foreign input must
+//! surface as one of these — never as a panic.
+
+use std::fmt;
+use std::io;
+
+/// Errors from writing or reading a snapshot.
+///
+/// Cloneable and comparable so they can ride inside `aaa-core`'s
+/// `CoreError` (I/O errors are captured as kind + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The underlying reader/writer failed.
+    Io { kind: io::ErrorKind, msg: String },
+    /// The first 8 bytes are not the snapshot magic — not a snapshot.
+    BadMagic { found: [u8; 8] },
+    /// The snapshot uses a format version this build cannot read.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// Input ended inside the named section (or the header).
+    Truncated { section: &'static str },
+    /// A section's payload failed its CRC-32 check.
+    CrcMismatch { section: String, stored: u32, computed: u32 },
+    /// Structurally invalid content (unknown tag, impossible length,
+    /// duplicate or missing section, trailing bytes…).
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { kind, msg } => write!(f, "snapshot i/o error ({kind:?}): {msg}"),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:02x?}: not an aaa checkpoint")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {supported})"
+            ),
+            CheckpointError::Truncated { section } => {
+                write!(f, "snapshot truncated inside section {section}")
+            }
+            CheckpointError::CrcMismatch { section, stored, computed } => write!(
+                f,
+                "CRC mismatch in section {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io { kind: e.kind(), msg: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = CheckpointError::BadMagic { found: *b"NOTACKPT" };
+        assert!(e.to_string().contains("magic"));
+        let e = CheckpointError::UnsupportedVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9'));
+        let e = CheckpointError::Truncated { section: "GRPH" };
+        assert!(e.to_string().contains("GRPH"));
+        let e: CheckpointError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

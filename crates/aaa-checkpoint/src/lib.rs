@@ -1,0 +1,111 @@
+//! # aaa-checkpoint — anytime persistence
+//!
+//! The paper's *anytime* property (§III) guarantees that analysis can be
+//! interrupted at any RC step and still yield a usable closeness estimate.
+//! This crate makes that property **durable**: it defines a versioned
+//! binary snapshot of the full engine state (graph, partition, per-rank
+//! distance vectors with dirty masks, RC step counter, accumulated
+//! [`RunStats`](aaa_runtime::RunStats), and the change-stream cursor), the
+//! [`CheckpointPolicy`] that decides *when* snapshots are taken at RC
+//! superstep barriers, and the typed [`CheckpointError`]s that make
+//! corrupted or truncated snapshots a recoverable condition rather than a
+//! panic.
+//!
+//! The engine-facing methods (`AnytimeEngine::checkpoint` / `restore` /
+//! `recover_rank`) live in `aaa-core`, which depends on this crate; this
+//! crate only knows the *format* and the snapshot data model, so it
+//! depends on nothing above `aaa-graph` and `aaa-runtime`.
+//!
+//! ## Snapshot format appendix (version 1)
+//!
+//! All integers are **little-endian**. The file is a fixed header followed
+//! by length-prefixed, CRC-protected sections:
+//!
+//! ```text
+//! header   := magic version section_count
+//! magic    := 8 bytes  b"AAACKPT\0"
+//! version  := u32      format version (currently 1)
+//! section_count := u32 number of sections that follow
+//!
+//! section  := tag payload_len payload crc32
+//! tag      := 4 ASCII bytes  ("META" | "GRPH" | "PART" | "STAT" | "RNKS")
+//! payload_len := u64   byte length of payload
+//! payload  := payload_len bytes
+//! crc32    := u32      CRC-32 (IEEE 802.3) of payload
+//! ```
+//!
+//! Version-1 section payloads, in the order they are written:
+//!
+//! * `META` — `procs: u32`, `rc_steps: u64`, `rr_cursor: u64`,
+//!   `changes_applied: u64` (the pending change-stream cursor: how many
+//!   dynamic changes the engine has already absorbed).
+//! * `GRPH` — `num_vertices: u64`, `num_edges: u64`, then per edge
+//!   `u: u32, v: u32, w: u32` with `u < v`, in [`AdjGraph::edges`]
+//!   (aaa_graph::AdjGraph::edges) order.
+//! * `PART` — `k: u32`, `len: u64`, then `len × u32` part ids.
+//! * `STAT` — `messages: u64`, `bytes: u64`, `sim_comm_us: f64`,
+//!   `sim_compute_us: f64`, `supersteps: u64`, `collectives: u64`,
+//!   `checkpoints: u64`, `restores: u64`, `wall_nanos: u64`.
+//! * `RNKS` — one section **per rank**, so a single rank's rows can be
+//!   recovered without materializing the others: `rank: u32`, then four
+//!   length-prefixed lists — local rows (`v: u32, len: u64, len × u32`
+//!   distances), cached rows (same layout), dirty ids (`u32`s), pending
+//!   ids (`u32`s). Row entries use `u32::MAX` for +∞, matching
+//!   `aaa_graph::INF`.
+//!
+//! ### Versioning rules
+//!
+//! * The magic never changes; anything else under these 8 bytes is not a
+//!   snapshot ([`CheckpointError::BadMagic`]).
+//! * Any layout change — new/removed sections, field changes inside a
+//!   section — **bumps the version**. Readers reject unknown versions with
+//!   [`CheckpointError::UnsupportedVersion`] instead of guessing.
+//! * Within a version, readers are strict: unknown tags, short payloads,
+//!   CRC mismatches, and trailing bytes are all typed errors. Robustness
+//!   comes from the version gate, not from lenient parsing.
+
+pub mod error;
+pub mod policy;
+pub mod snapshot;
+mod wire;
+
+pub use error::CheckpointError;
+pub use policy::CheckpointPolicy;
+pub use snapshot::{
+    EngineMeta, GraphSnapshot, PartitionSnapshot, RankSnapshot, Snapshot, FORMAT_VERSION, MAGIC,
+};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the per-section
+/// integrity check. Table-driven, built at first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

@@ -1,0 +1,431 @@
+//! The snapshot data model and its version-1 binary encoding.
+//!
+//! The DTOs here mirror the engine's state without depending on
+//! `aaa-core`: the engine converts itself to/from a [`Snapshot`] and this
+//! module owns the bytes. See the crate docs for the full format appendix.
+
+use crate::error::CheckpointError;
+use crate::wire::{
+    put_f64, put_u32, put_u64, read_section, read_u32, write_section, PayloadReader,
+};
+use aaa_graph::{Dist, PartId, VertexId, Weight};
+use aaa_runtime::RunStats;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// First 8 bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"AAACKPT\0";
+
+/// Format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Engine-level scalars: processor count, RC progress, the round-robin
+/// assignment cursor, and the change-stream cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineMeta {
+    pub procs: u32,
+    pub rc_steps: u64,
+    pub rr_cursor: u64,
+    /// How many dynamic changes the engine had absorbed when the snapshot
+    /// was taken — the resume point in the caller's change stream.
+    pub changes_applied: u64,
+}
+
+/// The full graph as an edge list (undirected, `u < v`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphSnapshot {
+    pub num_vertices: u64,
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+/// The vertex→processor assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionSnapshot {
+    pub k: u32,
+    pub assignment: Vec<PartId>,
+}
+
+/// One rank's distance-vector state: local rows, cached external-boundary
+/// rows, the dirty mask, and pending dynamic-update pivots. Adjacency and
+/// ownership are *not* stored — they are rebuilt deterministically from
+/// the graph and partition sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankSnapshot {
+    pub rank: u32,
+    pub local: Vec<(VertexId, Vec<Dist>)>,
+    pub cached: Vec<(VertexId, Vec<Dist>)>,
+    pub dirty: Vec<VertexId>,
+    pub pending: Vec<VertexId>,
+}
+
+impl RankSnapshot {
+    /// Bytes this rank's rows occupy on the wire (8-byte header + 4 bytes
+    /// per entry, mirroring `RowMsg` pricing).
+    pub fn row_bytes(&self) -> usize {
+        self.local.iter().chain(&self.cached).map(|(_, r)| 8 + 4 * r.len()).sum()
+    }
+}
+
+/// A complete engine snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub meta: EngineMeta,
+    pub graph: GraphSnapshot,
+    pub partition: PartitionSnapshot,
+    pub stats: RunStats,
+    pub ranks: Vec<RankSnapshot>,
+}
+
+impl Snapshot {
+    /// The snapshot of one rank, if present.
+    pub fn rank(&self, rank: usize) -> Option<&RankSnapshot> {
+        self.ranks.iter().find(|r| r.rank as usize == rank)
+    }
+
+    /// Serializes to the version-1 binary format.
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), CheckpointError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        let sections = 4 + self.ranks.len() as u32;
+        w.write_all(&sections.to_le_bytes())?;
+
+        let mut p = Vec::new();
+        put_u32(&mut p, self.meta.procs);
+        put_u64(&mut p, self.meta.rc_steps);
+        put_u64(&mut p, self.meta.rr_cursor);
+        put_u64(&mut p, self.meta.changes_applied);
+        write_section(&mut w, b"META", &p)?;
+
+        p.clear();
+        put_u64(&mut p, self.graph.num_vertices);
+        put_u64(&mut p, self.graph.edges.len() as u64);
+        for &(u, v, wt) in &self.graph.edges {
+            put_u32(&mut p, u);
+            put_u32(&mut p, v);
+            put_u32(&mut p, wt);
+        }
+        write_section(&mut w, b"GRPH", &p)?;
+
+        p.clear();
+        put_u32(&mut p, self.partition.k);
+        put_u64(&mut p, self.partition.assignment.len() as u64);
+        for &part in &self.partition.assignment {
+            put_u32(&mut p, part);
+        }
+        write_section(&mut w, b"PART", &p)?;
+
+        p.clear();
+        put_u64(&mut p, self.stats.messages);
+        put_u64(&mut p, self.stats.bytes);
+        put_f64(&mut p, self.stats.sim_comm_us);
+        put_f64(&mut p, self.stats.sim_compute_us);
+        put_u64(&mut p, self.stats.supersteps);
+        put_u64(&mut p, self.stats.collectives);
+        put_u64(&mut p, self.stats.checkpoints);
+        put_u64(&mut p, self.stats.restores);
+        put_u64(&mut p, self.stats.wall.as_nanos() as u64);
+        write_section(&mut w, b"STAT", &p)?;
+
+        for rs in &self.ranks {
+            p.clear();
+            put_u32(&mut p, rs.rank);
+            for rows in [&rs.local, &rs.cached] {
+                put_u64(&mut p, rows.len() as u64);
+                for (v, row) in rows {
+                    put_u32(&mut p, *v);
+                    put_u64(&mut p, row.len() as u64);
+                    for &d in row {
+                        put_u32(&mut p, d);
+                    }
+                }
+            }
+            for ids in [&rs.dirty, &rs.pending] {
+                put_u64(&mut p, ids.len() as u64);
+                for &v in ids {
+                    put_u32(&mut p, v);
+                }
+            }
+            write_section(&mut w, b"RNKS", &p)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes to an in-memory buffer.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Deserializes from the version-1 binary format, verifying magic,
+    /// version, section structure and every CRC. All failure modes are
+    /// typed [`CheckpointError`]s.
+    pub fn read_from(mut r: impl Read) -> Result<Self, CheckpointError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                CheckpointError::Truncated { section: "header" }
+            } else {
+                CheckpointError::from(e)
+            }
+        })?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let version = read_u32(&mut r, "header")?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let sections = read_u32(&mut r, "header")?;
+
+        let mut meta: Option<EngineMeta> = None;
+        let mut graph: Option<GraphSnapshot> = None;
+        let mut partition: Option<PartitionSnapshot> = None;
+        let mut stats: Option<RunStats> = None;
+        let mut ranks: Vec<RankSnapshot> = Vec::new();
+
+        for _ in 0..sections {
+            let (tag, payload) = read_section(&mut r)?;
+            match &tag {
+                b"META" => {
+                    let mut p = PayloadReader::new(&payload, "META");
+                    let m = EngineMeta {
+                        procs: p.u32()?,
+                        rc_steps: p.u64()?,
+                        rr_cursor: p.u64()?,
+                        changes_applied: p.u64()?,
+                    };
+                    p.finish()?;
+                    if meta.replace(m).is_some() {
+                        return Err(CheckpointError::Malformed("duplicate META section".into()));
+                    }
+                }
+                b"GRPH" => {
+                    let mut p = PayloadReader::new(&payload, "GRPH");
+                    let num_vertices = p.u64()?;
+                    let m = p.len_prefix(12)?;
+                    let mut edges = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        edges.push((p.u32()?, p.u32()?, p.u32()?));
+                    }
+                    p.finish()?;
+                    if graph.replace(GraphSnapshot { num_vertices, edges }).is_some() {
+                        return Err(CheckpointError::Malformed("duplicate GRPH section".into()));
+                    }
+                }
+                b"PART" => {
+                    let mut p = PayloadReader::new(&payload, "PART");
+                    let k = p.u32()?;
+                    let len = p.len_prefix(4)?;
+                    let mut assignment = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        assignment.push(p.u32()?);
+                    }
+                    p.finish()?;
+                    if partition.replace(PartitionSnapshot { k, assignment }).is_some() {
+                        return Err(CheckpointError::Malformed("duplicate PART section".into()));
+                    }
+                }
+                b"STAT" => {
+                    let mut p = PayloadReader::new(&payload, "STAT");
+                    let s = RunStats {
+                        messages: p.u64()?,
+                        bytes: p.u64()?,
+                        sim_comm_us: p.f64()?,
+                        sim_compute_us: p.f64()?,
+                        supersteps: p.u64()?,
+                        collectives: p.u64()?,
+                        checkpoints: p.u64()?,
+                        restores: p.u64()?,
+                        wall: Duration::from_nanos(p.u64()?),
+                    };
+                    p.finish()?;
+                    if stats.replace(s).is_some() {
+                        return Err(CheckpointError::Malformed("duplicate STAT section".into()));
+                    }
+                }
+                b"RNKS" => {
+                    let mut p = PayloadReader::new(&payload, "RNKS");
+                    let rank = p.u32()?;
+                    let read_rows = |p: &mut PayloadReader| -> Result<_, CheckpointError> {
+                        let n = p.len_prefix(12)?;
+                        let mut rows = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let v = p.u32()?;
+                            let len = p.len_prefix(4)?;
+                            let mut row = Vec::with_capacity(len);
+                            for _ in 0..len {
+                                row.push(p.u32()?);
+                            }
+                            rows.push((v, row));
+                        }
+                        Ok(rows)
+                    };
+                    let local = read_rows(&mut p)?;
+                    let cached = read_rows(&mut p)?;
+                    let read_ids = |p: &mut PayloadReader| -> Result<_, CheckpointError> {
+                        let n = p.len_prefix(4)?;
+                        let mut ids = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            ids.push(p.u32()?);
+                        }
+                        Ok(ids)
+                    };
+                    let dirty = read_ids(&mut p)?;
+                    let pending = read_ids(&mut p)?;
+                    p.finish()?;
+                    ranks.push(RankSnapshot { rank, local, cached, dirty, pending });
+                }
+                other => {
+                    return Err(CheckpointError::Malformed(format!(
+                        "unknown section tag {:?}",
+                        String::from_utf8_lossy(other)
+                    )));
+                }
+            }
+        }
+
+        let meta = meta.ok_or_else(|| CheckpointError::Malformed("missing META section".into()))?;
+        let graph =
+            graph.ok_or_else(|| CheckpointError::Malformed("missing GRPH section".into()))?;
+        let partition =
+            partition.ok_or_else(|| CheckpointError::Malformed("missing PART section".into()))?;
+        let stats =
+            stats.ok_or_else(|| CheckpointError::Malformed("missing STAT section".into()))?;
+        if ranks.len() != meta.procs as usize {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {} rank sections for {} procs",
+                ranks.len(),
+                meta.procs
+            )));
+        }
+        // Trailing bytes after the declared sections are corruption.
+        let mut probe = [0u8; 1];
+        match r.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => {
+                return Err(CheckpointError::Malformed("trailing bytes after final section".into()))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Snapshot { meta, graph, partition, stats, ranks })
+    }
+
+    /// Deserializes from an in-memory buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Self::read_from(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            meta: EngineMeta { procs: 2, rc_steps: 5, rr_cursor: 1, changes_applied: 3 },
+            graph: GraphSnapshot { num_vertices: 4, edges: vec![(0, 1, 1), (1, 2, 2), (2, 3, 1)] },
+            partition: PartitionSnapshot { k: 2, assignment: vec![0, 0, 1, 1] },
+            stats: RunStats {
+                messages: 12,
+                bytes: 480,
+                sim_comm_us: 3.5,
+                sim_compute_us: 7.25,
+                supersteps: 6,
+                collectives: 2,
+                checkpoints: 1,
+                restores: 0,
+                wall: Duration::from_micros(1234),
+            },
+            ranks: vec![
+                RankSnapshot {
+                    rank: 0,
+                    local: vec![(0, vec![0, 1, 3, 4]), (1, vec![1, 0, 2, 3])],
+                    cached: vec![(2, vec![3, 2, 0, 1])],
+                    dirty: vec![1],
+                    pending: vec![],
+                },
+                RankSnapshot {
+                    rank: 1,
+                    local: vec![(2, vec![3, 2, 0, 1]), (3, vec![4, 3, 1, 0])],
+                    cached: vec![],
+                    dirty: vec![],
+                    pending: vec![3],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample();
+        let bytes = s.to_bytes().unwrap();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.rank(1).unwrap().local.len(), 2);
+        assert!(back.rank(9).is_none());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::from_bytes(&bytes), Err(CheckpointError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[8] = 99; // version LE byte 0
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let bytes = sample().to_bytes().unwrap();
+        for cut in 0..bytes.len() {
+            match Snapshot::from_bytes(&bytes[..cut]) {
+                Err(CheckpointError::Truncated { .. }) | Err(CheckpointError::Malformed(_)) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_crc_mismatch() {
+        let good = sample().to_bytes().unwrap();
+        // Flip a byte inside the GRPH payload (past header + META section).
+        let mut bytes = good.clone();
+        let idx = bytes.len() / 2;
+        bytes[idx] ^= 0x55;
+        match Snapshot::from_bytes(&bytes) {
+            Ok(s) => assert_eq!(s, sample(), "flip must not silently alter content"),
+            Err(
+                CheckpointError::CrcMismatch { .. }
+                | CheckpointError::Malformed(_)
+                | CheckpointError::Truncated { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes.push(0);
+        assert!(matches!(Snapshot::from_bytes(&bytes), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn row_bytes_accounting() {
+        let s = sample();
+        // Rank 0: 3 rows × (8 + 4·4) = 72.
+        assert_eq!(s.ranks[0].row_bytes(), 72);
+    }
+}

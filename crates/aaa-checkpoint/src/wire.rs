@@ -1,0 +1,235 @@
+//! Little-endian wire primitives and the length-prefixed, CRC-protected
+//! section framing. Every read threads the current section name so a short
+//! read becomes a precise [`CheckpointError::Truncated`].
+
+use crate::crc32;
+use crate::error::CheckpointError;
+use std::io::{Read, Write};
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+pub fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+pub fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Writes one framed section: tag, length, payload, CRC.
+pub fn write_section(
+    w: &mut impl Write,
+    tag: &[u8; 4],
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
+    w.write_all(tag)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+fn read_exact(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated { section }
+        } else {
+            e.into()
+        }
+    })
+}
+
+pub fn read_u32(r: &mut impl Read, section: &'static str) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, section)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub fn read_u64(r: &mut impl Read, section: &'static str) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, section)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub fn read_bytes(
+    r: &mut impl Read,
+    n: usize,
+    section: &'static str,
+) -> Result<Vec<u8>, CheckpointError> {
+    let mut buf = vec![0u8; n];
+    read_exact(r, &mut buf, section)?;
+    Ok(buf)
+}
+
+/// Reads one framed section, verifying its CRC. Returns (tag, payload).
+pub fn read_section(r: &mut impl Read) -> Result<([u8; 4], Vec<u8>), CheckpointError> {
+    let mut tag = [0u8; 4];
+    read_exact(r, &mut tag, "section header")?;
+    let len = read_u64(r, "section header")?;
+    // An impossible length means corruption — fail before trying (and
+    // plausibly OOM-ing) to allocate it.
+    if len > MAX_SECTION_BYTES {
+        return Err(CheckpointError::Malformed(format!(
+            "section {} declares {len} bytes (limit {MAX_SECTION_BYTES})",
+            String::from_utf8_lossy(&tag)
+        )));
+    }
+    let payload = read_bytes(r, len as usize, "section payload")?;
+    let stored = read_u32(r, "section crc")?;
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(CheckpointError::CrcMismatch {
+            section: String::from_utf8_lossy(&tag).into_owned(),
+            stored,
+            computed,
+        });
+    }
+    Ok((tag, payload))
+}
+
+/// Hard ceiling on a single section's payload (16 GiB) — far above any real
+/// snapshot, low enough to reject garbage lengths from corrupted headers.
+const MAX_SECTION_BYTES: u64 = 16 << 30;
+
+/// Cursor over a section payload for field-level decoding.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Self { buf, pos: 0, section }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated { section: self.section });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `u64` length prefix validated against the bytes actually left
+    /// (each element needs at least `elem_bytes`), so corrupted counts fail
+    /// as truncation instead of huge allocations.
+    pub fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(elem_bytes).is_none_or(|total| self.pos + total > self.buf.len()) {
+            return Err(CheckpointError::Truncated { section: self.section });
+        }
+        Ok(n)
+    }
+
+    /// True when every byte has been consumed — sections must not carry
+    /// trailing garbage.
+    pub fn finish(&self) -> Result<(), CheckpointError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Malformed(format!(
+                "section {}: {} trailing bytes",
+                self.section,
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_roundtrip() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"TEST", &[1, 2, 3, 4, 5]).unwrap();
+        let (tag, payload) = read_section(&mut buf.as_slice()).unwrap();
+        assert_eq!(&tag, b"TEST");
+        assert_eq!(payload, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn corrupted_payload_is_crc_mismatch() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"TEST", &[9u8; 16]).unwrap();
+        buf[13] ^= 0xFF; // inside payload
+        match read_section(&mut buf.as_slice()) {
+            Err(CheckpointError::CrcMismatch { section, .. }) => assert_eq!(section, "TEST"),
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"TEST", &[7u8; 32]).unwrap();
+        for cut in [1, 5, 13, buf.len() - 1] {
+            let err = read_section(&mut buf[..cut].as_ref()).unwrap_err();
+            assert!(matches!(err, CheckpointError::Truncated { .. }), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TEST");
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_section(&mut buf.as_slice()), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn payload_reader_guards_lengths_and_trailing() {
+        let mut p = Vec::new();
+        put_u32(&mut p, 7);
+        put_u64(&mut p, 2);
+        put_u32(&mut p, 10);
+        put_u32(&mut p, 20);
+        let mut r = PayloadReader::new(&p, "TEST");
+        assert_eq!(r.u32().unwrap(), 7);
+        let n = r.len_prefix(4).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(r.u32().unwrap(), 10);
+        assert_eq!(r.u32().unwrap(), 20);
+        r.finish().unwrap();
+
+        // A count larger than the remaining bytes is truncation.
+        let mut bad = Vec::new();
+        put_u64(&mut bad, 1000);
+        let mut r = PayloadReader::new(&bad, "TEST");
+        assert!(matches!(r.len_prefix(4), Err(CheckpointError::Truncated { .. })));
+
+        // Trailing bytes are malformed.
+        let mut r = PayloadReader::new(&p, "TEST");
+        r.u32().unwrap();
+        assert!(matches!(r.finish(), Err(CheckpointError::Malformed(_))));
+    }
+}

@@ -8,7 +8,10 @@ use aaa_runtime::RunStats;
 
 /// One from-scratch run: DD + IA + RC to convergence on the given graph.
 /// Returns the closeness values and the run's cost.
-pub fn restart_run(graph: &AdjGraph, config: &EngineConfig) -> Result<(Vec<f64>, RunStats), CoreError> {
+pub fn restart_run(
+    graph: &AdjGraph,
+    config: &EngineConfig,
+) -> Result<(Vec<f64>, RunStats), CoreError> {
     let mut engine = AnytimeEngine::new(graph.clone(), config.clone())?;
     engine.run_to_convergence();
     let closeness = engine.closeness();

@@ -112,9 +112,20 @@ pub enum DynamicChange {
     /// Logical vertex deletion (the paper's stated future work): the ids
     /// stay valid but lose all incident edges.
     RemoveVertices(Vec<VertexId>),
-    AddEdge { u: VertexId, v: VertexId, w: Weight },
-    RemoveEdge { u: VertexId, v: VertexId },
-    SetWeight { u: VertexId, v: VertexId, w: Weight },
+    AddEdge {
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    },
+    RemoveEdge {
+        u: VertexId,
+        v: VertexId,
+    },
+    SetWeight {
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -187,15 +198,13 @@ impl Default for CommunityBatchParams {
 ///
 /// Returns the batch plus the recovered community label per batch vertex
 /// (used by tests and by the Figure 7 harness).
-pub fn community_batch(existing: &AdjGraph, params: &CommunityBatchParams) -> (VertexBatch, Vec<u32>) {
+pub fn community_batch(
+    existing: &AdjGraph,
+    params: &CommunityBatchParams,
+) -> (VertexBatch, Vec<u32>) {
     let communities = (params.count / params.community_size.max(1)).max(1);
     let size = params.count.div_ceil(communities);
-    let model = PlantedPartition {
-        communities,
-        size,
-        p_in: params.p_in,
-        p_out: params.p_out,
-    };
+    let model = PlantedPartition { communities, size, p_in: params.p_in, p_out: params.p_out };
     let (donor, _) = planted_partition(&model, WeightModel::Unit, params.seed)
         .expect("donor model parameters are valid by construction");
     let assignment = louvain(&donor, &LouvainConfig { seed: params.seed, ..Default::default() });
@@ -212,7 +221,8 @@ pub fn community_batch(existing: &AdjGraph, params: &CommunityBatchParams) -> (V
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0x9E3779B97F4A7C15));
     let n_existing = existing.num_vertices();
     let base = n_existing as VertexId;
-    let mut vertices: Vec<NewVertex> = (0..params.count).map(|_| NewVertex { edges: vec![] }).collect();
+    let mut vertices: Vec<NewVertex> =
+        (0..params.count).map(|_| NewVertex { edges: vec![] }).collect();
     // Internal edges: donor edges between two kept vertices, attached to the
     // lower-indexed endpoint so each appears once.
     for (u, v, w) in donor.edges() {
@@ -252,7 +262,12 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_batches() {
-        let ok = VertexBatch { vertices: vec![NewVertex { edges: vec![(0, 1), (101, 2)] }, NewVertex { edges: vec![] }] };
+        let ok = VertexBatch {
+            vertices: vec![
+                NewVertex { edges: vec![(0, 1), (101, 2)] },
+                NewVertex { edges: vec![] },
+            ],
+        };
         ok.validate(100).unwrap();
         let oob = VertexBatch { vertices: vec![NewVertex { edges: vec![(102, 1)] }] };
         assert!(oob.validate(100).is_err());
@@ -261,7 +276,10 @@ mod tests {
         let zero = VertexBatch { vertices: vec![NewVertex { edges: vec![(0, 0)] }] };
         assert!(zero.validate(100).is_err());
         let dup = VertexBatch {
-            vertices: vec![NewVertex { edges: vec![(101, 1)] }, NewVertex { edges: vec![(100, 1)] }],
+            vertices: vec![
+                NewVertex { edges: vec![(101, 1)] },
+                NewVertex { edges: vec![(100, 1)] },
+            ],
         };
         assert!(dup.validate(100).is_err());
     }
@@ -269,7 +287,10 @@ mod tests {
     #[test]
     fn global_and_internal_edges() {
         let b = VertexBatch {
-            vertices: vec![NewVertex { edges: vec![(5, 2)] }, NewVertex { edges: vec![(10, 3), (9, 1)] }],
+            vertices: vec![
+                NewVertex { edges: vec![(5, 2)] },
+                NewVertex { edges: vec![(10, 3), (9, 1)] },
+            ],
         };
         let g = b.global_edges(10);
         assert_eq!(g, vec![(10, 5, 2), (11, 10, 3), (11, 9, 1)]);
@@ -297,12 +318,8 @@ mod tests {
         let g = base_graph();
         let hub = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.degree(v)).unwrap();
         let b = preferential_batch(&g, 200, 2, 3);
-        let hits = b
-            .vertices
-            .iter()
-            .flat_map(|nv| nv.edges.iter())
-            .filter(|&&(t, _)| t == hub)
-            .count();
+        let hits =
+            b.vertices.iter().flat_map(|nv| nv.edges.iter()).filter(|&&(t, _)| t == hub).count();
         // Expected hits ≈ 400 × deg(hub)/(2E + n) ≫ 400/n ≈ 4 uniform hits.
         assert!(hits >= 8, "hub only hit {hits} times");
     }
@@ -310,7 +327,8 @@ mod tests {
     #[test]
     fn community_batch_has_internal_structure() {
         let g = base_graph();
-        let params = CommunityBatchParams { count: 80, community_size: 20, seed: 3, ..Default::default() };
+        let params =
+            CommunityBatchParams { count: 80, community_size: 20, seed: 3, ..Default::default() };
         let (b, labels) = community_batch(&g, &params);
         assert_eq!(b.len(), 80);
         assert_eq!(labels.len(), 80);
@@ -318,11 +336,13 @@ mod tests {
         let internal = b.internal_edges(g.num_vertices() as VertexId);
         assert!(!internal.is_empty());
         // Most internal edges stay within a recovered community.
-        let same = internal
-            .iter()
-            .filter(|&&(a, b, _)| labels[a as usize] == labels[b as usize])
-            .count();
-        assert!(same * 2 > internal.len(), "{same} of {} internal edges intra-community", internal.len());
+        let same =
+            internal.iter().filter(|&&(a, b, _)| labels[a as usize] == labels[b as usize]).count();
+        assert!(
+            same * 2 > internal.len(),
+            "{same} of {} internal edges intra-community",
+            internal.len()
+        );
         // Every vertex attaches to the existing graph.
         for nv in &b.vertices {
             assert!(nv.edges.iter().any(|&(t, _)| (t as usize) < g.num_vertices()));

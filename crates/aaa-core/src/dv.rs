@@ -78,10 +78,7 @@ impl DvStore {
 
     /// Read a row: local first, then cached. `None` if unknown here.
     pub fn row(&self, v: VertexId) -> Option<&[Dist]> {
-        self.local
-            .get(&v)
-            .or_else(|| self.cached.get(&v))
-            .map(|r| r.as_slice())
+        self.local.get(&v).or_else(|| self.cached.get(&v)).map(|r| r.as_slice())
     }
 
     /// Read a local row.
@@ -103,8 +100,7 @@ impl DvStore {
 
     /// Ids of every row available here (local + cached), sorted.
     pub fn all_ids_sorted(&self) -> Vec<VertexId> {
-        let mut ids: Vec<VertexId> =
-            self.local.keys().chain(self.cached.keys()).copied().collect();
+        let mut ids: Vec<VertexId> = self.local.keys().chain(self.cached.keys()).copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -199,6 +195,49 @@ impl DvStore {
     /// Memory the rows occupy, in bytes (diagnostics).
     pub fn memory_bytes(&self) -> usize {
         (self.local.len() + self.cached.len()) * self.n * std::mem::size_of::<Dist>()
+    }
+
+    // --------------------------------------------------------------------
+    // Checkpoint support
+    // --------------------------------------------------------------------
+
+    /// Clones every local row, sorted by vertex id (deterministic snapshot
+    /// order).
+    pub fn export_local_sorted(&self) -> Vec<(VertexId, Vec<Dist>)> {
+        let mut rows: Vec<(VertexId, Vec<Dist>)> =
+            self.local.iter().map(|(&v, r)| (v, r.clone())).collect();
+        rows.sort_unstable_by_key(|&(v, _)| v);
+        rows
+    }
+
+    /// Clones every cached external row, sorted by vertex id.
+    pub fn export_cached_sorted(&self) -> Vec<(VertexId, Vec<Dist>)> {
+        let mut rows: Vec<(VertexId, Vec<Dist>)> =
+            self.cached.iter().map(|(&v, r)| (v, r.clone())).collect();
+        rows.sort_unstable_by_key(|&(v, _)| v);
+        rows
+    }
+
+    /// The dirty set, sorted, without draining it (snapshots must not
+    /// perturb the RC phase).
+    pub fn dirty_sorted(&self) -> Vec<VertexId> {
+        let mut ids: Vec<VertexId> = self.dirty.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Installs a cached external row verbatim (restore path; rows shorter
+    /// than the current column count are padded with `INF`).
+    pub fn install_cached(&mut self, v: VertexId, mut row: Vec<Dist>) {
+        debug_assert!(!self.local.contains_key(&v), "cached install of local row {v}");
+        row.resize(self.n, INF);
+        self.cached.insert(v, row);
+    }
+
+    /// Clears the dirty set (restore path: the snapshot's dirty mask is
+    /// installed exactly, replacing whatever construction left behind).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 }
 
@@ -301,6 +340,41 @@ mod tests {
         let row = dv.remove_local(1).unwrap();
         assert_eq!(row, vec![8, 0, 8]);
         assert!(!dv.has_dirty());
+    }
+
+    #[test]
+    fn export_and_reinstall_roundtrip() {
+        let mut dv = DvStore::new(3);
+        dv.add_local_row(2);
+        dv.add_local_row(0);
+        dv.min_merge_local(0, &[0, 4, 7]);
+        dv.min_merge_cached(1, &[9, 0, 9]);
+        dv.take_dirty_sorted();
+        dv.mark_dirty(0);
+
+        let local = dv.export_local_sorted();
+        let cached = dv.export_cached_sorted();
+        let dirty = dv.dirty_sorted();
+        assert_eq!(local.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(cached.len(), 1);
+        assert_eq!(dirty, vec![0]);
+        // Export does not drain dirt.
+        assert!(dv.has_dirty());
+
+        let mut fresh = DvStore::new(3);
+        for (v, row) in local {
+            fresh.install_local(v, row, false);
+        }
+        for (v, row) in cached {
+            fresh.install_cached(v, row);
+        }
+        fresh.clear_dirty();
+        for v in dirty {
+            fresh.mark_dirty(v);
+        }
+        assert_eq!(fresh.row(0).unwrap(), dv.row(0).unwrap());
+        assert_eq!(fresh.row(1).unwrap(), dv.row(1).unwrap());
+        assert_eq!(fresh.dirty_sorted(), dv.dirty_sorted());
     }
 
     #[test]

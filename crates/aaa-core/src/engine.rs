@@ -6,27 +6,40 @@ use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
 use crate::rank::{GrowMsg, RankState, RowMsg};
 use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
+use aaa_checkpoint::{
+    CheckpointError, CheckpointPolicy, EngineMeta, GraphSnapshot, PartitionSnapshot, RankSnapshot,
+    Snapshot,
+};
 use aaa_graph::apsp::DistMatrix;
 use aaa_graph::{AdjGraph, PartId, VertexId, Weight};
-use aaa_partition::simple::{BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner};
+use aaa_partition::simple::{
+    BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
+};
 use aaa_partition::{MultilevelPartitioner, Partition, Partitioner};
-use aaa_runtime::{Cluster, ClusterConfig, RunStats};
+use aaa_runtime::{Cluster, ClusterConfig, FaultPlan, RunStats};
+use std::io::{Read, Write};
 
 /// Which partitioner the domain-decomposition phase uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DdPartitioner {
     /// Multilevel k-way (the METIS-substitute; the paper's choice).
-    Multilevel { seed: u64 },
+    Multilevel {
+        seed: u64,
+    },
     Block,
     RoundRobin,
     Hash,
-    Random { seed: u64 },
+    Random {
+        seed: u64,
+    },
 }
 
 impl DdPartitioner {
     fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, CoreError> {
         let p = match *self {
-            DdPartitioner::Multilevel { seed } => MultilevelPartitioner::seeded(seed).partition(g, k),
+            DdPartitioner::Multilevel { seed } => {
+                MultilevelPartitioner::seeded(seed).partition(g, k)
+            }
             DdPartitioner::Block => BlockPartitioner.partition(g, k),
             DdPartitioner::RoundRobin => RoundRobinPartitioner.partition(g, k),
             DdPartitioner::Hash => HashPartitioner.partition(g, k),
@@ -100,6 +113,7 @@ pub struct AnytimeEngine {
     config: EngineConfig,
     rc_steps: usize,
     rr_cursor: usize,
+    changes_applied: u64,
 }
 
 impl AnytimeEngine {
@@ -121,7 +135,15 @@ impl AnytimeEngine {
         cluster.charge_compute_us(dd_us);
         // IA phase: per-source Dijkstra inside every rank's sub-graph.
         cluster.step(|_, s| s.initial_approximation());
-        Ok(Self { graph, partition, cluster, config, rc_steps: 0, rr_cursor: 0 })
+        Ok(Self {
+            graph,
+            partition,
+            cluster,
+            config,
+            rc_steps: 0,
+            rr_cursor: 0,
+            changes_applied: 0,
+        })
     }
 
     /// Number of processors.
@@ -144,6 +166,13 @@ impl AnytimeEngine {
         self.rc_steps
     }
 
+    /// Dynamic changes successfully applied so far — the change-stream
+    /// cursor captured in snapshots, so a resumed consumer knows where to
+    /// continue in its change log.
+    pub fn changes_applied(&self) -> u64 {
+        self.changes_applied
+    }
+
     /// Accumulated runtime statistics (traffic, simulated time, wall time).
     pub fn stats(&self) -> RunStats {
         *self.cluster.stats()
@@ -160,8 +189,7 @@ impl AnytimeEngine {
             |_, s, inbox| s.consume_rc_messages(inbox),
         );
         self.rc_steps += 1;
-        self.cluster
-            .allreduce_or(|_, s| s.last_sent || s.last_changed || s.has_dirty())
+        self.cluster.allreduce_or(|_, s| s.last_sent || s.last_changed || s.has_dirty())
     }
 
     /// Runs RC steps until no processor has updates left (or the safety
@@ -242,11 +270,11 @@ impl AnytimeEngine {
         batch.validate(self.graph.num_vertices())?;
         let base = self.graph.num_vertices() as VertexId;
         match strategy {
-            AssignStrategy::Repartition { seed } => self.apply_repartition(batch, seed),
+            AssignStrategy::Repartition { seed } => self.apply_repartition(batch, seed)?,
             AssignStrategy::RoundRobin => {
                 let owners = round_robin_assign(batch.len(), self.config.procs, self.rr_cursor);
                 self.rr_cursor = (self.rr_cursor + batch.len()) % self.config.procs;
-                self.apply_anywhere(batch, base, owners)
+                self.apply_anywhere(batch, base, owners)?;
             }
             AssignStrategy::CutEdge { seed, tries } => {
                 // CutEdge-PS partitions the new-vertex graph (serial METIS
@@ -256,9 +284,11 @@ impl AnytimeEngine {
                 let started = std::time::Instant::now();
                 let owners = cut_edge_assign(batch, base, self.config.procs, seed, tries)?;
                 self.cluster.charge_compute_us(started.elapsed().as_secs_f64() * 1e6);
-                self.apply_anywhere(batch, base, owners)
+                self.apply_anywhere(batch, base, owners)?;
             }
         }
+        self.changes_applied += 1;
+        Ok(())
     }
 
     /// Vertex additions with constraint-driven strategy selection
@@ -294,8 +324,7 @@ impl AnytimeEngine {
 
         // Announce the batch (owners + edges) to every rank.
         let msg = GrowMsg { base, owners, edges: edges.clone() };
-        self.cluster
-            .broadcast(0, move |_| msg, GrowMsg::size_bytes, |_, s, m| s.grow(m));
+        self.cluster.broadcast(0, move |_| msg, GrowMsg::size_bytes, |_, s, m| s.grow(m));
 
         // Fig. 3 main loop: per edge, broadcast the endpoint rows from
         // their owners (tree broadcast) and run the add-edge relaxation on
@@ -351,7 +380,8 @@ impl AnytimeEngine {
         // The whole-graph repartitioning is the strategy's main cost
         // (parallel ParMETIS in the paper) — charge its compute time.
         let started = std::time::Instant::now();
-        let new_part = MultilevelPartitioner::seeded(seed).partition(&self.graph, self.config.procs)?;
+        let new_part =
+            MultilevelPartitioner::seeded(seed).partition(&self.graph, self.config.procs)?;
         self.cluster.charge_compute_us(started.elapsed().as_secs_f64() * 1e6);
         let assignment: Vec<PartId> = new_part.assignment().to_vec();
 
@@ -418,6 +448,7 @@ impl AnytimeEngine {
             },
         );
         self.partial_restart();
+        self.changes_applied += 1;
         Ok(())
     }
 
@@ -432,13 +463,19 @@ impl AnytimeEngine {
             |_, s, &(a, b, w)| s.record_edge(a, b, w),
         );
         self.relax_single_edge(u, v, w);
+        self.changes_applied += 1;
         Ok(())
     }
 
     /// Dynamic edge-weight change (companion algorithm [7]). A decrease is
     /// a relaxation; an increase invalidates shortest paths and triggers
     /// the partial restart shared with deletion.
-    pub fn set_edge_weight(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), CoreError> {
+    pub fn set_edge_weight(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<(), CoreError> {
         let old = self
             .graph
             .edge_weight(u, v)
@@ -455,6 +492,7 @@ impl AnytimeEngine {
         } else if w > old {
             self.partial_restart();
         }
+        self.changes_applied += 1;
         Ok(())
     }
 
@@ -465,9 +503,9 @@ impl AnytimeEngine {
     /// structure rather than the stale distances.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), CoreError> {
         self.graph.remove_edge(u, v)?;
-        self.cluster
-            .broadcast(0, move |_| (u, v), |_| 8, |_, s, &(a, b)| s.erase_edge(a, b));
+        self.cluster.broadcast(0, move |_| (u, v), |_| 8, |_, s, &(a, b)| s.erase_edge(a, b));
         self.partial_restart();
+        self.changes_applied += 1;
         Ok(())
     }
 
@@ -495,5 +533,200 @@ impl AnytimeEngine {
 
     fn partial_restart(&mut self) {
         self.cluster.step(|_, s| s.recompute_from_scratch());
+    }
+
+    // ----------------------------------------------------------------
+    // Checkpoint & recovery (anytime persistence)
+    // ----------------------------------------------------------------
+
+    /// Captures the engine's complete state as an in-memory [`Snapshot`]:
+    /// graph, partition, per-rank DV matrices with dirty masks, RC step
+    /// counter, change-stream cursor, and run statistics. Must be called
+    /// at a superstep barrier (i.e. between `rc_step`s / `apply_*`s),
+    /// which every public entry point guarantees.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.cluster.record_checkpoint();
+        let ranks: Vec<RankSnapshot> =
+            self.cluster.ranks_mut().iter().map(|s| s.to_snapshot()).collect();
+        Snapshot {
+            meta: EngineMeta {
+                procs: self.config.procs as u32,
+                rc_steps: self.rc_steps as u64,
+                rr_cursor: self.rr_cursor as u64,
+                changes_applied: self.changes_applied,
+            },
+            graph: GraphSnapshot {
+                num_vertices: self.graph.num_vertices() as u64,
+                edges: self.graph.edges().collect(),
+            },
+            partition: PartitionSnapshot {
+                k: self.config.procs as u32,
+                assignment: self.partition.assignment().to_vec(),
+            },
+            stats: *self.cluster.stats(),
+            ranks,
+        }
+    }
+
+    /// Serializes a snapshot of the engine into `w` using the versioned
+    /// binary format (see the `aaa-checkpoint` crate docs).
+    pub fn checkpoint(&mut self, w: impl Write) -> Result<(), CoreError> {
+        self.snapshot().write_to(w)?;
+        Ok(())
+    }
+
+    /// [`AnytimeEngine::checkpoint`] into a byte buffer.
+    pub fn checkpoint_bytes(&mut self) -> Result<Vec<u8>, CoreError> {
+        Ok(self.snapshot().to_bytes()?)
+    }
+
+    /// Reconstructs an engine from a serialized snapshot. The DD and IA
+    /// phases are *not* re-run: ownership and adjacency are rebuilt
+    /// deterministically from the snapshot's graph + partition sections,
+    /// and DV rows come straight from the snapshot, so the restored
+    /// engine resumes exactly where [`AnytimeEngine::checkpoint`] left
+    /// off. `config.procs` must match the snapshot.
+    pub fn restore(r: impl Read, config: EngineConfig) -> Result<Self, CoreError> {
+        let snap = Snapshot::read_from(r)?;
+        Self::from_snapshot(&snap, config)
+    }
+
+    /// [`AnytimeEngine::restore`] from an in-memory [`Snapshot`].
+    pub fn from_snapshot(snap: &Snapshot, config: EngineConfig) -> Result<Self, CoreError> {
+        if config.procs != snap.meta.procs as usize {
+            return Err(CoreError::Config(format!(
+                "snapshot was taken with {} procs but config requests {}",
+                snap.meta.procs, config.procs
+            )));
+        }
+        if snap.partition.assignment.len() as u64 != snap.graph.num_vertices {
+            return Err(CoreError::Checkpoint(CheckpointError::Malformed(format!(
+                "partition covers {} vertices but graph has {}",
+                snap.partition.assignment.len(),
+                snap.graph.num_vertices
+            ))));
+        }
+        let mut graph = AdjGraph::with_vertices(snap.graph.num_vertices as usize);
+        for &(u, v, w) in &snap.graph.edges {
+            graph.add_edge(u, v, w)?;
+        }
+        let partition =
+            Partition::new(snap.partition.assignment.clone(), snap.partition.k as usize)?;
+        let owner: Vec<PartId> = partition.assignment().to_vec();
+        let mut states: Vec<RankState> = (0..config.procs)
+            .map(|r| RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec()))
+            .collect();
+        for (r, s) in states.iter_mut().enumerate() {
+            if let Some(rs) = snap.rank(r) {
+                s.restore_from_snapshot(rs);
+            }
+        }
+        let mut cluster = Cluster::new(states, config.cluster);
+        cluster.restore_stats(snap.stats);
+        cluster.record_restore();
+        Ok(Self {
+            graph,
+            partition,
+            cluster,
+            config,
+            rc_steps: snap.meta.rc_steps as usize,
+            rr_cursor: snap.meta.rr_cursor as usize,
+            changes_applied: snap.meta.changes_applied,
+        })
+    }
+
+    /// Arms the fault injector: the chosen rank "dies" at the barrier
+    /// before the chosen superstep, surfacing as
+    /// [`aaa_runtime::ClusterError::RankFailed`] from the `_checked`
+    /// stepping entry points.
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.cluster.inject_fault(plan);
+    }
+
+    /// The armed fault, if any (it is consumed when it fires).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.cluster.fault_plan()
+    }
+
+    /// [`AnytimeEngine::rc_step`] with fault detection: returns
+    /// `Err(CoreError::Cluster(RankFailed))` if the armed fault fires at
+    /// this barrier, leaving the engine intact so the caller can recover
+    /// the failed rank via [`AnytimeEngine::recover_rank`] and resume.
+    pub fn rc_step_checked(&mut self) -> Result<bool, CoreError> {
+        self.cluster.poll_fault()?;
+        Ok(self.rc_step())
+    }
+
+    /// Fault-aware [`AnytimeEngine::run_to_convergence`].
+    pub fn run_to_convergence_checked(&mut self) -> Result<ConvergenceSummary, CoreError> {
+        self.run_to_convergence_checkpointed(CheckpointPolicy::Manual, |_| {})
+    }
+
+    /// Runs RC to convergence, handing serialized snapshots to `sink`
+    /// whenever `policy` says one is due. Snapshots are taken at the
+    /// superstep barrier after an RC step, where rank state is globally
+    /// consistent. Fault-aware like [`AnytimeEngine::rc_step_checked`].
+    pub fn run_to_convergence_checkpointed(
+        &mut self,
+        policy: CheckpointPolicy,
+        mut sink: impl FnMut(&[u8]),
+    ) -> Result<ConvergenceSummary, CoreError> {
+        let mut steps = 0;
+        while steps < self.config.max_rc_steps {
+            steps += 1;
+            let more = self.rc_step_checked()?;
+            if policy.due_after_rc_step(self.rc_steps) {
+                let bytes = self.checkpoint_bytes()?;
+                sink(&bytes);
+            }
+            if !more {
+                return Ok(ConvergenceSummary { steps, converged: true });
+            }
+        }
+        Ok(ConvergenceSummary { steps, converged: false })
+    }
+
+    /// Rebuilds a failed rank from the last checkpoint and re-enters RC.
+    ///
+    /// The failed rank's state is reconstructed from the *current* graph
+    /// and partition (ownership/adjacency are derivable), re-seeded with
+    /// the local-subgraph Dijkstra bounds, and then overlaid with the
+    /// snapshot's rows for that rank — each an upper bound on the true
+    /// distance, since DV entries only ever decrease. Every rank then
+    /// marks all rows for resend, so subsequent RC steps min-merge the
+    /// recovered rank back to the same unique fixed point (replay
+    /// safety). The snapshot may be older than the failure point (j ≤ k):
+    /// monotonicity makes replaying the gap safe, just not free.
+    pub fn recover_rank(&mut self, rank: usize, snap: &Snapshot) -> Result<(), CoreError> {
+        if rank >= self.config.procs {
+            return Err(CoreError::Config(format!(
+                "cannot recover rank {rank}: engine has {} ranks",
+                self.config.procs
+            )));
+        }
+        if snap.meta.procs as usize != self.config.procs {
+            return Err(CoreError::Config(format!(
+                "snapshot has {} ranks but engine has {}",
+                snap.meta.procs, self.config.procs
+            )));
+        }
+        let started = std::time::Instant::now();
+        let owner: Vec<PartId> = self.partition.assignment().to_vec();
+        let graph = &self.graph;
+        let mut fresh = RankState::build(rank, owner, |v| graph.neighbors(v).to_vec());
+        fresh.initial_approximation();
+        if let Some(rs) = snap.rank(rank) {
+            // Merge, don't replace: the snapshot may predate edges the IA
+            // pass just learned about (see `absorb_snapshot`).
+            fresh.absorb_snapshot(rs);
+        }
+        let rebuild_us = started.elapsed().as_secs_f64() * 1e6;
+        self.cluster.ranks_mut()[rank] = fresh;
+        // The rebuild is real recovery work — charge it to the cluster
+        // clock — and the resend pass below is a priced superstep.
+        self.cluster.charge_compute_us(rebuild_us);
+        self.cluster.step(|_, s| s.mark_all_for_resend());
+        self.cluster.record_restore();
+        Ok(())
     }
 }

@@ -1,7 +1,9 @@
 //! Typed errors for the engine.
 
+use aaa_checkpoint::CheckpointError;
 use aaa_graph::GraphError;
 use aaa_partition::PartitionError;
+use aaa_runtime::ClusterError;
 use std::fmt;
 
 /// Errors produced by engine construction or dynamic updates.
@@ -15,6 +17,10 @@ pub enum CoreError {
     Config(String),
     /// A dynamic change referenced data that does not exist.
     InvalidChange(String),
+    /// A rank failed at a superstep barrier (fault injection / recovery).
+    Cluster(ClusterError),
+    /// A snapshot could not be written or read back.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +30,8 @@ impl fmt::Display for CoreError {
             CoreError::Partition(e) => write!(f, "partition error: {e}"),
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
             CoreError::InvalidChange(m) => write!(f, "invalid dynamic change: {m}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -42,6 +50,18 @@ impl From<PartitionError> for CoreError {
     }
 }
 
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<CheckpointError> for CoreError {
+    fn from(e: CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +74,9 @@ mod tests {
         assert!(e.to_string().contains("at least one part"));
         let e = CoreError::Config("procs = 0".into());
         assert!(e.to_string().contains("procs = 0"));
+        let e: CoreError = ClusterError::RankFailed { rank: 3, superstep: 7 }.into();
+        assert!(e.to_string().contains("rank 3"));
+        let e: CoreError = CheckpointError::Truncated { section: "META" }.into();
+        assert!(e.to_string().contains("META"));
     }
 }

@@ -15,7 +15,12 @@
 //! * the **Baseline Restart** comparator ([`baseline`]);
 //! * the companion dynamic-edge strategies (additions [9], deletions [10],
 //!   weight changes [7]) as engine methods;
-//! * anytime-quality instrumentation ([`quality`]).
+//! * anytime-quality instrumentation ([`quality`]);
+//! * **anytime persistence** — [`AnytimeEngine::checkpoint`] /
+//!   [`AnytimeEngine::restore`] snapshots at superstep barriers, policies
+//!   ([`CheckpointPolicy`]), and rank-failure recovery
+//!   ([`AnytimeEngine::recover_rank`]) built on the `aaa-checkpoint`
+//!   snapshot format.
 //!
 //! ```
 //! use aaa_core::{AnytimeEngine, EngineConfig, AssignStrategy};
@@ -43,6 +48,8 @@ pub mod quality;
 pub mod rank;
 pub mod strategies;
 
+pub use aaa_checkpoint::{CheckpointError, CheckpointPolicy, Snapshot};
+pub use aaa_runtime::{ClusterError, FaultPlan};
 pub use changes::{DynamicChange, NewVertex, VertexBatch};
 pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig};
 pub use error::CoreError;

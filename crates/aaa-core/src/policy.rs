@@ -52,7 +52,8 @@ impl StrategyPolicy {
         }
         let base = graph_vertices as u32;
         let internal = batch.internal_edges(base).len();
-        if !batch.is_empty() && internal as f64 / batch.len() as f64 >= self.cutedge_internal_ratio {
+        if !batch.is_empty() && internal as f64 / batch.len() as f64 >= self.cutedge_internal_ratio
+        {
             AssignStrategy::CutEdge { seed: self.seed, tries: self.cutedge_tries }
         } else {
             AssignStrategy::RoundRobin
@@ -68,7 +69,8 @@ mod tests {
     #[allow(clippy::needless_range_loop)]
     fn batch_with_internal(count: usize, internal_edges: usize) -> VertexBatch {
         let base = 1000u32; // callers use graph_vertices = 1000
-        let mut vertices: Vec<NewVertex> = (0..count).map(|_| NewVertex { edges: vec![] }).collect();
+        let mut vertices: Vec<NewVertex> =
+            (0..count).map(|_| NewVertex { edges: vec![] }).collect();
         let mut placed = 0;
         'outer: for i in 1..count {
             for j in 0..i {
@@ -86,20 +88,14 @@ mod tests {
     fn large_batches_repartition() {
         let policy = StrategyPolicy::default();
         let batch = batch_with_internal(100, 0);
-        assert!(matches!(
-            policy.choose(&batch, 1000),
-            AssignStrategy::Repartition { .. }
-        ));
+        assert!(matches!(policy.choose(&batch, 1000), AssignStrategy::Repartition { .. }));
     }
 
     #[test]
     fn small_structured_batches_use_cutedge() {
         let policy = StrategyPolicy::default();
         let batch = batch_with_internal(20, 30);
-        assert!(matches!(
-            policy.choose(&batch, 1000),
-            AssignStrategy::CutEdge { .. }
-        ));
+        assert!(matches!(policy.choose(&batch, 1000), AssignStrategy::CutEdge { .. }));
     }
 
     #[test]
@@ -120,11 +116,12 @@ mod tests {
     fn thresholds_are_respected() {
         let strict = StrategyPolicy { repartition_fraction: 0.001, ..Default::default() };
         let batch = batch_with_internal(5, 0);
-        assert!(matches!(
-            strict.choose(&batch, 1000),
-            AssignStrategy::Repartition { .. }
-        ));
-        let lax = StrategyPolicy { repartition_fraction: 1.0, cutedge_internal_ratio: 0.0, ..Default::default() };
+        assert!(matches!(strict.choose(&batch, 1000), AssignStrategy::Repartition { .. }));
+        let lax = StrategyPolicy {
+            repartition_fraction: 1.0,
+            cutedge_internal_ratio: 0.0,
+            ..Default::default()
+        };
         assert!(matches!(lax.choose(&batch, 1000), AssignStrategy::CutEdge { .. }));
     }
 }

@@ -59,9 +59,7 @@ impl QualityTracker {
     /// True if the recorded error never increased — the anytime guarantee
     /// for static graphs (allowing for floating-point jitter).
     pub fn error_is_monotone_nonincreasing(&self) -> bool {
-        self.samples
-            .windows(2)
-            .all(|w| w[1].error <= w[0].error + 1e-9)
+        self.samples.windows(2).all(|w| w[1].error <= w[0].error + 1e-9)
     }
 
     /// The exact closeness values (reference).

@@ -3,6 +3,7 @@
 //! the min-plus relaxation used everywhere, and the dynamic-update hooks.
 
 use crate::dv::DvStore;
+use aaa_checkpoint::RankSnapshot;
 use aaa_graph::{closeness::closeness_from_row, dist_add, Dist, PartId, VertexId, Weight, INF};
 use aaa_runtime::Rank;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -70,9 +71,8 @@ impl RankState {
         adjacency_of: impl Fn(VertexId) -> Vec<(VertexId, Weight)>,
     ) -> Self {
         let n = owner.len();
-        let local: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| owner[v as usize] as usize == rank)
-            .collect();
+        let local: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| owner[v as usize] as usize == rank).collect();
         let mut adj = FxHashMap::default();
         let mut dv = DvStore::new(n);
         for &v in &local {
@@ -181,9 +181,7 @@ impl RankState {
     /// Local sub-graph in dense local indices:
     /// returns (local-index → global id, global id → local index, adjacency).
     #[allow(clippy::type_complexity)]
-    fn local_subgraph(
-        &self,
-    ) -> (Vec<VertexId>, FxHashMap<VertexId, u32>, Vec<Vec<(u32, Weight)>>) {
+    fn local_subgraph(&self) -> (Vec<VertexId>, FxHashMap<VertexId, u32>, Vec<Vec<(u32, Weight)>>) {
         let mut ids: Vec<VertexId> = self.local.clone();
         let mut index_of: FxHashMap<VertexId, u32> = FxHashMap::default();
         for (i, &v) in ids.iter().enumerate() {
@@ -542,9 +540,8 @@ impl RankState {
         self.dv.clear_cache();
         self.gathered.clear();
         self.pending.clear();
-        self.local = (0..n as VertexId)
-            .filter(|&v| self.owner[v as usize] as usize == self.rank)
-            .collect();
+        self.local =
+            (0..n as VertexId).filter(|&v| self.owner[v as usize] as usize == self.rank).collect();
         self.adj.clear();
         for &v in &self.local {
             self.adj.insert(v, adjacency_of(v));
@@ -583,6 +580,92 @@ impl RankState {
     }
 
     // --------------------------------------------------------------------
+    // Checkpoint & recovery
+    // --------------------------------------------------------------------
+
+    /// Captures this rank's DV state for a snapshot. Only row data, the
+    /// dirty mask and pending pivots are captured — ownership and
+    /// adjacency are rebuilt deterministically from the graph + partition
+    /// sections on restore. Broadcast stashes (`gathered`) are never
+    /// captured: snapshots are taken at superstep barriers, where they are
+    /// empty.
+    pub fn to_snapshot(&self) -> RankSnapshot {
+        let mut pending: Vec<VertexId> = self.pending.iter().copied().collect();
+        pending.sort_unstable();
+        RankSnapshot {
+            rank: self.rank as u32,
+            local: self.dv.export_local_sorted(),
+            cached: self.dv.export_cached_sorted(),
+            dirty: self.dv.dirty_sorted(),
+            pending,
+        }
+    }
+
+    /// Installs snapshot rows into a freshly built state — the *exact
+    /// restore* path, where the engine was rebuilt from the snapshot's own
+    /// graph + partition and the rows must come back bit-identical. Rows
+    /// for vertices this rank does not own are skipped; rows shorter than
+    /// the current column count are INF-padded by the store. The dirty
+    /// mask and pending set are installed exactly as captured.
+    ///
+    /// For recovery against a possibly *older* snapshot use
+    /// [`RankState::absorb_snapshot`] instead: replacement here would wipe
+    /// the fresh IA rows' knowledge of edges added after the capture.
+    pub fn restore_from_snapshot(&mut self, snap: &RankSnapshot) {
+        for (v, row) in &snap.local {
+            if self.dv.is_local(*v) {
+                self.dv.install_local(*v, row.clone(), false);
+            }
+        }
+        for (v, row) in &snap.cached {
+            if !self.dv.is_local(*v) {
+                self.dv.install_cached(*v, row.clone());
+            }
+        }
+        self.dv.clear_dirty();
+        for &v in &snap.dirty {
+            if self.dv.is_local(v) {
+                self.dv.mark_dirty(v);
+            }
+        }
+        self.pending.clear();
+        self.pending.extend(snap.pending.iter().copied().filter(|&v| self.dv.is_local(v)));
+        self.gathered.clear();
+        self.last_sent = false;
+        self.last_changed = false;
+    }
+
+    /// Min-merges snapshot rows into the current state — the *rank
+    /// recovery* path. The snapshot may predate the current graph (j ≤ k,
+    /// possibly with dynamic changes in between), so nothing is replaced:
+    /// the freshly recomputed IA rows — which know every edge present
+    /// *now* — survive, and the snapshot contributes wherever its
+    /// distances are better. Both sides are upper bounds on the true
+    /// distances, so the merge is too, and min-merge replay re-converges
+    /// to the same unique fixed point.
+    pub fn absorb_snapshot(&mut self, snap: &RankSnapshot) {
+        for (v, row) in &snap.local {
+            if self.dv.is_local(*v) {
+                self.dv.min_merge_local(*v, row);
+            }
+        }
+        for (v, row) in &snap.cached {
+            if !self.dv.is_local(*v) {
+                self.dv.min_merge_cached(*v, row);
+            }
+        }
+    }
+
+    /// Marks every local row dirty and queues a full local relaxation —
+    /// the recovery kick: after a rank is rebuilt from an older snapshot,
+    /// every rank re-announces its rows so the recovered rank's stale
+    /// entries are overwritten by min-merge on the next RC steps.
+    pub fn mark_all_for_resend(&mut self) {
+        self.dv.mark_all_dirty();
+        self.pending.extend(self.local.iter().copied());
+    }
+
+    // --------------------------------------------------------------------
     // Queries
     // --------------------------------------------------------------------
 
@@ -596,10 +679,7 @@ impl RankState {
 
     /// Clones all local rows (testing / gather).
     pub fn local_rows(&self) -> Vec<(VertexId, Vec<Dist>)> {
-        self.local
-            .iter()
-            .map(|&v| (v, self.dv.local_row(v).expect("local row").to_vec()))
-            .collect()
+        self.local.iter().map(|&v| (v, self.dv.local_row(v).expect("local row").to_vec())).collect()
     }
 }
 

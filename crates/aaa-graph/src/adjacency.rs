@@ -95,7 +95,12 @@ impl AdjGraph {
     /// Adds `(u, v, w)` if absent; if present keeps the smaller weight.
     /// Returns `true` if the graph changed. Used by generators that may
     /// propose the same pair twice.
-    pub fn add_or_min_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<bool, GraphError> {
+    pub fn add_or_min_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<bool, GraphError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
         if u == v {
@@ -157,16 +162,12 @@ impl AdjGraph {
 
     /// True if the edge `(u, v)` exists. O(deg(u)).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adj
-            .get(u as usize)
-            .is_some_and(|l| l.iter().any(|&(t, _)| t == v))
+        self.adj.get(u as usize).is_some_and(|l| l.iter().any(|&(t, _)| t == v))
     }
 
     /// Weight of edge `(u, v)` if present.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.adj
-            .get(u as usize)
-            .and_then(|l| l.iter().find(|&&(t, _)| t == v).map(|&(_, w)| w))
+        self.adj.get(u as usize).and_then(|l| l.iter().find(|&&(t, _)| t == v).map(|&(_, w)| w))
     }
 
     /// Neighbors of `v` with weights. Panics on out-of-range `v`.
@@ -249,7 +250,9 @@ impl AdjGraph {
                 seen.push(v);
                 match self.edge_weight(v, u as VertexId) {
                     Some(back) if back == w => {}
-                    Some(back) => return Err(format!("asymmetric weight ({u},{v}): {w} vs {back}")),
+                    Some(back) => {
+                        return Err(format!("asymmetric weight ({u},{v}): {w} vs {back}"))
+                    }
                     None => return Err(format!("missing reverse edge ({v}, {u})")),
                 }
                 directed += 1;

@@ -61,14 +61,11 @@ pub fn apsp_dijkstra(g: &Csr) -> DistMatrix {
     let n = g.num_vertices();
     let mut m = DistMatrix::new(n);
     // Split the backing storage into rows so rayon can fill them in place.
-    m.data
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(s, row)| {
-            if s < n {
-                crate::sssp::dijkstra_into(g, s as VertexId, row);
-            }
-        });
+    m.data.par_chunks_mut(n.max(1)).enumerate().for_each(|(s, row)| {
+        if s < n {
+            crate::sssp::dijkstra_into(g, s as VertexId, row);
+        }
+    });
     m
 }
 

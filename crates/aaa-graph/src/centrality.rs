@@ -13,9 +13,7 @@ pub fn degree_centrality(g: &Csr) -> Vec<f64> {
     if n <= 1 {
         return vec![0.0; n];
     }
-    (0..n as VertexId)
-        .map(|v| g.degree(v) as f64 / (n - 1) as f64)
-        .collect()
+    (0..n as VertexId).map(|v| g.degree(v) as f64 / (n - 1) as f64).collect()
 }
 
 /// Eigenvector centrality by power iteration (undirected, weighted).

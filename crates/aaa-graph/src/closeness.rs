@@ -11,9 +11,7 @@ use rayon::prelude::*;
 
 /// Closeness of every vertex from a full distance matrix.
 pub fn closeness_from_matrix(m: &DistMatrix) -> Vec<f64> {
-    (0..m.n())
-        .map(|v| closeness_from_row(m.row(v as u32)))
-        .collect()
+    (0..m.n()).map(|v| closeness_from_row(m.row(v as u32))).collect()
 }
 
 /// Closeness of a single vertex given its distance row.

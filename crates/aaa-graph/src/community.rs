@@ -139,9 +139,7 @@ impl LevelGraph {
                 }
             }
         }
-        (0..num_c)
-            .map(|c| internal[c] / two_m - (total[c] / two_m).powi(2))
-            .sum()
+        (0..num_c).map(|c| internal[c] / two_m - (total[c] / two_m).powi(2)).sum()
     }
 
     /// One greedy local-moving pass; returns a (non-dense) label per vertex.

@@ -38,7 +38,9 @@ impl fmt::Display for GraphError {
             GraphError::ZeroWeight { u, v } => {
                 write!(f, "edge ({u}, {v}) has zero weight; weights must be positive")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
         }

@@ -52,7 +52,12 @@ pub fn planted_partition(
     let mut g = AdjGraph::with_vertices(n);
     let labels: Vec<u32> = (0..n).map(|v| (v / params.size) as u32).collect();
     // Geometric skipping keeps generation O(E) even for small probabilities.
-    let pair_stream = |p: f64, g: &mut AdjGraph, rng: &mut ChaCha8Rng, pairs: &mut dyn FnMut(usize) -> Option<(VertexId, VertexId)>, total: usize| -> Result<(), GraphError> {
+    let pair_stream = |p: f64,
+                       g: &mut AdjGraph,
+                       rng: &mut ChaCha8Rng,
+                       pairs: &mut dyn FnMut(usize) -> Option<(VertexId, VertexId)>,
+                       total: usize|
+     -> Result<(), GraphError> {
         if p <= 0.0 {
             return Ok(());
         }

@@ -21,9 +21,15 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<AdjGraph, GraphError> {
         }
         let mut it = line.split_whitespace();
         let parse = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
-            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: format!("missing {what}") })?
-                .parse::<u64>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad {what}: {e}") })
+            s.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
         };
         let u = parse(it.next(), "source")? as VertexId;
         let v = parse(it.next(), "target")? as VertexId;
@@ -69,9 +75,15 @@ pub fn read_pajek<R: Read>(reader: R) -> Result<AdjGraph, GraphError> {
             let n: usize = lower
                 .split_whitespace()
                 .nth(1)
-                .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing vertex count".into() })?
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: "missing vertex count".into(),
+                })?
                 .parse()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad vertex count: {e}") })?;
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad vertex count: {e}"),
+                })?;
             declared_n = Some(n);
             builder.grow_to(n);
             in_edges = false;
@@ -91,11 +103,20 @@ pub fn read_pajek<R: Read>(reader: R) -> Result<AdjGraph, GraphError> {
         let mut it = line.split_whitespace();
         let parse_id = |s: Option<&str>| -> Result<VertexId, GraphError> {
             let raw: u64 = s
-                .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing endpoint".into() })?
+                .ok_or_else(|| GraphError::Parse {
+                    line: lineno + 1,
+                    message: "missing endpoint".into(),
+                })?
                 .parse()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad endpoint: {e}") })?;
+                .map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad endpoint: {e}"),
+                })?;
             if raw == 0 {
-                return Err(GraphError::Parse { line: lineno + 1, message: "Pajek ids are 1-based".into() });
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: "Pajek ids are 1-based".into(),
+                });
             }
             Ok((raw - 1) as VertexId)
         };

@@ -81,7 +81,10 @@ impl Partition {
     }
 
     /// Appends assignments for newly added vertices.
-    pub fn extend(&mut self, parts: impl IntoIterator<Item = PartId>) -> Result<(), PartitionError> {
+    pub fn extend(
+        &mut self,
+        parts: impl IntoIterator<Item = PartId>,
+    ) -> Result<(), PartitionError> {
         for p in parts {
             if p as usize >= self.k {
                 return Err(PartitionError::PartOutOfRange { part: p, k: self.k });
@@ -151,7 +154,10 @@ mod tests {
     #[test]
     fn partition_validates_bounds() {
         assert!(Partition::new(vec![0, 1, 2], 3).is_ok());
-        assert_eq!(Partition::new(vec![0, 3], 3), Err(PartitionError::PartOutOfRange { part: 3, k: 3 }));
+        assert_eq!(
+            Partition::new(vec![0, 3], 3),
+            Err(PartitionError::PartOutOfRange { part: 3, k: 3 })
+        );
         assert_eq!(Partition::new(vec![], 0), Err(PartitionError::ZeroParts));
     }
 

@@ -33,7 +33,11 @@ pub(crate) fn greedy_graph_growing(g: &WGraph, k: usize, rng: &mut ChaCha8Rng) -
         let mut conn = vec![0u64; n];
         while load[part] < target {
             let v = match heap.pop() {
-                Some((w, Reverse(v))) if label[v as usize] == UNASSIGNED && w >= conn[v as usize] => v,
+                Some((w, Reverse(v)))
+                    if label[v as usize] == UNASSIGNED && w >= conn[v as usize] =>
+                {
+                    v
+                }
                 Some((_, Reverse(v))) if label[v as usize] == UNASSIGNED => {
                     // Stale weight; re-push the current value.
                     heap.push((conn[v as usize], Reverse(v)));

@@ -112,7 +112,9 @@ impl Partitioner for MultilevelPartitioner {
 mod tests {
     use super::*;
     use crate::{cut_edges, vertex_balance};
-    use aaa_graph::generators::{barabasi_albert, planted_partition, PlantedPartition, WeightModel};
+    use aaa_graph::generators::{
+        barabasi_albert, planted_partition, PlantedPartition, WeightModel,
+    };
 
     #[test]
     fn trivial_cases() {
@@ -149,10 +151,7 @@ mod tests {
         let ml = MultilevelPartitioner::seeded(1).partition(&g, 8).unwrap();
         let rnd = crate::simple::RandomPartitioner { seed: 1 }.partition(&g, 8).unwrap();
         let (cut_ml, cut_rnd) = (cut_edges(&g, &ml), cut_edges(&g, &rnd));
-        assert!(
-            (cut_ml as f64) < 0.5 * cut_rnd as f64,
-            "multilevel {cut_ml} vs random {cut_rnd}"
-        );
+        assert!((cut_ml as f64) < 0.5 * cut_rnd as f64, "multilevel {cut_ml} vs random {cut_rnd}");
         assert!(vertex_balance(&ml) <= 1.0 + 0.1, "balance {}", vertex_balance(&ml));
     }
 

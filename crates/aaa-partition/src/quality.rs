@@ -10,17 +10,12 @@ use aaa_graph::{AdjGraph, VertexId};
 
 /// Number of cut edges (edges whose endpoints lie in different parts).
 pub fn cut_edges(g: &AdjGraph, p: &Partition) -> usize {
-    g.edges()
-        .filter(|&(u, v, _)| p.part_of(u) != p.part_of(v))
-        .count()
+    g.edges().filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).count()
 }
 
 /// Total weight of cut edges.
 pub fn cut_weight(g: &AdjGraph, p: &Partition) -> u64 {
-    g.edges()
-        .filter(|&(u, v, _)| p.part_of(u) != p.part_of(v))
-        .map(|(_, _, w)| w as u64)
-        .sum()
+    g.edges().filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).map(|(_, _, w)| w as u64).sum()
 }
 
 /// Per-part cut size: number of cut edges incident to each part.

@@ -27,6 +27,63 @@ pub struct ClusterConfig {
     pub mode: ExecutionMode,
 }
 
+/// A planned rank failure for fault-injection experiments: rank `rank`
+/// dies when the cluster reaches superstep `superstep` (counted by
+/// [`RunStats::supersteps`]). In BSP semantics the barrier aborts, so the
+/// failure surfaces *before* the doomed superstep applies any state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The rank that dies.
+    pub rank: Rank,
+    /// The superstep at whose barrier the failure fires.
+    pub superstep: u64,
+}
+
+impl FaultPlan {
+    /// A fault at an explicit (rank, superstep) coordinate.
+    pub fn at(rank: Rank, superstep: u64) -> Self {
+        Self { rank, superstep }
+    }
+
+    /// A seeded fault: rank and superstep drawn deterministically from
+    /// `seed`, with the rank in `0..p` and the superstep in
+    /// `1..=max_superstep`. The same seed always kills the same rank at
+    /// the same barrier, so failure experiments are reproducible.
+    pub fn seeded(seed: u64, p: usize, max_superstep: u64) -> Self {
+        // SplitMix64: two independent draws from one seed.
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let rank = (next() % p.max(1) as u64) as Rank;
+        let superstep = 1 + next() % max_superstep.max(1);
+        Self { rank, superstep }
+    }
+}
+
+/// Typed cluster failures surfaced to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A rank died at a superstep barrier; its private state is lost.
+    RankFailed { rank: Rank, superstep: u64 },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::RankFailed { rank, superstep } => {
+                write!(f, "rank {rank} failed at superstep {superstep}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// A fixed set of `P` ranks advanced in BSP supersteps.
 ///
 /// All mutation of rank state flows through [`Cluster::step`],
@@ -37,13 +94,14 @@ pub struct Cluster<S> {
     states: Vec<S>,
     config: ClusterConfig,
     stats: RunStats,
+    fault: Option<FaultPlan>,
 }
 
 impl<S: Send> Cluster<S> {
     /// Creates a cluster owning one state per rank.
     pub fn new(states: Vec<S>, config: ClusterConfig) -> Self {
         assert!(!states.is_empty(), "cluster needs at least one rank");
-        Self { states, config, stats: RunStats::default() }
+        Self { states, config, stats: RunStats::default(), fault: None }
     }
 
     /// Number of ranks.
@@ -70,6 +128,61 @@ impl<S: Send> Cluster<S> {
     /// Consumes the cluster, returning states and statistics.
     pub fn into_parts(self) -> (Vec<S>, RunStats) {
         (self.states, self.stats)
+    }
+
+    /// Mutable access to rank states, for checkpoint recovery only: the
+    /// driver swaps a failed rank's rebuilt state in directly. Work done
+    /// through this handle bypasses superstep timing and traffic pricing —
+    /// use [`Cluster::step`] for anything that models cluster computation.
+    pub fn ranks_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Arms a fault plan; the failure fires at the plan's superstep
+    /// barrier via [`Cluster::poll_fault`]. Replaces any armed plan.
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The currently armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// Checks the armed fault plan against the superstep counter. Once the
+    /// cluster has reached the planned barrier, the plan is consumed and
+    /// [`ClusterError::RankFailed`] is returned; the caller must treat the
+    /// failed rank's state as lost *before* running the next superstep.
+    /// Called by the engine at every RC-step barrier.
+    pub fn poll_fault(&mut self) -> Result<(), ClusterError> {
+        if let Some(plan) = self.fault {
+            if self.stats.supersteps >= plan.superstep {
+                self.fault = None;
+                return Err(ClusterError::RankFailed {
+                    rank: plan.rank,
+                    superstep: plan.superstep,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts a checkpoint in the run statistics.
+    pub fn record_checkpoint(&mut self) {
+        self.stats.checkpoints += 1;
+    }
+
+    /// Counts a restore in the run statistics.
+    pub fn record_restore(&mut self) {
+        self.stats.restores += 1;
+    }
+
+    /// Replaces the statistics wholesale — used when a cluster is rebuilt
+    /// from a checkpoint, so accounting resumes from the snapshot's
+    /// counters instead of zero (and the discarded post-checkpoint work is
+    /// *not* double-counted when the phase is retried).
+    pub fn restore_stats(&mut self, stats: RunStats) {
+        self.stats = stats;
     }
 
     /// Charges driver-side compute to the simulated clock. Used for work
@@ -102,9 +215,7 @@ impl<S: Send> Cluster<S> {
         };
         let results: Vec<(f64, R)> = match self.config.mode {
             ExecutionMode::Sequential => self.states.iter_mut().enumerate().map(timed).collect(),
-            ExecutionMode::Parallel => {
-                self.states.par_iter_mut().enumerate().map(timed).collect()
-            }
+            ExecutionMode::Parallel => self.states.par_iter_mut().enumerate().map(timed).collect(),
         };
         let wall = started.elapsed();
         let (times, outs): (Vec<f64>, Vec<R>) = results.into_iter().unzip();
@@ -160,20 +271,12 @@ impl<S: Send> Cluster<S> {
             t.elapsed().as_secs_f64() * 1e6
         };
         let times: Vec<f64> = match self.config.mode {
-            ExecutionMode::Sequential => self
-                .states
-                .iter_mut()
-                .enumerate()
-                .zip(inboxes)
-                .map(timed)
-                .collect(),
-            ExecutionMode::Parallel => self
-                .states
-                .par_iter_mut()
-                .enumerate()
-                .zip(inboxes)
-                .map(timed)
-                .collect(),
+            ExecutionMode::Sequential => {
+                self.states.iter_mut().enumerate().zip(inboxes).map(timed).collect()
+            }
+            ExecutionMode::Parallel => {
+                self.states.par_iter_mut().enumerate().zip(inboxes).map(timed).collect()
+            }
         };
         let wall = started.elapsed();
         self.record_compute(&times, wall);
@@ -182,8 +285,13 @@ impl<S: Send> Cluster<S> {
     /// Broadcast from `root`: `produce` builds the payload on the root rank,
     /// then every rank (including the root) consumes a reference to it.
     /// Priced as a binomial tree of `size` bytes.
-    pub fn broadcast<M, FP, FC>(&mut self, root: Rank, produce: FP, size_of: impl Fn(&M) -> usize, consume: FC)
-    where
+    pub fn broadcast<M, FP, FC>(
+        &mut self,
+        root: Rank,
+        produce: FP,
+        size_of: impl Fn(&M) -> usize,
+        consume: FC,
+    ) where
         M: Sync + Send,
         FP: FnOnce(&mut S) -> M,
         FC: Fn(Rank, &mut S, &M) + Sync,
@@ -232,7 +340,11 @@ mod tests {
     use super::*;
 
     fn config(mode: ExecutionMode) -> ClusterConfig {
-        ClusterConfig { model: LogPModel::ethernet_1g(), schedule: ExchangeSchedule::Sequential, mode }
+        ClusterConfig {
+            model: LogPModel::ethernet_1g(),
+            schedule: ExchangeSchedule::Sequential,
+            mode,
+        }
     }
 
     #[test]
@@ -253,12 +365,7 @@ mod tests {
             let mut c = Cluster::new(vec![Vec::<(usize, u32)>::new(); 3], config(mode));
             // Every rank sends its id×100 to every other rank.
             c.exchange(
-                |rank, _| {
-                    (0..3)
-                        .filter(|&d| d != rank)
-                        .map(|d| (d, (rank * 100) as u32))
-                        .collect()
-                },
+                |rank, _| (0..3).filter(|&d| d != rank).map(|d| (d, (rank * 100) as u32)).collect(),
                 |_| 4,
                 |_, inbox_store, inbox| {
                     *inbox_store = inbox;
@@ -266,10 +373,8 @@ mod tests {
             );
             // Each inbox has two messages, ordered by sender.
             for (rank, inbox) in c.ranks().iter().enumerate() {
-                let expected: Vec<(usize, u32)> = (0..3)
-                    .filter(|&s| s != rank)
-                    .map(|s| (s, (s * 100) as u32))
-                    .collect();
+                let expected: Vec<(usize, u32)> =
+                    (0..3).filter(|&s| s != rank).map(|s| (s, (s * 100) as u32)).collect();
                 assert_eq!(inbox, &expected, "mode {mode:?} rank {rank}");
             }
             assert_eq!(c.stats().messages, 6);
@@ -281,11 +386,7 @@ mod tests {
     #[test]
     fn self_messages_are_free() {
         let mut c = Cluster::new(vec![0u32; 2], config(ExecutionMode::Sequential));
-        c.exchange(
-            |rank, _| vec![(rank, 7u32)],
-            |_| 1000,
-            |_, s, inbox| *s = inbox[0].1,
-        );
+        c.exchange(|rank, _| vec![(rank, 7u32)], |_| 1000, |_, s, inbox| *s = inbox[0].1);
         assert_eq!(c.ranks(), &[7, 7]);
         assert_eq!(c.stats().messages, 0);
         assert_eq!(c.stats().sim_comm_us, 0.0);
@@ -338,5 +439,44 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_cluster_rejected() {
         let _ = Cluster::<u8>::new(vec![], config(ExecutionMode::Sequential));
+    }
+
+    #[test]
+    fn fault_fires_once_at_planned_barrier() {
+        let mut c = Cluster::new(vec![0u8; 3], config(ExecutionMode::Sequential));
+        c.inject_fault(FaultPlan::at(1, 2));
+        assert!(c.poll_fault().is_ok()); // superstep 0: not yet
+        c.step(|_, _| ());
+        assert!(c.poll_fault().is_ok()); // superstep 1: not yet
+        c.step(|_, _| ());
+        assert_eq!(c.poll_fault(), Err(ClusterError::RankFailed { rank: 1, superstep: 2 }));
+        // Consumed: polling again is clean.
+        assert!(c.poll_fault().is_ok());
+        assert_eq!(c.fault_plan(), None);
+    }
+
+    #[test]
+    fn seeded_fault_is_deterministic_and_in_range() {
+        let a = FaultPlan::seeded(7, 4, 10);
+        let b = FaultPlan::seeded(7, 4, 10);
+        assert_eq!(a, b);
+        assert!(a.rank < 4);
+        assert!(a.superstep >= 1 && a.superstep <= 10);
+        // Different seeds explore different coordinates eventually.
+        assert!((0..64).any(|s| FaultPlan::seeded(s, 4, 10) != a));
+    }
+
+    #[test]
+    fn checkpoint_restore_counters_and_stats_restore() {
+        let mut c = Cluster::new(vec![(); 2], config(ExecutionMode::Sequential));
+        c.step(|_, _| ());
+        c.record_checkpoint();
+        let snap = *c.stats();
+        c.step(|_, _| ());
+        c.restore_stats(snap);
+        c.record_restore();
+        assert_eq!(c.stats().supersteps, 1); // post-checkpoint step discarded
+        assert_eq!(c.stats().checkpoints, 1);
+        assert_eq!(c.stats().restores, 1);
     }
 }

@@ -26,7 +26,7 @@ pub mod schedule;
 pub mod spmd;
 pub mod stats;
 
-pub use cluster::{Cluster, ClusterConfig, ExecutionMode};
+pub use cluster::{Cluster, ClusterConfig, ClusterError, ExecutionMode, FaultPlan};
 pub use logp::LogPModel;
 pub use schedule::ExchangeSchedule;
 pub use stats::RunStats;

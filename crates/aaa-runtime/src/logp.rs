@@ -50,7 +50,8 @@ impl LogPModel {
         if count == 0 {
             return 0.0;
         }
-        self.message_cost_us(bytes_each) + (count as f64 - 1.0) * self.gap_us.max(self.message_cost_us(bytes_each))
+        self.message_cost_us(bytes_each)
+            + (count as f64 - 1.0) * self.gap_us.max(self.message_cost_us(bytes_each))
     }
 
     /// Cost of a binomial-tree broadcast of `bytes` to `p` ranks:

@@ -82,7 +82,8 @@ pub fn all_to_all_cost_us(
                 let mut worst = 0.0f64;
                 for (a, b) in round {
                     // Both directions exchanged within the round.
-                    let cost = model.message_cost_us(bytes[a][b]).max(model.message_cost_us(bytes[b][a]));
+                    let cost =
+                        model.message_cost_us(bytes[a][b]).max(model.message_cost_us(bytes[b][a]));
                     let cost = if bytes[a][b] == 0 && bytes[b][a] == 0 { 0.0 } else { cost };
                     worst = worst.max(cost);
                 }

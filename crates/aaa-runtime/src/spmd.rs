@@ -140,10 +140,7 @@ where
         }
         // Drop the original senders so channels close when ranks finish.
         drop(senders);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("SPMD rank panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("SPMD rank panicked")).collect()
     })
 }
 

@@ -23,6 +23,11 @@ pub struct RunStats {
     pub supersteps: u64,
     /// Collective operations (broadcasts, reductions) executed.
     pub collectives: u64,
+    /// Checkpoints taken (snapshots of full engine state).
+    pub checkpoints: u64,
+    /// Restores performed (engine rebuilt or a rank recovered from a
+    /// checkpoint).
+    pub restores: u64,
     /// Real elapsed time of rank computation.
     pub wall: Duration,
 }
@@ -38,8 +43,14 @@ impl RunStats {
         self.sim_total_us() / 1e6
     }
 
-    /// Merges another stats block into this one (used when a run is
-    /// composed of phases measured separately).
+    /// Merges another stats block into this one.
+    ///
+    /// `other` must be a **delta** (stats of one phase measured in
+    /// isolation), never a cumulative counter that shares history with
+    /// `self` — merging two cumulative blocks double-counts everything, in
+    /// particular `wall`. When a phase is retried after a checkpoint
+    /// restore, compute the retried phase's contribution with
+    /// [`RunStats::delta_since`] against the restore point before merging.
     pub fn merge(&mut self, other: &RunStats) {
         self.messages += other.messages;
         self.bytes += other.bytes;
@@ -47,7 +58,28 @@ impl RunStats {
         self.sim_compute_us += other.sim_compute_us;
         self.supersteps += other.supersteps;
         self.collectives += other.collectives;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
         self.wall += other.wall;
+    }
+
+    /// The per-phase delta between this (cumulative) block and an earlier
+    /// `baseline` of the same run: what happened strictly after the
+    /// baseline was captured. Saturating, so a baseline from a discarded
+    /// timeline (e.g. captured after the checkpoint this run was restored
+    /// from) yields zeros rather than underflowing.
+    pub fn delta_since(&self, baseline: &RunStats) -> RunStats {
+        RunStats {
+            messages: self.messages.saturating_sub(baseline.messages),
+            bytes: self.bytes.saturating_sub(baseline.bytes),
+            sim_comm_us: (self.sim_comm_us - baseline.sim_comm_us).max(0.0),
+            sim_compute_us: (self.sim_compute_us - baseline.sim_compute_us).max(0.0),
+            supersteps: self.supersteps.saturating_sub(baseline.supersteps),
+            collectives: self.collectives.saturating_sub(baseline.collectives),
+            checkpoints: self.checkpoints.saturating_sub(baseline.checkpoints),
+            restores: self.restores.saturating_sub(baseline.restores),
+            wall: self.wall.saturating_sub(baseline.wall),
+        }
     }
 }
 
@@ -57,16 +89,79 @@ mod tests {
 
     #[test]
     fn totals_and_merge() {
-        let mut a = RunStats { sim_comm_us: 10.0, sim_compute_us: 5.0, messages: 2, bytes: 100, supersteps: 1, collectives: 0, wall: Duration::from_millis(3) };
-        let b = RunStats { sim_comm_us: 1.0, sim_compute_us: 2.0, messages: 1, bytes: 50, supersteps: 2, collectives: 1, wall: Duration::from_millis(4) };
+        let mut a = RunStats {
+            sim_comm_us: 10.0,
+            sim_compute_us: 5.0,
+            messages: 2,
+            bytes: 100,
+            supersteps: 1,
+            wall: Duration::from_millis(3),
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            sim_comm_us: 1.0,
+            sim_compute_us: 2.0,
+            messages: 1,
+            bytes: 50,
+            supersteps: 2,
+            collectives: 1,
+            checkpoints: 1,
+            restores: 1,
+            wall: Duration::from_millis(4),
+        };
         a.merge(&b);
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 150);
         assert_eq!(a.supersteps, 3);
         assert_eq!(a.collectives, 1);
+        assert_eq!(a.checkpoints, 1);
+        assert_eq!(a.restores, 1);
         assert!((a.sim_total_us() - 18.0).abs() < 1e-12);
         assert!((a.sim_total_secs() - 18.0e-6).abs() < 1e-15);
         assert_eq!(a.wall, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn delta_since_yields_phase_contribution() {
+        let at_checkpoint = RunStats {
+            messages: 10,
+            bytes: 1_000,
+            sim_comm_us: 5.0,
+            sim_compute_us: 7.0,
+            supersteps: 4,
+            collectives: 2,
+            checkpoints: 1,
+            restores: 0,
+            wall: Duration::from_millis(10),
+        };
+        let mut at_end = at_checkpoint;
+        at_end.merge(&RunStats {
+            messages: 3,
+            bytes: 300,
+            sim_comm_us: 1.0,
+            sim_compute_us: 2.0,
+            supersteps: 2,
+            collectives: 1,
+            checkpoints: 0,
+            restores: 1,
+            wall: Duration::from_millis(5),
+        });
+        let delta = at_end.delta_since(&at_checkpoint);
+        assert_eq!(delta.messages, 3);
+        assert_eq!(delta.supersteps, 2);
+        assert_eq!(delta.restores, 1);
+        assert_eq!(delta.wall, Duration::from_millis(5));
+        // Re-merging the delta onto the baseline reproduces the end state
+        // exactly — the accounting identity that rules out double-counting.
+        let mut rebuilt = at_checkpoint;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, at_end);
+        // A baseline from a discarded (post-checkpoint, pre-failure)
+        // timeline saturates to zero instead of underflowing.
+        let stale = RunStats { wall: Duration::from_secs(100), messages: 999, ..at_checkpoint };
+        let d = at_end.delta_since(&stale);
+        assert_eq!(d.wall, Duration::ZERO);
+        assert_eq!(d.messages, 0);
     }
 
     #[test]

@@ -57,11 +57,8 @@ fn main() {
         let after = engine.stats();
 
         // Score: how many of the new edges ended up crossing processors?
-        let global_edges: Vec<(u32, u32)> = batch
-            .global_edges(base)
-            .iter()
-            .map(|&(a, b, _)| (a, b))
-            .collect();
+        let global_edges: Vec<(u32, u32)> =
+            batch.global_edges(base).iter().map(|&(a, b, _)| (a, b)).collect();
         let cut = new_cut_edges(engine.partition(), &global_edges);
         println!(
             "{:14} {:>13} {:>10} {:>13.2} s",

@@ -42,9 +42,7 @@ fn main() {
         for (a, b, w) in batch.global_edges(base) {
             full.add_edge(a, b, w).expect("valid edge");
         }
-        engine
-            .apply_vertex_additions(&batch, AssignStrategy::RoundRobin)
-            .expect("valid batch");
+        engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("valid batch");
         println!("wave {wave}: +{JOINS_PER_WAVE} actors absorbed (total {})", full.num_vertices());
     }
     engine.run_to_convergence();

@@ -12,12 +12,9 @@ use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
 
 fn main() {
     // 1. A scale-free "social network" of 2,000 actors.
-    let graph = barabasi_albert(2_000, 3, WeightModel::Unit, 42).expect("generator parameters valid");
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    let graph =
+        barabasi_albert(2_000, 3, WeightModel::Unit, 42).expect("generator parameters valid");
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
 
     // 2. Distributed analysis on 8 logical processors.
     let mut engine =
@@ -39,14 +36,9 @@ fn main() {
     // 4. Anywhere: 50 new actors join mid-analysis; incorporate them without
     //    restarting, then re-converge.
     let batch = preferential_batch(engine.graph(), 50, 3, 7);
-    engine
-        .apply_vertex_additions(&batch, AssignStrategy::RoundRobin)
-        .expect("valid batch");
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("valid batch");
     let summary = engine.run_to_convergence();
-    println!(
-        "absorbed 50 vertex additions in {} RC steps (no restart)",
-        summary.steps
-    );
+    println!("absorbed 50 vertex additions in {} RC steps (no restart)", summary.steps);
 
     let stats = engine.stats();
     println!(

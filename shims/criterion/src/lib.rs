@@ -1,0 +1,178 @@
+//! Offline substitute for the `criterion` crate.
+//!
+//! Supports the subset the workspace's `[[bench]]` targets use —
+//! `Criterion::bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of criterion's statistical machinery it runs a short
+//! warmup, then times a fixed measurement window and reports mean
+//! ns/iteration — enough to compare kernels locally and to keep the
+//! bench targets compiling and runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched-setup inputs are sized; accepted for API compatibility
+/// (the sequential harness treats every variant the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    fn new(measure_window: Duration) -> Self {
+        Self { mean_ns: f64::NAN, iters: 0, measure_window }
+    }
+
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup (also primes caches and forces lazy statics).
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < self.measure_window || iters == 0 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < self.measure_window || iters == 0 {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += started.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: these benches run in CI/tests, not for papers.
+        Self { measure_window: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim measures a fixed window
+    /// rather than a statistical sample, so the count is ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure_window = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_window);
+        f(&mut b);
+        let (value, unit) = if b.mean_ns >= 1e6 {
+            (b.mean_ns / 1e6, "ms")
+        } else if b.mean_ns >= 1e3 {
+            (b.mean_ns / 1e3, "µs")
+        } else {
+            (b.mean_ns, "ns")
+        };
+        println!("{name:<44} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Re-export so call sites can keep `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running each listed benchmark.
+/// Supports both the positional form and real criterion's named
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| 1 + 1);
+        assert!(b.mean_ns.is_finite() && b.mean_ns >= 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        Criterion { measure_window: Duration::from_millis(2) }
+            .bench_function("smoke", |b| b.iter(|| 2 * 2));
+    }
+}

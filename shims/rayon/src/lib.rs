@@ -1,0 +1,231 @@
+//! Offline substitute for the `rayon` crate.
+//!
+//! Exposes the prelude traits the workspace uses (`into_par_iter`,
+//! `par_iter`, `par_iter_mut`, `par_chunks_mut`) but executes
+//! **sequentially**: every `par_*` entry point returns the corresponding
+//! `std` iterator, so all downstream adapters (`map`, `enumerate`, `zip`,
+//! `collect`, `for_each`, …) come from `std::iter::Iterator` unchanged.
+//!
+//! This preserves exact semantics and determinism — the BSP cluster's
+//! `Parallel` mode degrades to the `Sequential` schedule, which the
+//! engine's correctness never depends on (results are superstep-barrier
+//! deterministic either way). When a real thread pool is available again,
+//! swapping the registry dependency back restores the speedup without any
+//! caller changes.
+
+pub mod prelude {
+    /// Sequential stand-in for rayon's `ParallelIterator`: wraps a serial
+    /// iterator and exposes the rayon-shaped adapters whose signatures
+    /// differ from `std::iter::Iterator` (`reduce` with an identity
+    /// closure, `map_init`), plus the common ones the workspace chains.
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// Applies `f` to every element.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<impl Iterator<Item = O>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// Rayon's `map_init`: creates per-worker scratch once (once total
+        /// here — one sequential worker) and passes it to every call.
+        pub fn map_init<T, O, INIT, F>(
+            self,
+            init: INIT,
+            mut f: F,
+        ) -> ParIter<impl Iterator<Item = O>>
+        where
+            INIT: Fn() -> T,
+            F: FnMut(&mut T, I::Item) -> O,
+        {
+            let mut scratch = init();
+            ParIter(self.0.map(move |item| f(&mut scratch, item)))
+        }
+
+        /// Pairs every element with its index.
+        pub fn enumerate(self) -> ParIter<impl Iterator<Item = (usize, I::Item)>> {
+            ParIter(self.0.enumerate())
+        }
+
+        /// Zips with another (serial) iterable.
+        pub fn zip<J: IntoIterator>(
+            self,
+            other: J,
+        ) -> ParIter<impl Iterator<Item = (I::Item, J::Item)>> {
+            ParIter(self.0.zip(other))
+        }
+
+        /// Keeps elements matching `pred`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(
+            self,
+            pred: F,
+        ) -> ParIter<impl Iterator<Item = I::Item>> {
+            ParIter(self.0.filter(pred))
+        }
+
+        /// Consumes the iterator, calling `f` on every element.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Collects into any `FromIterator` collection.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Rayon's `reduce`: folds with `op` starting from `identity()`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// Sums the elements.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Counts the elements.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+    }
+
+    /// `rayon::iter::IntoParallelIterator`, sequential edition: every
+    /// `IntoIterator` can be "parallelized" into a [`ParIter`] over its
+    /// own serial iterator.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `par_iter` over shared references.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut` over exclusive references.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `par_chunks_mut` over slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `par_chunks` over slices.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+/// Runs both closures (sequentially here) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The sequential executor has exactly one lane.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_serial() {
+        let out: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_zip() {
+        let mut v = vec![0u32; 4];
+        let adds = vec![10u32, 20, 30, 40];
+        v.par_iter_mut().enumerate().zip(adds).for_each(|((i, slot), a)| *slot = i as u32 + a);
+        assert_eq!(v, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_rows() {
+        let mut data = vec![0u32; 9];
+        data.par_chunks_mut(3).enumerate().for_each(|(r, row)| row.fill(r as u32));
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

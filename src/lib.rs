@@ -12,6 +12,8 @@
 //! * [`partition`] — multilevel k-way partitioner and simple partitioners.
 //! * [`runtime`] — the in-process BSP message-passing cluster with LogP
 //!   cost accounting.
+//! * [`checkpoint`] — versioned binary snapshots, checkpoint policies,
+//!   and the rank-failure recovery building blocks.
 //! * [`core`] — the anytime anywhere closeness-centrality engine with
 //!   dynamic vertex additions and processor-assignment strategies.
 //!
@@ -30,6 +32,7 @@
 //! assert_eq!(engine.closeness().len(), 200);
 //! ```
 
+pub use aaa_checkpoint as checkpoint;
 pub use aaa_core as core;
 pub use aaa_graph as graph;
 pub use aaa_partition as partition;

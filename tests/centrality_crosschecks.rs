@@ -20,7 +20,9 @@ fn hubs_dominate_every_centrality_on_scale_free_graphs() {
     let eig = eigenvector_centrality(&csr, 300, 1e-10);
 
     // The top-degree hub should rank inside the top 5 of every measure.
-    for (name, values) in [("degree", &deg), ("closeness", &close), ("betweenness", &betw), ("eigenvector", &eig)] {
+    for (name, values) in
+        [("degree", &deg), ("closeness", &close), ("betweenness", &betw), ("eigenvector", &eig)]
+    {
         let top = top_k(values, 5);
         assert!(top.contains(&hub), "{name}: hub {hub} not in top-5 {top:?}");
     }

@@ -1,0 +1,222 @@
+//! Fault injection + recovery end-to-end: a run interrupted by a rank
+//! failure, restored from a checkpoint taken at j ≤ k, must converge to
+//! the same fixed point bit-for-bit as an uninterrupted run — and the
+//! stats must not double-count the replayed phase.
+
+use anytime_anywhere::checkpoint::CheckpointPolicy;
+use anytime_anywhere::core::{
+    AnytimeEngine, AssignStrategy, ClusterError, CoreError, EngineConfig, FaultPlan, Snapshot,
+};
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::graph::AdjGraph;
+
+fn test_graph(n: usize, seed: u64) -> AdjGraph {
+    barabasi_albert(n, 3, WeightModel::UniformRange { lo: 1, hi: 8 }, seed).expect("generator")
+}
+
+/// Drives a faulted engine to convergence, recovering every failure from
+/// `snapshot`, and returns how many failures were recovered.
+fn converge_with_recovery(engine: &mut AnytimeEngine, snapshot: &Snapshot) -> usize {
+    let mut recoveries = 0;
+    loop {
+        match engine.run_to_convergence_checked() {
+            Ok(summary) => {
+                assert!(summary.converged, "hit the RC safety bound");
+                return recoveries;
+            }
+            Err(CoreError::Cluster(ClusterError::RankFailed { rank, .. })) => {
+                engine.recover_rank(rank, snapshot).expect("recovery");
+                recoveries += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn fault_interrupted_run_recovers_bit_identical() {
+    let g = test_graph(300, 9);
+    let config = EngineConfig::deterministic(4);
+
+    let mut reference = AnytimeEngine::new(g.clone(), config.clone()).expect("engine");
+    reference.run_to_convergence();
+    let expected_dist = reference.distances();
+    let expected_closeness = reference.closeness();
+
+    // Checkpoint at j = 2, rank 2 dies at superstep 5 (k > j).
+    let mut engine = AnytimeEngine::new(g, config).expect("engine");
+    engine.rc_step();
+    engine.rc_step();
+    let snapshot = engine.snapshot();
+    engine.inject_fault(FaultPlan::at(2, 5));
+
+    let recoveries = converge_with_recovery(&mut engine, &snapshot);
+    assert_eq!(recoveries, 1, "the armed fault fires exactly once");
+    assert_eq!(engine.stats().restores, 1);
+    assert_eq!(engine.distances(), expected_dist);
+    assert_eq!(engine.closeness(), expected_closeness);
+}
+
+#[test]
+fn recovery_replay_is_monotone_upper_bounded() {
+    // Min-merge monotonicity is what makes replaying from an older
+    // snapshot safe: at every point after recovery, every DV entry is an
+    // upper bound on the true distance, and entries only decrease.
+    let g = test_graph(200, 4);
+    let config = EngineConfig::deterministic(4);
+
+    let mut reference = AnytimeEngine::new(g.clone(), config.clone()).expect("engine");
+    reference.run_to_convergence();
+    let truth = reference.distances();
+
+    let mut engine = AnytimeEngine::new(g, config).expect("engine");
+    engine.rc_step();
+    let snapshot = engine.snapshot(); // early snapshot: j = 1
+    engine.inject_fault(FaultPlan::at(1, 6));
+    let err = loop {
+        match engine.rc_step_checked() {
+            Ok(true) => continue,
+            Ok(false) => panic!("fault should fire before quiescence"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, CoreError::Cluster(ClusterError::RankFailed { rank: 1, .. })));
+    engine.recover_rank(1, &snapshot).expect("recovery");
+
+    // Immediately after recovery — and after every subsequent RC step —
+    // the partial distances never dip below the true fixed point.
+    let n = truth.n();
+    let check_upper_bound = |m: &anytime_anywhere::graph::apsp::DistMatrix| {
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                assert!(
+                    m.get(u, v) >= truth.get(u, v),
+                    "distance {}→{} dipped below the fixed point",
+                    u,
+                    v
+                );
+            }
+        }
+    };
+    check_upper_bound(&engine.distances());
+    let mut prev = engine.distances();
+    while engine.rc_step() {
+        let now = engine.distances();
+        check_upper_bound(&now);
+        // Anytime monotonicity: entries never increase step over step.
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                assert!(now.get(u, v) <= prev.get(u, v), "entry {u}→{v} increased");
+            }
+        }
+        prev = now;
+    }
+    assert_eq!(engine.distances(), truth);
+}
+
+#[test]
+fn recovery_from_older_snapshot_still_converges() {
+    // j ≤ k with a wide gap, and a dynamic change between snapshot and
+    // failure: the snapshot predates the batch, yet replay still reaches
+    // the post-change fixed point.
+    let g = test_graph(250, 11);
+    let config = EngineConfig::deterministic(3);
+
+    let mut engine = AnytimeEngine::new(g.clone(), config.clone()).expect("engine");
+    let mut snapshots: Vec<Vec<u8>> = Vec::new();
+    engine
+        .run_to_convergence_checkpointed(CheckpointPolicy::EveryNRcSteps(2), |b| {
+            snapshots.push(b.to_vec())
+        })
+        .expect("no fault armed");
+    assert!(!snapshots.is_empty(), "EveryNRcSteps(2) must have fired");
+    let early = Snapshot::from_bytes(&snapshots[0]).expect("snapshot readable");
+
+    let batch = anytime_anywhere::core::changes::preferential_batch(engine.graph(), 12, 2, 5);
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch");
+    engine.inject_fault(FaultPlan::at(0, engine.stats().supersteps + 2));
+    let recoveries = converge_with_recovery(&mut engine, &early);
+    assert_eq!(recoveries, 1);
+
+    let mut reference = AnytimeEngine::new(g, config).expect("engine");
+    reference.run_to_convergence();
+    reference.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch");
+    reference.run_to_convergence();
+    assert_eq!(engine.distances(), reference.distances());
+    assert_eq!(engine.closeness(), reference.closeness());
+}
+
+#[test]
+fn restore_discards_post_checkpoint_stats() {
+    // Wall/phase accounting regression: work done after the checkpoint and
+    // thrown away by the restore must not be counted twice. The restored
+    // engine's stats are exactly the snapshot's (plus the restore event),
+    // and composing checkpoint-time stats with the retried phase's delta
+    // reproduces the end state instead of double-counting.
+    let g = test_graph(200, 21);
+    let config = EngineConfig::deterministic(4);
+    let mut engine = AnytimeEngine::new(g, config.clone()).expect("engine");
+    engine.rc_step();
+    engine.rc_step();
+    let bytes = engine.checkpoint_bytes().expect("checkpoint");
+    let at_checkpoint = engine.stats();
+    assert_eq!(at_checkpoint.checkpoints, 1);
+
+    // Post-checkpoint work that a failure would discard.
+    engine.run_to_convergence();
+    let at_end = engine.stats();
+    assert!(at_end.supersteps > at_checkpoint.supersteps);
+
+    let mut restored = AnytimeEngine::restore(&bytes[..], config).expect("restore");
+    let s = restored.stats();
+    assert_eq!(s.restores, at_checkpoint.restores + 1);
+    assert_eq!(s.supersteps, at_checkpoint.supersteps);
+    assert_eq!(s.messages, at_checkpoint.messages);
+    assert_eq!(s.bytes, at_checkpoint.bytes);
+    assert_eq!(s.wall, at_checkpoint.wall, "discarded wall time leaked into the restore");
+
+    // Retry the phase on the restored engine and account for it the way
+    // the stats contract prescribes: as a delta since the restore point.
+    let baseline = restored.stats();
+    restored.run_to_convergence();
+    let retry_delta = restored.stats().delta_since(&baseline);
+    let mut composed = at_checkpoint;
+    composed.merge(&retry_delta);
+    assert_eq!(composed.supersteps, restored.stats().supersteps);
+    assert!(
+        composed.wall
+            <= at_checkpoint.wall + retry_delta.wall + std::time::Duration::from_millis(1)
+    );
+}
+
+#[test]
+fn resume_counters_survive_restore() {
+    let g = test_graph(150, 3);
+    let config = EngineConfig::deterministic(3);
+    let mut engine = AnytimeEngine::new(g, config.clone()).expect("engine");
+    engine.run_to_convergence();
+    let batch = anytime_anywhere::core::changes::preferential_batch(engine.graph(), 5, 2, 9);
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch");
+    engine.add_edge(1, 140, 3).expect("edge");
+    engine.run_to_convergence();
+
+    let bytes = engine.checkpoint_bytes().expect("checkpoint");
+    let restored = AnytimeEngine::restore(&bytes[..], config).expect("restore");
+    assert_eq!(restored.rc_steps_done(), engine.rc_steps_done());
+    assert_eq!(restored.changes_applied(), engine.changes_applied());
+    assert_eq!(restored.changes_applied(), 2);
+    assert_eq!(restored.graph().num_vertices(), engine.graph().num_vertices());
+    assert_eq!(restored.partition().assignment(), engine.partition().assignment());
+}
+
+#[test]
+fn procs_mismatch_is_a_config_error() {
+    let g = test_graph(100, 2);
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(4)).expect("engine");
+    let bytes = engine.checkpoint_bytes().expect("checkpoint");
+    let err = match AnytimeEngine::restore(&bytes[..], EngineConfig::deterministic(8)) {
+        Ok(_) => panic!("restore with mismatched procs must fail"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, CoreError::Config(_)), "got {err:?}");
+}

@@ -82,7 +82,8 @@ fn preferential_additions_every_strategy_late_injection() {
 #[test]
 fn community_structured_additions() {
     let g = barabasi_albert(100, 2, WeightModel::Unit, 7).unwrap();
-    let params = CommunityBatchParams { count: 30, community_size: 10, seed: 5, ..Default::default() };
+    let params =
+        CommunityBatchParams { count: 30, community_size: 10, seed: 5, ..Default::default() };
     let (batch, _) = community_batch(&g, &params);
     for s in strategies() {
         assert_dynamic_matches_scratch(&g, &batch, s, 2, 4);
@@ -133,10 +134,10 @@ fn new_vertex_chains_connect_through_each_other() {
     let base = 40u32;
     let batch = VertexBatch {
         vertices: vec![
-            NewVertex { edges: vec![(0, 1)] },            // 40 - old 0
-            NewVertex { edges: vec![(base, 1)] },         // 41 - 40
-            NewVertex { edges: vec![(base + 1, 1)] },     // 42 - 41
-            NewVertex { edges: vec![(base + 2, 1)] },     // 43 - 42
+            NewVertex { edges: vec![(0, 1)] },        // 40 - old 0
+            NewVertex { edges: vec![(base, 1)] },     // 41 - 40
+            NewVertex { edges: vec![(base + 1, 1)] }, // 42 - 41
+            NewVertex { edges: vec![(base + 2, 1)] }, // 43 - 42
         ],
     };
     for s in strategies() {
@@ -159,9 +160,7 @@ fn empty_batch_is_a_noop() {
     let mut engine = AnytimeEngine::new(g.clone(), EngineConfig::deterministic(3)).unwrap();
     engine.run_to_convergence();
     let before = engine.stats().messages;
-    engine
-        .apply_vertex_additions(&VertexBatch::default(), AssignStrategy::RoundRobin)
-        .unwrap();
+    engine.apply_vertex_additions(&VertexBatch::default(), AssignStrategy::RoundRobin).unwrap();
     assert_eq!(engine.stats().messages, before);
     assert_eq!(engine.graph().num_vertices(), 30);
 }
@@ -188,10 +187,8 @@ fn round_robin_balances_across_batches() {
     }
     // 12 new vertices over 4 procs round-robin: each part got exactly 3.
     let sizes = engine.partition().part_sizes();
-    let baseline = AnytimeEngine::new(g, EngineConfig::deterministic(4))
-        .unwrap()
-        .partition()
-        .part_sizes();
+    let baseline =
+        AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap().partition().part_sizes();
     for (after, before) in sizes.iter().zip(&baseline) {
         assert_eq!(after - before, 3);
     }

@@ -2,24 +2,17 @@
 //! partitions, random dynamic-change streams — the distributed engine must
 //! always agree with the single-machine reference.
 
-use anytime_anywhere::core::{
-    AnytimeEngine, AssignStrategy, EngineConfig, NewVertex, VertexBatch,
-};
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, EngineConfig, NewVertex, VertexBatch};
 use anytime_anywhere::graph::apsp::{apsp_dijkstra, floyd_warshall};
 use anytime_anywhere::graph::community::{louvain, modularity, LouvainConfig};
 use anytime_anywhere::graph::{AdjGraph, Csr, GraphBuilder};
-use anytime_anywhere::partition::{
-    cut_edges, vertex_balance, MultilevelPartitioner, Partitioner,
-};
+use anytime_anywhere::partition::{cut_edges, vertex_balance, MultilevelPartitioner, Partitioner};
 use proptest::prelude::*;
 
 /// An arbitrary simple weighted graph with `n ∈ [2, 40]` vertices.
 fn arb_graph() -> impl Strategy<Value = AdjGraph> {
     (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u32..10),
-            0..(3 * n),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..10), 0..(3 * n));
         edges.prop_map(move |edges| {
             let mut b = GraphBuilder::with_vertices(n);
             for (u, v, w) in edges {

@@ -98,9 +98,7 @@ fn rebalance_restores_balance_after_skewed_additions() {
     // community structure can pile onto few processors.
     for seed in 0..6u64 {
         let batch = preferential_batch(engine.graph(), 8, 2, 50 + seed);
-        engine
-            .apply_vertex_additions(&batch, AssignStrategy::CutEdge { seed, tries: 1 })
-            .unwrap();
+        engine.apply_vertex_additions(&batch, AssignStrategy::CutEdge { seed, tries: 1 }).unwrap();
         engine.rc_step();
     }
     let skewed = vertex_balance(engine.partition());
@@ -108,10 +106,7 @@ fn rebalance_restores_balance_after_skewed_additions() {
     engine.rebalance(7).unwrap();
     engine.run_to_convergence();
     let rebalanced = vertex_balance(engine.partition());
-    assert!(
-        rebalanced <= skewed + 1e-9,
-        "rebalance made things worse: {skewed} -> {rebalanced}"
-    );
+    assert!(rebalanced <= skewed + 1e-9, "rebalance made things worse: {skewed} -> {rebalanced}");
     assert!(rebalanced <= 1.2, "still imbalanced: {rebalanced}");
 
     // And correctness is preserved.
