@@ -1,5 +1,6 @@
 //! Criterion micro-benchmarks for the substrate kernels: shortest paths,
-//! row relaxation, partitioning, community detection, schedules.
+//! row relaxation, partitioning, community detection, schedules, and the
+//! chaos-off exchange fast path.
 
 use aaa_core::rank::relax_via;
 use aaa_graph::community::{louvain, LouvainConfig};
@@ -8,7 +9,7 @@ use aaa_graph::sssp::dijkstra;
 use aaa_graph::{Csr, INF};
 use aaa_partition::{MultilevelPartitioner, Partitioner};
 use aaa_runtime::schedule::{all_to_all_cost_us, tournament_rounds};
-use aaa_runtime::{ExchangeSchedule, LogPModel};
+use aaa_runtime::{ChaosPlan, Cluster, ClusterConfig, ExchangeSchedule, ExecutionMode, LogPModel};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -59,6 +60,35 @@ fn bench_schedules(c: &mut Criterion) {
     });
 }
 
+/// The chaos zero-cost claim: with no plan — or with `ChaosPlan::none()`
+/// installed — `exchange` must take its original fast routing path, so the
+/// two variants should measure identically (within noise).
+fn bench_exchange_chaos_off(c: &mut Criterion) {
+    let run = |chaos: Option<ChaosPlan>| {
+        let cfg = ClusterConfig {
+            mode: ExecutionMode::Sequential,
+            model: LogPModel::ethernet_1g(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(vec![0u64; 16], cfg);
+        if let Some(plan) = chaos {
+            cluster.set_chaos(plan);
+        }
+        for _ in 0..8 {
+            cluster.exchange(
+                |rank, _| (0..16).filter(|&d| d != rank).map(|d| (d, rank as u64)).collect(),
+                |_| 8,
+                |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+            );
+        }
+        cluster.stats().messages
+    };
+    c.bench_function("exchange/16r-8rounds/no-plan", |b| b.iter(|| black_box(run(None))));
+    c.bench_function("exchange/16r-8rounds/chaos-none", |b| {
+        b.iter(|| black_box(run(Some(ChaosPlan::none()))))
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -69,6 +99,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules
+    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules, bench_exchange_chaos_off
 }
 criterion_main!(benches);

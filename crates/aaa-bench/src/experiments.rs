@@ -7,8 +7,8 @@ use aaa_core::baseline::restart_run;
 use aaa_core::changes::{community_batch, CommunityBatchParams, VertexBatch};
 use aaa_core::strategies::{cut_edge_assign, round_robin_assign};
 use aaa_core::{
-    AnytimeEngine, AssignStrategy, CheckpointPolicy, ClusterError, ConvergenceSummary, CoreError,
-    DdPartitioner, EngineConfig, FaultPlan, QualityTracker, Snapshot,
+    AnytimeEngine, AssignStrategy, ChaosPlan, CheckpointPolicy, ClusterError, ConvergenceSummary,
+    CoreError, DdPartitioner, EngineConfig, FaultPlan, QualityTracker, RetryPolicy, Snapshot,
 };
 use aaa_graph::generators::{barabasi_albert, WeightModel};
 use aaa_graph::AdjGraph;
@@ -54,12 +54,42 @@ fn step_n(engine: &mut AnytimeEngine, steps: usize) {
     }
 }
 
-/// Drives the engine to convergence under the harness's checkpoint/fault
-/// flags: arms the fault (if any), snapshots per `--checkpoint-every`, and
-/// on an injected rank failure recovers the rank from the latest snapshot
-/// and resumes RC. With neither flag set this is plain
-/// `run_to_convergence`.
+/// Chaos horizon for harness runs: faults stop after this superstep, so
+/// every `--chaos` drive is recoverable (partial-synchrony GST).
+const CHAOS_HORIZON: u64 = 64;
+
+/// Drives the engine to convergence under the harness's chaos / checkpoint
+/// / fault flags: arms the fault (if any), snapshots per
+/// `--checkpoint-every`, and on an injected rank failure recovers the rank
+/// from the latest snapshot and resumes RC. With `--chaos` the drive goes
+/// through the supervised retry loop instead of plain RC stepping
+/// (`--checkpoint-every` is not supported in that mode). With no flags set
+/// this is plain `run_to_convergence`.
 pub fn drive_to_convergence(engine: &mut AnytimeEngine, args: &CommonArgs) -> ConvergenceSummary {
+    if let Some((seed, rate)) = args.chaos {
+        assert!(
+            args.checkpoint_every.is_none(),
+            "--chaos and --checkpoint-every cannot be combined"
+        );
+        engine.set_chaos(ChaosPlan::seeded(seed, rate, CHAOS_HORIZON));
+        if let Some((rank, superstep)) = args.fault {
+            engine.inject_fault(FaultPlan::at(rank, superstep));
+        }
+        let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+        let latest = engine.snapshot();
+        loop {
+            match engine.run_supervised(&retry) {
+                Ok(run) => {
+                    assert!(run.converged(), "harness chaos plans are eventually quiet");
+                    return run.summary;
+                }
+                Err(CoreError::Cluster(ClusterError::RankFailed { rank, .. })) => {
+                    engine.recover_rank(rank, &latest).expect("recovery from snapshot");
+                }
+                Err(e) => panic!("drive failed: {e}"),
+            }
+        }
+    }
     if args.checkpoint_every.is_none() && args.fault.is_none() {
         return engine.run_to_convergence();
     }
@@ -366,6 +396,53 @@ pub fn checkpoint_overhead(args: &CommonArgs) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos overhead
+// ---------------------------------------------------------------------------
+
+/// Cost of surviving message faults: converge the base graph under
+/// increasing fault rates (same seed, finite horizon) through the
+/// supervised loop, and report traffic / repair / simulated-time
+/// amplification against the clean run. Rate 0 doubles as the zero-cost
+/// check — its counters must read 0.
+pub fn chaos_overhead(args: &CommonArgs) -> Table {
+    let g = base_graph(args);
+    let mut table = Table::new(
+        format!(
+            "Chaos overhead ({} procs, {} vertices, seed {})",
+            args.procs, args.scale, args.seed
+        ),
+        &["fault rate", "messages", "injected", "retransmits", "sim time [s]", "overhead"],
+    );
+    let retry = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+    let mut clean_us = 0.0;
+    for rate in [0.0, 0.02, 0.05, 0.10] {
+        let mut engine = AnytimeEngine::new(g.clone(), args.engine_config()).expect("engine");
+        engine.set_chaos(ChaosPlan::seeded(args.seed, rate, 32));
+        let run = engine.run_supervised(&retry).expect("supervised run");
+        assert!(run.converged(), "rate {rate}: an eventually-quiet plan must reconverge");
+        let stats = engine.stats();
+        if rate == 0.0 {
+            assert_eq!(stats.faults.injected(), 0, "rate 0 must inject nothing");
+            clean_us = stats.sim_total_us();
+        }
+        let overhead = if rate == 0.0 {
+            "—".to_string()
+        } else {
+            format!("{:+.1}%", (stats.sim_total_us() / clean_us - 1.0) * 100.0)
+        };
+        table.row(vec![
+            format!("{rate:.2}"),
+            stats.messages.to_string(),
+            stats.faults.injected().to_string(),
+            stats.faults.retransmits.to_string(),
+            fmt_sim_secs(stats.sim_total_us()),
+            overhead,
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
@@ -503,6 +580,21 @@ mod tests {
         };
         // The fault fires during each run; the harness must recover from
         // the latest snapshot and still converge to a full table.
+        let t = fig4(&args);
+        assert!(t.render().lines().count() >= 5);
+    }
+
+    #[test]
+    fn chaos_overhead_shape() {
+        let t = chaos_overhead(&tiny());
+        let r = t.render();
+        assert!(r.contains("fault rate"));
+        assert!(r.lines().count() >= 6, "four rates + header lines");
+    }
+
+    #[test]
+    fn fig4_under_chaos_still_converges() {
+        let args = CommonArgs { chaos: Some((5, 0.1)), ..tiny() };
         let t = fig4(&args);
         assert!(t.render().lines().count() >= 5);
     }

@@ -11,6 +11,9 @@
 //! --checkpoint-every <N>  snapshot the engine after every N RC steps
 //! --fault <R@S>         kill rank R at superstep S; the harness recovers
 //!                       it from the latest snapshot and resumes
+//! --chaos <seed:rate>   arm the seeded message-fault injector at the given
+//!                       overall fault rate and drive convergence through
+//!                       the supervised retry loop
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -37,11 +40,22 @@ pub struct CommonArgs {
     /// Kill rank R at superstep S (`--fault R@S`); recovery comes from the
     /// latest snapshot.
     pub fault: Option<(usize, u64)>,
+    /// Arm the chaos layer with `ChaosPlan::seeded(seed, rate, …)`
+    /// (`--chaos seed:rate`).
+    pub chaos: Option<(u64, f64)>,
 }
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        Self { scale: 2_000, procs: 16, seed: 42, csv: None, checkpoint_every: None, fault: None }
+        Self {
+            scale: 2_000,
+            procs: 16,
+            seed: 42,
+            csv: None,
+            checkpoint_every: None,
+            fault: None,
+            chaos: None,
+        }
     }
 }
 
@@ -76,10 +90,17 @@ impl CommonArgs {
                         std::process::exit(2);
                     }));
                 }
+                "--chaos" => {
+                    let spec = take("--chaos");
+                    out.chaos = Some(parse_chaos_spec(&spec).unwrap_or_else(|| {
+                        eprintln!("--chaos wants seed:rate, e.g. --chaos 7:0.05");
+                        std::process::exit(2);
+                    }));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
-                         [--checkpoint-every N] [--fault R@S]"
+                         [--checkpoint-every N] [--fault R@S] [--chaos seed:rate]"
                     );
                     std::process::exit(0);
                 }
@@ -109,6 +130,16 @@ impl CommonArgs {
 fn parse_fault_spec(spec: &str) -> Option<(usize, u64)> {
     let (rank, step) = spec.split_once('@')?;
     Some((rank.trim().parse().ok()?, step.trim().parse().ok()?))
+}
+
+/// Parses a `seed:rate` chaos spec. The rate must lie in `[0, 1]`.
+fn parse_chaos_spec(spec: &str) -> Option<(u64, f64)> {
+    let (seed, rate) = spec.split_once(':')?;
+    let rate: f64 = rate.trim().parse().ok()?;
+    if !(0.0..=1.0).contains(&rate) {
+        return None;
+    }
+    Some((seed.trim().parse().ok()?, rate))
 }
 
 /// A printable/CSV-able results table.
@@ -222,6 +253,16 @@ mod tests {
         assert_eq!(parse_fault_spec(" 0 @ 12 "), Some((0, 12)));
         assert_eq!(parse_fault_spec("2"), None);
         assert_eq!(parse_fault_spec("a@b"), None);
+    }
+
+    #[test]
+    fn chaos_spec_parses_and_rejects_bad_rates() {
+        assert_eq!(parse_chaos_spec("7:0.05"), Some((7, 0.05)));
+        assert_eq!(parse_chaos_spec(" 42 : 1.0 "), Some((42, 1.0)));
+        assert_eq!(parse_chaos_spec("7:1.5"), None);
+        assert_eq!(parse_chaos_spec("7:-0.1"), None);
+        assert_eq!(parse_chaos_spec("7"), None);
+        assert_eq!(parse_chaos_spec("x:0.1"), None);
     }
 }
 

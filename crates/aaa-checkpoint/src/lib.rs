@@ -16,7 +16,7 @@
 //! crate only knows the *format* and the snapshot data model, so it
 //! depends on nothing above `aaa-graph` and `aaa-runtime`.
 //!
-//! ## Snapshot format appendix (version 1)
+//! ## Snapshot format appendix (version 2)
 //!
 //! All integers are **little-endian**. The file is a fixed header followed
 //! by length-prefixed, CRC-protected sections:
@@ -24,7 +24,7 @@
 //! ```text
 //! header   := magic version section_count
 //! magic    := 8 bytes  b"AAACKPT\0"
-//! version  := u32      format version (currently 1)
+//! version  := u32      format version (currently 2)
 //! section_count := u32 number of sections that follow
 //!
 //! section  := tag payload_len payload crc32
@@ -34,7 +34,7 @@
 //! crc32    := u32      CRC-32 (IEEE 802.3) of payload
 //! ```
 //!
-//! Version-1 section payloads, in the order they are written:
+//! Version-2 section payloads, in the order they are written:
 //!
 //! * `META` — `procs: u32`, `rc_steps: u64`, `rr_cursor: u64`,
 //!   `changes_applied: u64` (the pending change-stream cursor: how many
@@ -45,7 +45,9 @@
 //! * `PART` — `k: u32`, `len: u64`, then `len × u32` part ids.
 //! * `STAT` — `messages: u64`, `bytes: u64`, `sim_comm_us: f64`,
 //!   `sim_compute_us: f64`, `supersteps: u64`, `collectives: u64`,
-//!   `checkpoints: u64`, `restores: u64`, `wall_nanos: u64`.
+//!   `checkpoints: u64`, `restores: u64`, then the six chaos fault
+//!   counters `dropped, duplicated, delayed, corrupted, stalls,
+//!   retransmits` (each `u64`; added in version 2), `wall_nanos: u64`.
 //! * `RNKS` — one section **per rank**, so a single rank's rows can be
 //!   recovered without materializing the others: `rank: u32`, then four
 //!   length-prefixed lists — local rows (`v: u32, len: u64, len × u32`

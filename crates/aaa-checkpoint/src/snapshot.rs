@@ -1,4 +1,4 @@
-//! The snapshot data model and its version-1 binary encoding.
+//! The snapshot data model and its versioned binary encoding.
 //!
 //! The DTOs here mirror the engine's state without depending on
 //! `aaa-core`: the engine converts itself to/from a [`Snapshot`] and this
@@ -9,15 +9,17 @@ use crate::wire::{
     put_f64, put_u32, put_u64, read_section, read_u32, write_section, PayloadReader,
 };
 use aaa_graph::{Dist, PartId, VertexId, Weight};
-use aaa_runtime::RunStats;
+use aaa_runtime::{FaultCounters, RunStats};
 use std::io::{Read, Write};
 use std::time::Duration;
 
 /// First 8 bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"AAACKPT\0";
 
-/// Format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version this build writes and reads. Version 2 extended the
+/// STAT section with the chaos-layer fault counters; version-1 snapshots
+/// are rejected (no v1 archives exist — the format shipped unreleased).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Engine-level scalars: processor count, RC progress, the round-robin
 /// assignment cursor, and the change-stream cursor.
@@ -82,7 +84,7 @@ impl Snapshot {
         self.ranks.iter().find(|r| r.rank as usize == rank)
     }
 
-    /// Serializes to the version-1 binary format.
+    /// Serializes to the current binary format ([`FORMAT_VERSION`]).
     pub fn write_to(&self, mut w: impl Write) -> Result<(), CheckpointError> {
         w.write_all(&MAGIC)?;
         w.write_all(&FORMAT_VERSION.to_le_bytes())?;
@@ -123,6 +125,12 @@ impl Snapshot {
         put_u64(&mut p, self.stats.collectives);
         put_u64(&mut p, self.stats.checkpoints);
         put_u64(&mut p, self.stats.restores);
+        put_u64(&mut p, self.stats.faults.dropped);
+        put_u64(&mut p, self.stats.faults.duplicated);
+        put_u64(&mut p, self.stats.faults.delayed);
+        put_u64(&mut p, self.stats.faults.corrupted);
+        put_u64(&mut p, self.stats.faults.stalls);
+        put_u64(&mut p, self.stats.faults.retransmits);
         put_u64(&mut p, self.stats.wall.as_nanos() as u64);
         write_section(&mut w, b"STAT", &p)?;
 
@@ -157,7 +165,7 @@ impl Snapshot {
         Ok(buf)
     }
 
-    /// Deserializes from the version-1 binary format, verifying magic,
+    /// Deserializes from the current binary format, verifying magic,
     /// version, section structure and every CRC. All failure modes are
     /// typed [`CheckpointError`]s.
     pub fn read_from(mut r: impl Read) -> Result<Self, CheckpointError> {
@@ -240,6 +248,14 @@ impl Snapshot {
                         collectives: p.u64()?,
                         checkpoints: p.u64()?,
                         restores: p.u64()?,
+                        faults: FaultCounters {
+                            dropped: p.u64()?,
+                            duplicated: p.u64()?,
+                            delayed: p.u64()?,
+                            corrupted: p.u64()?,
+                            stalls: p.u64()?,
+                            retransmits: p.u64()?,
+                        },
                         wall: Duration::from_nanos(p.u64()?),
                     };
                     p.finish()?;
@@ -338,6 +354,14 @@ mod tests {
                 collectives: 2,
                 checkpoints: 1,
                 restores: 0,
+                faults: FaultCounters {
+                    dropped: 3,
+                    duplicated: 1,
+                    delayed: 2,
+                    corrupted: 1,
+                    stalls: 1,
+                    retransmits: 9,
+                },
                 wall: Duration::from_micros(1234),
             },
             ranks: vec![

@@ -4,6 +4,8 @@
 
 use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
+use crate::policy::RetryPolicy;
+use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
 use crate::rank::{GrowMsg, RankState, RowMsg};
 use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
 use aaa_checkpoint::{
@@ -16,7 +18,7 @@ use aaa_partition::simple::{
     BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
 };
 use aaa_partition::{MultilevelPartitioner, Partition, Partitioner};
-use aaa_runtime::{Cluster, ClusterConfig, FaultPlan, RunStats};
+use aaa_runtime::{ChaosPlan, Cluster, ClusterConfig, ClusterError, FaultPlan, RunStats};
 use std::io::{Read, Write};
 
 /// Which partitioner the domain-decomposition phase uses.
@@ -97,6 +99,30 @@ pub struct ConvergenceSummary {
     pub steps: usize,
     /// Whether the run reached quiescence (vs. hitting `max_rc_steps`).
     pub converged: bool,
+}
+
+/// Outcome of a supervised convergence run
+/// ([`AnytimeEngine::run_supervised`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedRun {
+    /// Steps executed and whether quiescence was reached.
+    pub summary: ConvergenceSummary,
+    /// Fault incidents the supervisor retried (resend + backoff).
+    pub retries: u64,
+    /// Checkpoint fallbacks performed.
+    pub fallbacks: u32,
+    /// Quiescence-time verification passes triggered by silently injected
+    /// faults (drops/delays leave no incident — only the counters move).
+    pub verification_passes: u64,
+    /// `Some` iff the run gave up and returned a degraded-mode answer.
+    pub degraded: Option<DegradedReport>,
+}
+
+impl SupervisedRun {
+    /// True iff the run reached a verified fixed point (not degraded).
+    pub fn converged(&self) -> bool {
+        self.summary.converged && self.degraded.is_none()
+    }
 }
 
 /// The anytime anywhere closeness-centrality engine.
@@ -648,13 +674,32 @@ impl AnytimeEngine {
         self.cluster.fault_plan()
     }
 
+    /// Arms the chaos layer: every subsequent cross-rank message is subject
+    /// to the plan's seeded drop/duplicate/delay/corrupt/stall faults (see
+    /// `aaa_runtime::chaos`). [`ChaosPlan::none`] disarms it — the cluster
+    /// then takes its original fast routing path, so an unarmed engine pays
+    /// nothing for this feature.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.cluster.set_chaos(plan);
+    }
+
+    /// The armed chaos plan, if any.
+    pub fn chaos_plan(&self) -> Option<ChaosPlan> {
+        self.cluster.chaos_plan()
+    }
+
     /// [`AnytimeEngine::rc_step`] with fault detection: returns
     /// `Err(CoreError::Cluster(RankFailed))` if the armed fault fires at
-    /// this barrier, leaving the engine intact so the caller can recover
-    /// the failed rank via [`AnytimeEngine::recover_rank`] and resume.
+    /// this barrier, or a chaos incident (`MessageCorrupted`,
+    /// `RankStalled`) if the chaos layer injected a *detectable* fault
+    /// during the step. Either way the engine stays intact: the caller can
+    /// recover the failed rank via [`AnytimeEngine::recover_rank`], or
+    /// retry the step — which [`AnytimeEngine::run_supervised`] automates.
     pub fn rc_step_checked(&mut self) -> Result<bool, CoreError> {
         self.cluster.poll_fault()?;
-        Ok(self.rc_step())
+        let more = self.rc_step();
+        self.cluster.poll_chaos()?;
+        Ok(more)
     }
 
     /// Fault-aware [`AnytimeEngine::run_to_convergence`].
@@ -684,6 +729,180 @@ impl AnytimeEngine {
             }
         }
         Ok(ConvergenceSummary { steps, converged: false })
+    }
+
+    /// Supervised convergence: [`AnytimeEngine::run_to_convergence`] under
+    /// a retry/backoff/fallback supervisor, with a **degraded-mode answer**
+    /// instead of an error when recovery is impossible.
+    ///
+    /// The loop reacts to the three ways the chaos layer can hurt a run:
+    ///
+    /// * **Detected incidents** (`MessageCorrupted`, `RankStalled`) — charge
+    ///   the policy's simulated backoff (plus the stall-detection deadline),
+    ///   mark every row for resend, and retry. Min-merge is idempotent, so
+    ///   re-announcing rows is always safe. `max_attempts` bounds
+    ///   *consecutive* faulty barriers; a clean step resets the counter.
+    /// * **Silent faults** (drops, delays) — invisible at the barrier, so
+    ///   quiescence cannot be trusted on its word. At quiescence the
+    ///   supervisor first drains any still-delayed messages, then compares
+    ///   the injected-fault counters against the last verified total; if
+    ///   they moved, it runs a **verification pass** (full resend) before
+    ///   accepting the fixed point. Convergence is declared only after a
+    ///   quiescent round with no new faults and nothing in flight.
+    /// * **Exhausted retries** — fall back to the snapshot taken at entry
+    ///   (`max_fallbacks` times), rebuilding the engine and re-arming the
+    ///   chaos/fault plans. When that budget is gone too, give up and
+    ///   return `Ok` with a [`DegradedReport`]: the current closeness
+    ///   estimate plus certified per-vertex error bounds — the anytime
+    ///   answer under unrecoverable faults.
+    ///
+    /// Injected **rank failures** ([`FaultPlan`]) still surface as
+    /// `Err(RankFailed)` — crash recovery needs the caller's checkpoint
+    /// and stays on the [`AnytimeEngine::recover_rank`] path.
+    pub fn run_supervised(&mut self, retry: &RetryPolicy) -> Result<SupervisedRun, CoreError> {
+        // The fallback snapshot is only worth its cost under chaos; an
+        // unarmed run must behave exactly like `run_to_convergence`.
+        let fallback = if self.cluster.chaos_plan().is_some() && retry.max_fallbacks > 0 {
+            Some(self.snapshot())
+        } else {
+            None
+        };
+        let mut attempts: u32 = 0;
+        let mut retries: u64 = 0;
+        let mut fallbacks: u32 = 0;
+        let mut verification_passes: u64 = 0;
+        let mut faults_seen = self.stats().faults.injected();
+        let mut steps = 0usize;
+        loop {
+            if steps >= self.config.max_rc_steps {
+                return Ok(self.degraded_run(
+                    steps,
+                    retries,
+                    fallbacks,
+                    verification_passes,
+                    DegradedReason::StepBudgetExhausted,
+                ));
+            }
+            steps += 1;
+            match self.rc_step_checked() {
+                Ok(true) => attempts = 0,
+                Ok(false) => {
+                    attempts = 0;
+                    // Quiescence claimed. Delayed messages still in flight
+                    // can reopen work — keep stepping until the queue
+                    // drains (each step advances the delay clock).
+                    if self.cluster.has_undelivered() {
+                        continue;
+                    }
+                    // Silent drops leave no incident; only the counters
+                    // move. Verify the fixed point with a full resend if
+                    // anything was injected since the last verified total.
+                    let injected_now = self.stats().faults.injected();
+                    if injected_now != faults_seen {
+                        faults_seen = injected_now;
+                        verification_passes += 1;
+                        self.resend_all();
+                        continue;
+                    }
+                    return Ok(SupervisedRun {
+                        summary: ConvergenceSummary { steps, converged: true },
+                        retries,
+                        fallbacks,
+                        verification_passes,
+                        degraded: None,
+                    });
+                }
+                Err(CoreError::Cluster(
+                    incident @ (ClusterError::MessageCorrupted { .. }
+                    | ClusterError::RankStalled { .. }),
+                )) => {
+                    attempts += 1;
+                    retries += 1;
+                    let mut wait = retry.backoff_us(attempts);
+                    if matches!(incident, ClusterError::RankStalled { .. }) {
+                        wait += retry.deadline_us;
+                    }
+                    self.cluster.charge_comm_us(wait);
+                    if attempts > retry.max_attempts {
+                        if fallbacks < retry.max_fallbacks {
+                            if let Some(snap) = &fallback {
+                                self.fallback_restore(snap)?;
+                                fallbacks += 1;
+                                attempts = 0;
+                                // Stats were rewound to the snapshot.
+                                faults_seen = self.stats().faults.injected();
+                                continue;
+                            }
+                        }
+                        return Ok(self.degraded_run(
+                            steps,
+                            retries,
+                            fallbacks,
+                            verification_passes,
+                            DegradedReason::RetriesExhausted { last: incident },
+                        ));
+                    }
+                    self.resend_all();
+                }
+                // Rank failures (and everything else) are not retryable
+                // here — they need the caller's checkpoint.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Marks every row on every rank for resend and accounts the repair
+    /// traffic as retransmissions.
+    fn resend_all(&mut self) {
+        let per_rank = self.cluster.step(|_, s| {
+            s.mark_all_for_resend();
+            s.local_vertices().len() as u64
+        });
+        self.cluster.record_retransmits(per_rank.into_iter().sum());
+    }
+
+    /// Rebuilds the engine from `snap` and re-arms the chaos and fault
+    /// plans (they live in the replaced cluster, not in the snapshot).
+    fn fallback_restore(&mut self, snap: &Snapshot) -> Result<(), CoreError> {
+        let chaos = self.cluster.chaos_plan();
+        let fault = self.cluster.fault_plan();
+        *self = Self::from_snapshot(snap, self.config.clone())?;
+        if let Some(c) = chaos {
+            self.cluster.set_chaos(c);
+        }
+        if let Some(f) = fault {
+            self.cluster.inject_fault(f);
+        }
+        // Restart announcement flow from the restored rows.
+        self.resend_all();
+        Ok(())
+    }
+
+    /// Assembles the degraded-mode answer from the engine's current state.
+    fn degraded_run(
+        &mut self,
+        steps: usize,
+        retries: u64,
+        fallbacks: u32,
+        verification_passes: u64,
+        reason: DegradedReason,
+    ) -> SupervisedRun {
+        let estimate = self.closeness();
+        let rows = self.distances();
+        let bound = degraded_closeness_bounds(&self.graph, &rows);
+        SupervisedRun {
+            summary: ConvergenceSummary { steps, converged: false },
+            retries,
+            fallbacks,
+            verification_passes,
+            degraded: Some(DegradedReport {
+                reason,
+                rc_steps: self.rc_steps,
+                faults: self.stats().faults,
+                estimate,
+                bound,
+            }),
+        }
     }
 
     /// Rebuilds a failed rank from the last checkpoint and re-enters RC.

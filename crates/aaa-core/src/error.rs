@@ -76,6 +76,10 @@ mod tests {
         assert!(e.to_string().contains("procs = 0"));
         let e: CoreError = ClusterError::RankFailed { rank: 3, superstep: 7 }.into();
         assert!(e.to_string().contains("rank 3"));
+        let e: CoreError = ClusterError::MessageCorrupted { src: 1, dst: 2, superstep: 5 }.into();
+        assert!(e.to_string().contains("corrupted"));
+        let e: CoreError = ClusterError::RankStalled { rank: 0, superstep: 9 }.into();
+        assert!(e.to_string().contains("stalled"));
         let e: CoreError = CheckpointError::Truncated { section: "META" }.into();
         assert!(e.to_string().contains("META"));
     }

@@ -20,7 +20,12 @@
 //!   [`AnytimeEngine::restore`] snapshots at superstep barriers, policies
 //!   ([`CheckpointPolicy`]), and rank-failure recovery
 //!   ([`AnytimeEngine::recover_rank`]) built on the `aaa-checkpoint`
-//!   snapshot format.
+//!   snapshot format;
+//! * **chaos-tolerant communication** — seeded message-fault injection
+//!   ([`ChaosPlan`]), the supervised retry/backoff/fallback convergence
+//!   loop ([`AnytimeEngine::run_supervised`], [`RetryPolicy`]), and
+//!   degraded-mode answers with certified error bounds
+//!   ([`DegradedReport`]).
 //!
 //! ```
 //! use aaa_core::{AnytimeEngine, EngineConfig, AssignStrategy};
@@ -49,10 +54,12 @@ pub mod rank;
 pub mod strategies;
 
 pub use aaa_checkpoint::{CheckpointError, CheckpointPolicy, Snapshot};
-pub use aaa_runtime::{ClusterError, FaultPlan};
+pub use aaa_runtime::{ChannelFault, ChaosPlan, ClusterError, FaultCounters, FaultPlan};
 pub use changes::{DynamicChange, NewVertex, VertexBatch};
-pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig};
+pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig, SupervisedRun};
 pub use error::CoreError;
-pub use policy::StrategyPolicy;
-pub use quality::{QualitySample, QualityTracker};
+pub use policy::{RetryPolicy, StrategyPolicy};
+pub use quality::{
+    degraded_closeness_bounds, DegradedReason, DegradedReport, QualitySample, QualityTracker,
+};
 pub use strategies::AssignStrategy;

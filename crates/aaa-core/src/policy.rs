@@ -61,6 +61,55 @@ impl StrategyPolicy {
     }
 }
 
+/// Retry/backoff policy for the supervised convergence loop
+/// (`AnytimeEngine::run_supervised`).
+///
+/// Attempts count *consecutive* faulty barriers: a clean RC step resets the
+/// counter, so a long run under a low fault rate is not starved by its
+/// cumulative fault total. Backoff is charged to the **simulated** clock
+/// (`sim_comm_us`) — it models the waiting a real supervised MPI runtime
+/// would do, without slowing the in-process harness down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Consecutive faulty barriers tolerated before falling back to the
+    /// last checkpoint (or degrading, if fallbacks are exhausted too).
+    pub max_attempts: u32,
+    /// Checkpoint fallbacks allowed before the loop gives up and returns a
+    /// degraded-mode answer.
+    pub max_fallbacks: u32,
+    /// Simulated backoff charged for the first retry (µs).
+    pub backoff_base_us: f64,
+    /// Multiplier applied per further consecutive retry (exponential
+    /// backoff).
+    pub backoff_factor: f64,
+    /// Extra simulated time charged when a rank stall is detected — the
+    /// supervisor's per-superstep deadline that expired before it declared
+    /// the rank slow (µs).
+    pub deadline_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            max_fallbacks: 1,
+            backoff_base_us: 200.0,
+            backoff_factor: 2.0,
+            deadline_us: 5_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated backoff before retry number `attempt` (1-based):
+    /// `base · factor^(attempt−1)`, with the exponent clamped so pathological
+    /// policies cannot overflow to infinity.
+    pub fn backoff_us(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        self.backoff_base_us * self.backoff_factor.powi(exp as i32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +159,19 @@ mod tests {
         let policy = StrategyPolicy::default();
         let batch = batch_with_internal(5, 0);
         let _ = policy.choose(&batch, 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff_us(1) - 200.0).abs() < 1e-9);
+        assert!((p.backoff_us(2) - 400.0).abs() < 1e-9);
+        assert!((p.backoff_us(4) - 1600.0).abs() < 1e-9);
+        // Exponent clamps at 16: attempt 18 and attempt 100 cost the same.
+        assert_eq!(p.backoff_us(18), p.backoff_us(100));
+        assert!(p.backoff_us(100).is_finite());
+        // attempt 0 is treated as the first retry.
+        assert_eq!(p.backoff_us(0), p.backoff_us(1));
     }
 
     #[test]

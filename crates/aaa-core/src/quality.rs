@@ -5,8 +5,12 @@
 //! measures that: it compares the engine's partial closeness values against
 //! the exact values for the current graph and records the error per RC step.
 
-use aaa_graph::closeness::{closeness_exact, mean_relative_error, top_k};
-use aaa_graph::{AdjGraph, Csr};
+use aaa_graph::apsp::DistMatrix;
+use aaa_graph::closeness::{closeness_exact, closeness_from_row, mean_relative_error, top_k};
+use aaa_graph::{AdjGraph, Csr, INF};
+use aaa_runtime::{ClusterError, FaultCounters};
+use std::collections::VecDeque;
+use std::fmt;
 
 /// One quality sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +72,148 @@ impl QualityTracker {
     }
 }
 
+// ----------------------------------------------------------------
+// Degraded-mode answers
+// ----------------------------------------------------------------
+
+/// Why the supervised convergence loop gave up and degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// Retry and checkpoint-fallback budgets were both exhausted; `last`
+    /// is the incident that broke the camel's back.
+    RetriesExhausted {
+        /// The final fault incident observed before giving up.
+        last: ClusterError,
+    },
+    /// The `max_rc_steps` safety bound was hit before quiescence.
+    StepBudgetExhausted,
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedReason::RetriesExhausted { last } => {
+                write!(f, "retry and fallback budgets exhausted (last incident: {last})")
+            }
+            DegradedReason::StepBudgetExhausted => {
+                write!(f, "RC step budget exhausted before quiescence")
+            }
+        }
+    }
+}
+
+/// The degraded-mode answer: the engine's current closeness estimate plus
+/// a per-vertex **certified error bound** — the anytime contract under
+/// unrecoverable faults ("an answer now, with a quality label", §III).
+///
+/// Soundness: `|exact(v) − estimate(v)| ≤ bound(v)` for every vertex, by
+/// construction of [`degraded_closeness_bounds`]; [`DegradedReport::certifies`]
+/// checks exactly that against a reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReport {
+    /// Why the supervised loop degraded instead of converging.
+    pub reason: DegradedReason,
+    /// RC steps the engine had completed when the report was taken.
+    pub rc_steps: usize,
+    /// Fault counters accumulated over the whole run.
+    pub faults: FaultCounters,
+    /// Closeness estimate per vertex (the anytime answer as-is).
+    pub estimate: Vec<f64>,
+    /// Certified per-vertex bound on `|exact − estimate|`.
+    pub bound: Vec<f64>,
+}
+
+impl DegradedReport {
+    /// Largest per-vertex bound (0 for an empty graph).
+    pub fn max_bound(&self) -> f64 {
+        self.bound.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean per-vertex bound (0 for an empty graph).
+    pub fn mean_bound(&self) -> f64 {
+        if self.bound.is_empty() {
+            0.0
+        } else {
+            self.bound.iter().sum::<f64>() / self.bound.len() as f64
+        }
+    }
+
+    /// True iff the report's bounds cover the given exact closeness values:
+    /// `|exact(v) − estimate(v)| ≤ bound(v)` everywhere (with float slack).
+    pub fn certifies(&self, exact: &[f64]) -> bool {
+        exact.len() == self.estimate.len()
+            && exact
+                .iter()
+                .zip(&self.estimate)
+                .zip(&self.bound)
+                .all(|((&ex, &est), &b)| (ex - est).abs() <= b + 1e-12)
+    }
+}
+
+/// Unit-weight BFS hop counts from `src` (`u32::MAX` = unreachable).
+fn hops_from(graph: &AdjGraph, src: u32) -> Vec<u32> {
+    let mut hops = vec![u32::MAX; graph.num_vertices()];
+    hops[src as usize] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(v) = q.pop_front() {
+        let h = hops[v as usize] + 1;
+        for &(t, _) in graph.neighbors(v) {
+            if hops[t as usize] == u32::MAX {
+                hops[t as usize] = h;
+                q.push_back(t);
+            }
+        }
+    }
+    hops
+}
+
+/// Per-vertex certified bounds on `|exact − estimate|` closeness, from the
+/// engine's current DV matrix and the (driver-known) graph structure.
+///
+/// The argument uses two invariants that hold throughout the RC phase, even
+/// under message loss:
+///
+/// * every finite DV entry is an **upper bound** on the true distance
+///   (entries only ever min-merge downward from genuine path lengths), so
+///   when the row covers every truly-reachable vertex, the estimate is a
+///   **lower** bound on true closeness (`c_lo = c_est`);
+/// * `w_min · hops(v,u)` is a **lower bound** on every true distance, so
+///   `c_hi = 1/Σ_reachable w_min·hops` is an upper bound on true closeness.
+///
+/// The bound is `max(c_est − c_lo, c_hi − c_est)`, clamped at 0. Rows that
+/// miss a reachable vertex (or carry an entry BFS says is unreachable —
+/// impossible unless state was corrupted) get the conservative `c_lo = 0`.
+pub fn degraded_closeness_bounds(graph: &AdjGraph, rows: &DistMatrix) -> Vec<f64> {
+    let n = graph.num_vertices();
+    assert_eq!(rows.n(), n, "distance matrix does not match the graph");
+    let w_min = graph.edges().map(|(_, _, w)| w).min().unwrap_or(1).max(1) as u64;
+    (0..n as u32)
+        .map(|v| {
+            let hops = hops_from(graph, v);
+            let row = rows.row(v);
+            let mut lower_sum = 0u64;
+            let mut covered = true;
+            for u in 0..n {
+                if u as u32 == v {
+                    continue;
+                }
+                if hops[u] != u32::MAX {
+                    lower_sum += w_min * hops[u] as u64;
+                    if row[u] == INF {
+                        covered = false;
+                    }
+                } else if row[u] != INF {
+                    covered = false;
+                }
+            }
+            let c_est = closeness_from_row(row);
+            let c_hi = if lower_sum > 0 { 1.0 / lower_sum as f64 } else { 0.0 };
+            let c_lo = if covered { c_est } else { 0.0 };
+            ((c_est - c_lo).max(c_hi - c_est)).max(0.0)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +251,89 @@ mod tests {
         let g = barabasi_albert(10, 2, WeightModel::Unit, 1).unwrap();
         let mut t = QualityTracker::new(&g, 3);
         t.record(0, &[0.0; 5]);
+    }
+
+    /// Rows holding only the IA-grade knowledge (self + direct neighbours)
+    /// must still produce bounds that cover the true closeness.
+    #[test]
+    fn degraded_bounds_cover_exact_for_partial_rows() {
+        for seed in [1u64, 7, 42] {
+            let g =
+                barabasi_albert(40, 2, WeightModel::UniformRange { lo: 1, hi: 5 }, seed).unwrap();
+            let n = g.num_vertices();
+            let exact = closeness_exact(&Csr::from_adj(&g));
+            let mut rows = DistMatrix::new(n);
+            for v in 0..n as u32 {
+                for &(t, w) in g.neighbors(v) {
+                    rows.set(v, t, w);
+                }
+            }
+            let bound = degraded_closeness_bounds(&g, &rows);
+            let estimate: Vec<f64> =
+                (0..n as u32).map(|v| closeness_from_row(rows.row(v))).collect();
+            let report = DegradedReport {
+                reason: DegradedReason::StepBudgetExhausted,
+                rc_steps: 0,
+                faults: FaultCounters::default(),
+                estimate: estimate.clone(),
+                bound: bound.clone(),
+            };
+            assert!(report.certifies(&exact), "seed {seed}: bounds failed to cover exact");
+            assert!(report.max_bound() > 0.0, "partial rows must admit real uncertainty");
+            assert!(report.mean_bound() <= report.max_bound());
+        }
+    }
+
+    /// Fully converged rows are covered with the tight `c_lo = c_est` case:
+    /// the bound collapses to `c_hi − c_est` and still certifies.
+    #[test]
+    fn degraded_bounds_cover_exact_for_converged_rows() {
+        let g = barabasi_albert(30, 2, WeightModel::Unit, 9).unwrap();
+        let exact = closeness_exact(&Csr::from_adj(&g));
+        let rows = aaa_graph::apsp::apsp_dijkstra(&Csr::from_adj(&g));
+        let bound = degraded_closeness_bounds(&g, &rows);
+        let estimate: Vec<f64> =
+            (0..g.num_vertices() as u32).map(|v| closeness_from_row(rows.row(v))).collect();
+        for (v, (est, ex)) in estimate.iter().zip(&exact).enumerate() {
+            assert!((est - ex).abs() < 1e-12, "vertex {v}: converged rows must equal exact");
+        }
+        let report = DegradedReport {
+            reason: DegradedReason::RetriesExhausted {
+                last: ClusterError::RankStalled { rank: 1, superstep: 4 },
+            },
+            rc_steps: 10,
+            faults: FaultCounters { stalls: 3, ..FaultCounters::default() },
+            estimate,
+            bound,
+        };
+        assert!(report.certifies(&exact));
+        assert!(report.reason.to_string().contains("stalled"));
+        assert!(DegradedReason::StepBudgetExhausted.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn isolated_vertices_get_zero_bound() {
+        // 0–1 connected by an edge; 2 isolated.
+        let mut g = AdjGraph::with_vertices(3);
+        g.add_edge(0, 1, 2).unwrap();
+        let mut rows = DistMatrix::new(3);
+        rows.set(0, 1, 2);
+        rows.set(1, 0, 2);
+        let bound = degraded_closeness_bounds(&g, &rows);
+        assert_eq!(bound[2], 0.0, "an isolated vertex's closeness 0 is exact");
+        // 0 and 1 have fully-covered rows: bound is c_hi − c_est = 0 here
+        // because the only reachable vertex is the direct neighbour at the
+        // minimum weight.
+        assert!(bound[0].abs() < 1e-12 && bound[1].abs() < 1e-12);
+        let exact = closeness_exact(&Csr::from_adj(&g));
+        let estimate: Vec<f64> = (0..3).map(|v| closeness_from_row(rows.row(v))).collect();
+        let report = DegradedReport {
+            reason: DegradedReason::StepBudgetExhausted,
+            rc_steps: 1,
+            faults: FaultCounters::default(),
+            estimate,
+            bound,
+        };
+        assert!(report.certifies(&exact));
     }
 }

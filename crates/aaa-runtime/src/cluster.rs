@@ -1,11 +1,13 @@
 //! The BSP cluster: P ranks with private state, superstep execution,
 //! message routing and cost accounting.
 
+use crate::chaos::{ChannelFault, ChaosPlan};
 use crate::logp::LogPModel;
 use crate::schedule::{all_to_all_cost_us, ExchangeSchedule};
 use crate::stats::RunStats;
 use crate::Rank;
 use rayon::prelude::*;
+use std::any::Any;
 use std::time::Instant;
 
 /// How rank computation is executed.
@@ -49,7 +51,15 @@ impl FaultPlan {
     /// `seed`, with the rank in `0..p` and the superstep in
     /// `1..=max_superstep`. The same seed always kills the same rank at
     /// the same barrier, so failure experiments are reproducible.
+    ///
+    /// Degenerate inputs (`p == 0` or `max_superstep == 0`) leave no valid
+    /// coordinate to sample; they yield [`FaultPlan::inert`] rather than a
+    /// plan that fires at a made-up coordinate (or a panic on the empty
+    /// sampling range).
     pub fn seeded(seed: u64, p: usize, max_superstep: u64) -> Self {
+        if p == 0 || max_superstep == 0 {
+            return Self::inert();
+        }
         // SplitMix64: two independent draws from one seed.
         let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
         let mut next = move || {
@@ -59,9 +69,19 @@ impl FaultPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
             z ^ (z >> 31)
         };
-        let rank = (next() % p.max(1) as u64) as Rank;
-        let superstep = 1 + next() % max_superstep.max(1);
+        let rank = (next() % p as u64) as Rank;
+        let superstep = 1 + next() % max_superstep;
         Self { rank, superstep }
+    }
+
+    /// A plan that never fires (its barrier is unreachable).
+    pub const fn inert() -> Self {
+        Self { rank: 0, superstep: u64::MAX }
+    }
+
+    /// True if this plan can never fire.
+    pub fn is_inert(&self) -> bool {
+        self.superstep == u64::MAX
     }
 }
 
@@ -70,6 +90,12 @@ impl FaultPlan {
 pub enum ClusterError {
     /// A rank died at a superstep barrier; its private state is lost.
     RankFailed { rank: Rank, superstep: u64 },
+    /// A message failed the receiver's checksum and was discarded; the
+    /// payload from `src` never reached `dst`.
+    MessageCorrupted { src: Rank, dst: Rank, superstep: u64 },
+    /// A rank missed its superstep deadline without dying: its outbox is
+    /// held at the sender and flushed one superstep late.
+    RankStalled { rank: Rank, superstep: u64 },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -78,11 +104,38 @@ impl std::fmt::Display for ClusterError {
             ClusterError::RankFailed { rank, superstep } => {
                 write!(f, "rank {rank} failed at superstep {superstep}")
             }
+            ClusterError::MessageCorrupted { src, dst, superstep } => {
+                write!(f, "message {src}→{dst} corrupted at superstep {superstep}")
+            }
+            ClusterError::RankStalled { rank, superstep } => {
+                write!(f, "rank {rank} stalled at superstep {superstep}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+/// A message parked in the delay queue: either a [`ChannelFault::Delay`]
+/// victim or a stalled rank's outbox, delivered at the first exchange of
+/// the matching payload type at or after superstep `due`. The payload is
+/// type-erased because `exchange` is generic per call.
+struct DelayedMsg {
+    due: u64,
+    src: Rank,
+    dst: Rank,
+    payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for DelayedMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayedMsg")
+            .field("due", &self.due)
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .finish_non_exhaustive()
+    }
+}
 
 /// A fixed set of `P` ranks advanced in BSP supersteps.
 ///
@@ -95,13 +148,24 @@ pub struct Cluster<S> {
     config: ClusterConfig,
     stats: RunStats,
     fault: Option<FaultPlan>,
+    chaos: Option<ChaosPlan>,
+    delayed: Vec<DelayedMsg>,
+    pending_chaos: Vec<ClusterError>,
 }
 
 impl<S: Send> Cluster<S> {
     /// Creates a cluster owning one state per rank.
     pub fn new(states: Vec<S>, config: ClusterConfig) -> Self {
         assert!(!states.is_empty(), "cluster needs at least one rank");
-        Self { states, config, stats: RunStats::default(), fault: None }
+        Self {
+            states,
+            config,
+            stats: RunStats::default(),
+            fault: None,
+            chaos: None,
+            delayed: Vec::new(),
+            pending_chaos: Vec::new(),
+        }
     }
 
     /// Number of ranks.
@@ -156,7 +220,7 @@ impl<S: Send> Cluster<S> {
     /// Called by the engine at every RC-step barrier.
     pub fn poll_fault(&mut self) -> Result<(), ClusterError> {
         if let Some(plan) = self.fault {
-            if self.stats.supersteps >= plan.superstep {
+            if !plan.is_inert() && self.stats.supersteps >= plan.superstep {
                 self.fault = None;
                 return Err(ClusterError::RankFailed {
                     rank: plan.rank,
@@ -165,6 +229,58 @@ impl<S: Send> Cluster<S> {
             }
         }
         Ok(())
+    }
+
+    /// Installs a chaos plan for all subsequent exchanges and broadcasts.
+    /// An inert plan ([`ChaosPlan::none`] or equivalent) uninstalls chaos
+    /// entirely, so the disabled path stays zero-cost.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = if plan.is_none() { None } else { Some(plan) };
+    }
+
+    /// The installed chaos plan, if any.
+    pub fn chaos_plan(&self) -> Option<ChaosPlan> {
+        self.chaos
+    }
+
+    /// Whether faults may still fire at the *current* superstep (a plan is
+    /// installed and the chaos horizon has not passed).
+    pub fn chaos_active(&self) -> bool {
+        self.chaos.is_some_and(|c| c.active_at(self.stats.supersteps))
+    }
+
+    /// True while the delay queue holds messages that have not been
+    /// delivered yet. A quiescent-looking cluster with undelivered traffic
+    /// is *not* done — the supervised loop keeps stepping until this
+    /// drains.
+    pub fn has_undelivered(&self) -> bool {
+        !self.delayed.is_empty()
+    }
+
+    /// Surfaces chaos incidents detected at the last barrier (corruptions,
+    /// stalls). At most one incident is returned per poll and the rest of
+    /// the batch is cleared — the supervised loop reacts once per barrier;
+    /// [`RunStats::faults`] keeps the exact totals.
+    pub fn poll_chaos(&mut self) -> Result<(), ClusterError> {
+        match self.pending_chaos.first().copied() {
+            None => Ok(()),
+            Some(incident) => {
+                self.pending_chaos.clear();
+                Err(incident)
+            }
+        }
+    }
+
+    /// Counts rows re-announced by a supervised retry / verification pass.
+    pub fn record_retransmits(&mut self, rows: u64) {
+        self.stats.faults.retransmits += rows;
+    }
+
+    /// Charges simulated communication time directly — the supervised loop
+    /// uses this for retry backoff and stall-detection deadlines, which are
+    /// real elapsed network time in the modelled cluster.
+    pub fn charge_comm_us(&mut self, us: f64) {
+        self.stats.sim_comm_us += us;
     }
 
     /// Counts a checkpoint in the run statistics.
@@ -232,33 +348,51 @@ impl<S: Send> Cluster<S> {
     ///
     /// Self-addressed messages are delivered locally and cost nothing.
     ///
+    /// With a [`ChaosPlan`] installed, every cross-rank message is routed
+    /// through its [`ChannelFault`] fate (drop / duplicate / delay /
+    /// corrupt), whole outboxes are held when their rank stalls, and due
+    /// delayed messages from earlier supersteps are appended to the
+    /// inboxes. Fates are drawn in this driver-side routing phase — which
+    /// is sequential under both execution modes — so a seeded plan is
+    /// exactly reproducible. Without a plan (and with an empty delay
+    /// queue) routing takes the original fast path: no per-message chaos
+    /// branch exists on it.
+    ///
     /// # Panics
     /// If a message is addressed to a rank `>= P`.
     pub fn exchange<M, FP, FS, FC>(&mut self, produce: FP, size_of: FS, consume: FC)
     where
-        M: Send,
+        M: Clone + Send + 'static,
         FP: Fn(Rank, &mut S) -> Vec<(Rank, M)> + Sync,
         FS: Fn(&M) -> usize + Sync,
         FC: Fn(Rank, &mut S, Vec<(Rank, M)>) + Sync,
     {
         let p = self.p();
+        // The chaos coordinate of this exchange: the superstep count as
+        // its barrier opens (captured before the produce step bumps it).
+        let superstep = self.stats.supersteps;
         // Phase 1: produce (compute superstep).
         let outboxes: Vec<Vec<(Rank, M)>> = self.step(produce);
 
         // Phase 2: price and route.
         let mut bytes = vec![vec![0usize; p]; p];
         let mut inboxes: Vec<Vec<(Rank, M)>> = (0..p).map(|_| Vec::new()).collect();
-        for (src, outbox) in outboxes.into_iter().enumerate() {
-            for (dst, msg) in outbox {
-                assert!(dst < p, "rank {src} addressed message to nonexistent rank {dst}");
-                if dst != src {
-                    let sz = size_of(&msg);
-                    bytes[src][dst] += sz;
-                    self.stats.messages += 1;
-                    self.stats.bytes += sz as u64;
+        if self.chaos.is_none() && self.delayed.is_empty() {
+            // Fast path — byte-for-byte the pre-chaos routing loop.
+            for (src, outbox) in outboxes.into_iter().enumerate() {
+                for (dst, msg) in outbox {
+                    assert!(dst < p, "rank {src} addressed message to nonexistent rank {dst}");
+                    if dst != src {
+                        let sz = size_of(&msg);
+                        bytes[src][dst] += sz;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                    }
+                    inboxes[dst].push((src, msg));
                 }
-                inboxes[dst].push((src, msg));
             }
+        } else {
+            self.route_with_chaos(superstep, outboxes, &size_of, &mut bytes, &mut inboxes);
         }
         self.stats.sim_comm_us +=
             all_to_all_cost_us(self.config.schedule, &self.config.model, &bytes);
@@ -282,9 +416,142 @@ impl<S: Send> Cluster<S> {
         self.record_compute(&times, wall);
     }
 
+    /// The chaos/delay-queue routing path of [`Cluster::exchange`]. Runs
+    /// sequentially at the driver regardless of execution mode, so fault
+    /// fates — keyed on `(seed, superstep, src, dst, ordinal)` — are
+    /// identical under `Sequential` and `Parallel`.
+    ///
+    /// Pricing rules: delivered, dropped and corrupted copies traversed
+    /// the wire and are priced at this barrier (a corruption additionally
+    /// pays a 1-byte NACK); duplicates are priced twice; delayed and
+    /// stall-held messages are priced when they finally traverse. Self
+    /// messages are local and exempt from chaos entirely.
+    fn route_with_chaos<M, FS>(
+        &mut self,
+        superstep: u64,
+        outboxes: Vec<Vec<(Rank, M)>>,
+        size_of: &FS,
+        bytes: &mut [Vec<usize>],
+        inboxes: &mut [Vec<(Rank, M)>],
+    ) where
+        M: Clone + Send + 'static,
+        FS: Fn(&M) -> usize,
+    {
+        let p = self.p();
+        let chaos = self.chaos.filter(|c| c.active_at(superstep));
+        let mut ordinal = 0u64;
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            if chaos.is_some_and(|c| c.stalls(superstep, src)) && !outbox.is_empty() {
+                // The whole outbox misses the barrier and flushes next
+                // superstep; local deliveries are unaffected.
+                self.stats.faults.stalls += 1;
+                self.pending_chaos.push(ClusterError::RankStalled { rank: src, superstep });
+                for (dst, msg) in outbox {
+                    assert!(dst < p, "rank {src} addressed message to nonexistent rank {dst}");
+                    if dst == src {
+                        inboxes[dst].push((src, msg));
+                    } else {
+                        self.delayed.push(DelayedMsg {
+                            due: superstep + 1,
+                            src,
+                            dst,
+                            payload: Box::new(msg),
+                        });
+                    }
+                }
+                continue;
+            }
+            for (dst, msg) in outbox {
+                assert!(dst < p, "rank {src} addressed message to nonexistent rank {dst}");
+                if dst == src {
+                    inboxes[dst].push((src, msg));
+                    continue;
+                }
+                ordinal += 1;
+                let fate =
+                    chaos.map_or(ChannelFault::Deliver, |c| c.fate(superstep, src, dst, ordinal));
+                let sz = size_of(&msg);
+                match fate {
+                    ChannelFault::Deliver => {
+                        bytes[src][dst] += sz;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        inboxes[dst].push((src, msg));
+                    }
+                    ChannelFault::Drop => {
+                        // Transmitted and lost: costs bandwidth, delivers
+                        // nothing. Safe because DV rows are upper bounds —
+                        // a drop loses progress, never correctness.
+                        bytes[src][dst] += sz;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        self.stats.faults.dropped += 1;
+                    }
+                    ChannelFault::Duplicate => {
+                        bytes[src][dst] += 2 * sz;
+                        self.stats.messages += 2;
+                        self.stats.bytes += 2 * sz as u64;
+                        self.stats.faults.duplicated += 1;
+                        inboxes[dst].push((src, msg.clone()));
+                        inboxes[dst].push((src, msg));
+                    }
+                    ChannelFault::Delay(k) => {
+                        self.stats.faults.delayed += 1;
+                        self.delayed.push(DelayedMsg {
+                            due: superstep + k,
+                            src,
+                            dst,
+                            payload: Box::new(msg),
+                        });
+                    }
+                    ChannelFault::Corrupt => {
+                        // Paid for the garbled copy plus a 1-byte NACK;
+                        // the receiver's checksum rejects the payload.
+                        bytes[src][dst] += sz;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        self.stats.sim_comm_us += self.config.model.message_cost_us(1);
+                        self.stats.faults.corrupted += 1;
+                        self.pending_chaos.push(ClusterError::MessageCorrupted {
+                            src,
+                            dst,
+                            superstep,
+                        });
+                    }
+                }
+            }
+        }
+        // Deliver due queue entries of this payload type, in queue order
+        // (deterministic; consumers min-merge, so order is also
+        // semantically irrelevant). They traverse the wire now, so they
+        // are priced now.
+        let mut kept = Vec::with_capacity(self.delayed.len());
+        for d in std::mem::take(&mut self.delayed) {
+            if d.due <= superstep && d.payload.is::<M>() {
+                let msg = *d.payload.downcast::<M>().expect("type just checked");
+                let sz = size_of(&msg);
+                bytes[d.src][d.dst] += sz;
+                self.stats.messages += 1;
+                self.stats.bytes += sz as u64;
+                inboxes[d.dst].push((d.src, msg));
+            } else {
+                kept.push(d);
+            }
+        }
+        self.delayed = kept;
+    }
+
     /// Broadcast from `root`: `produce` builds the payload on the root rank,
     /// then every rank (including the root) consumes a reference to it.
     /// Priced as a binomial tree of `size` bytes.
+    ///
+    /// Collectives are *reliable*: the tree links are acknowledged, so a
+    /// chaos plan never loses a broadcast payload — structural updates
+    /// (new vertices, partition maps) must reach every rank or the cluster
+    /// would diverge unrecoverably. Chaos instead prices the reliability:
+    /// dropped or corrupted tree links cost a retransmission, duplicates
+    /// cost a redundant copy, delayed links add latency. All are counted
+    /// in [`RunStats::faults`].
     pub fn broadcast<M, FP, FC>(
         &mut self,
         root: Rank,
@@ -304,6 +571,45 @@ impl<S: Send> Cluster<S> {
         self.stats.messages += (p - 1) as u64;
         self.stats.bytes += (sz * (p - 1)) as u64;
         self.stats.collectives += 1;
+        let superstep = self.stats.supersteps;
+        if self.chaos.is_some_and(|c| c.active_at(superstep)) {
+            let plan = self.chaos.expect("checked above");
+            let link_cost = self.config.model.message_cost_us(sz);
+            for (ordinal, (from, to)) in
+                crate::schedule::broadcast_tree(p, root).into_iter().enumerate()
+            {
+                match plan.fate(superstep, from, to, ordinal as u64) {
+                    ChannelFault::Deliver => {}
+                    ChannelFault::Drop => {
+                        // Lost link: one retransmission after a timeout.
+                        self.stats.faults.dropped += 1;
+                        self.stats.faults.retransmits += 1;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        self.stats.sim_comm_us += link_cost;
+                    }
+                    ChannelFault::Duplicate => {
+                        self.stats.faults.duplicated += 1;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        self.stats.sim_comm_us += link_cost;
+                    }
+                    ChannelFault::Delay(k) => {
+                        // The subtree waits k extra link latencies.
+                        self.stats.faults.delayed += 1;
+                        self.stats.sim_comm_us += k as f64 * link_cost;
+                    }
+                    ChannelFault::Corrupt => {
+                        // Checksum failure on a tree link: NACK + resend.
+                        self.stats.faults.corrupted += 1;
+                        self.stats.faults.retransmits += 1;
+                        self.stats.messages += 1;
+                        self.stats.bytes += sz as u64;
+                        self.stats.sim_comm_us += link_cost + self.config.model.message_cost_us(1);
+                    }
+                }
+            }
+        }
         let payload_ref = &payload;
         self.step(move |rank, state| consume(rank, state, payload_ref));
     }
@@ -464,6 +770,198 @@ mod tests {
         assert!(a.superstep >= 1 && a.superstep <= 10);
         // Different seeds explore different coordinates eventually.
         assert!((0..64).any(|s| FaultPlan::seeded(s, 4, 10) != a));
+    }
+
+    #[test]
+    fn seeded_fault_degenerate_inputs_are_inert() {
+        // p == 0 and max_superstep == 0 leave no coordinate to sample.
+        for plan in [FaultPlan::seeded(5, 0, 10), FaultPlan::seeded(5, 4, 0)] {
+            assert!(plan.is_inert());
+            let mut c = Cluster::new(vec![0u8; 2], config(ExecutionMode::Sequential));
+            c.inject_fault(plan);
+            for _ in 0..5 {
+                c.step(|_, _| ());
+                assert!(c.poll_fault().is_ok(), "inert plan must never fire");
+            }
+        }
+        assert!(!FaultPlan::seeded(5, 4, 10).is_inert());
+    }
+
+    #[test]
+    fn chaos_none_keeps_fast_path_and_zero_counters() {
+        let clean = |plan: Option<ChaosPlan>| {
+            let mut c = Cluster::new(vec![0u64; 4], config(ExecutionMode::Sequential));
+            if let Some(p) = plan {
+                c.set_chaos(p);
+            }
+            for _ in 0..4 {
+                c.exchange(
+                    |rank, s| vec![((rank + 1) % 4, *s + rank as u64)],
+                    |_| 16,
+                    |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+                );
+            }
+            (c.ranks().to_vec(), *c.stats())
+        };
+        let (base_states, base_stats) = clean(None);
+        let (none_states, none_stats) = clean(Some(ChaosPlan::none()));
+        assert_eq!(base_states, none_states);
+        // All deterministic accounting must be indistinguishable (compute
+        // time and wall are measured clocks and jitter run-to-run).
+        assert_eq!(base_stats.messages, none_stats.messages);
+        assert_eq!(base_stats.bytes, none_stats.bytes);
+        assert_eq!(base_stats.sim_comm_us, none_stats.sim_comm_us);
+        assert_eq!(base_stats.supersteps, none_stats.supersteps);
+        assert_eq!(none_stats.faults, crate::stats::FaultCounters::default());
+    }
+
+    #[test]
+    fn chaos_drop_loses_payload_but_prices_it() {
+        // A plan that always drops: drop_p = 1.
+        let plan = ChaosPlan { drop_p: 1.0, horizon: u64::MAX, ..ChaosPlan::none() };
+        let mut c = Cluster::new(vec![0u32; 2], config(ExecutionMode::Sequential));
+        c.set_chaos(plan);
+        c.exchange(
+            |rank, _| vec![(1 - rank, 7u32)],
+            |_| 10,
+            |_, s, inbox| {
+                *s = inbox.len() as u32;
+            },
+        );
+        assert_eq!(c.ranks(), &[0, 0], "both messages dropped");
+        assert_eq!(c.stats().faults.dropped, 2);
+        assert_eq!(c.stats().messages, 2, "dropped traffic still transmitted");
+        assert_eq!(c.stats().bytes, 20);
+        assert!(c.poll_chaos().is_ok(), "drops are silent (no incident)");
+    }
+
+    #[test]
+    fn chaos_duplicate_delivers_twice() {
+        let plan = ChaosPlan { dup_p: 1.0, horizon: u64::MAX, ..ChaosPlan::none() };
+        let mut c = Cluster::new(vec![0u32; 2], config(ExecutionMode::Sequential));
+        c.set_chaos(plan);
+        c.exchange(
+            |rank, _| vec![(1 - rank, 7u32)],
+            |_| 10,
+            |_, s, inbox| {
+                *s = inbox.len() as u32;
+            },
+        );
+        assert_eq!(c.ranks(), &[2, 2], "each inbox holds the duplicate");
+        assert_eq!(c.stats().faults.duplicated, 2);
+        assert_eq!(c.stats().messages, 4);
+        assert_eq!(c.stats().bytes, 40);
+    }
+
+    #[test]
+    fn chaos_delay_defers_across_exchanges() {
+        let plan = ChaosPlan { delay_p: 1.0, max_delay: 1, horizon: 1, ..ChaosPlan::none() };
+        let mut c = Cluster::new(vec![Vec::<u32>::new(); 2], config(ExecutionMode::Sequential));
+        c.set_chaos(plan);
+        let send_round = |c: &mut Cluster<Vec<u32>>, val: u32| {
+            c.exchange(
+                move |rank, _| if rank == 0 && val != 0 { vec![(1usize, val)] } else { vec![] },
+                |_| 4,
+                |_, s, inbox| s.extend(inbox.into_iter().map(|(_, m)| m)),
+            );
+        };
+        // Superstep 0 (in-horizon): message delayed by 1.
+        send_round(&mut c, 42);
+        assert!(c.ranks()[1].is_empty(), "delayed past its barrier");
+        assert!(c.has_undelivered());
+        assert_eq!(c.stats().faults.delayed, 1);
+        // Next exchange (superstep ≥ due, past horizon): it arrives.
+        send_round(&mut c, 0);
+        assert_eq!(c.ranks()[1], vec![42]);
+        assert!(!c.has_undelivered());
+        assert_eq!(c.stats().messages, 1, "priced once, when it traverses");
+    }
+
+    #[test]
+    fn chaos_corrupt_discards_and_surfaces_incident() {
+        let plan = ChaosPlan { corrupt_p: 1.0, horizon: u64::MAX, ..ChaosPlan::none() };
+        let mut c = Cluster::new(vec![0u32; 2], config(ExecutionMode::Sequential));
+        c.set_chaos(plan);
+        c.exchange(
+            |rank, _| if rank == 0 { vec![(1usize, 9u32)] } else { vec![] },
+            |_| 6,
+            |_, s, inbox| {
+                *s = inbox.len() as u32;
+            },
+        );
+        assert_eq!(c.ranks()[1], 0, "checksum rejected the payload");
+        assert_eq!(c.stats().faults.corrupted, 1);
+        let err = c.poll_chaos().unwrap_err();
+        assert!(matches!(err, ClusterError::MessageCorrupted { src: 0, dst: 1, .. }));
+        assert!(c.poll_chaos().is_ok(), "incident batch cleared after poll");
+    }
+
+    #[test]
+    fn chaos_stall_holds_whole_outbox_one_superstep() {
+        let plan = ChaosPlan { stall_p: 1.0, horizon: 1, ..ChaosPlan::none() };
+        let mut c = Cluster::new(vec![Vec::<u32>::new(); 3], config(ExecutionMode::Sequential));
+        c.set_chaos(plan);
+        c.exchange(
+            |rank, _| if rank == 0 { vec![(1usize, 1u32), (2usize, 2u32)] } else { vec![] },
+            |_| 4,
+            |_, s, inbox| s.extend(inbox.into_iter().map(|(_, m)| m)),
+        );
+        assert!(c.ranks()[1].is_empty() && c.ranks()[2].is_empty());
+        assert_eq!(c.stats().faults.stalls, 1, "one stall event, not per message");
+        assert!(matches!(c.poll_chaos().unwrap_err(), ClusterError::RankStalled { rank: 0, .. }));
+        // The held outbox flushes at the next exchange (past the horizon).
+        c.exchange(
+            |_, _| vec![],
+            |_: &u32| 4,
+            |_, s: &mut Vec<u32>, inbox| s.extend(inbox.into_iter().map(|(_, m)| m)),
+        );
+        assert_eq!(c.ranks()[1], vec![1]);
+        assert_eq!(c.ranks()[2], vec![2]);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_across_modes() {
+        let run = |mode| {
+            let mut c = Cluster::new(vec![0u64; 8], config(mode));
+            c.set_chaos(ChaosPlan::seeded(99, 0.6, 12));
+            for round in 0..8u64 {
+                c.exchange(
+                    |rank, s| {
+                        (0..8)
+                            .filter(|&d| d != rank)
+                            .map(|d| (d, *s + rank as u64 + round))
+                            .collect()
+                    },
+                    |_| 8,
+                    |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+                );
+                let _ = c.poll_chaos(); // drain incidents identically
+            }
+            let faults = c.stats().faults;
+            let (states, stats) = c.into_parts();
+            (states, stats.messages, stats.bytes, faults)
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let par = run(ExecutionMode::Parallel);
+        assert_eq!(seq, par);
+        assert!(seq.3.injected() > 0, "a 60% plan over 8 rounds must inject something");
+    }
+
+    #[test]
+    fn chaotic_broadcast_still_reaches_everyone() {
+        let mut c = Cluster::new(vec![0u32; 8], config(ExecutionMode::Sequential));
+        c.set_chaos(ChaosPlan::seeded(3, 0.9, u64::MAX));
+        let clean_cost = {
+            let mut r = Cluster::new(vec![0u32; 8], config(ExecutionMode::Sequential));
+            r.broadcast(0, |_| 42u32, |_| 1000, |_, s, &m| *s = m);
+            r.stats().sim_comm_us
+        };
+        c.broadcast(0, |_| 42u32, |_| 1000, |_, s, &m| *s = m);
+        assert_eq!(c.ranks(), &[42; 8], "collectives are reliable under chaos");
+        if c.stats().faults.injected() > 0 {
+            assert!(c.stats().sim_comm_us > clean_cost, "faults must price retransmissions");
+        }
+        assert!(c.poll_chaos().is_ok(), "collectives absorb their faults internally");
     }
 
     #[test]

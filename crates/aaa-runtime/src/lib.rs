@@ -20,16 +20,18 @@
 //! Correctness of the algorithms above never depends on the cost model —
 //! it only prices traffic; message *routing* is exact.
 
+pub mod chaos;
 pub mod cluster;
 pub mod logp;
 pub mod schedule;
 pub mod spmd;
 pub mod stats;
 
+pub use chaos::{ChannelFault, ChaosPlan};
 pub use cluster::{Cluster, ClusterConfig, ClusterError, ExecutionMode, FaultPlan};
 pub use logp::LogPModel;
 pub use schedule::ExchangeSchedule;
-pub use stats::RunStats;
+pub use stats::{FaultCounters, RunStats};
 
 /// Rank index within a cluster.
 pub type Rank = usize;

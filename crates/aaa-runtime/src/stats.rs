@@ -2,6 +2,54 @@
 
 use std::time::Duration;
 
+/// Per-fault-kind counters for the chaos layer (see `crate::chaos`).
+///
+/// The first five fields count *injected* faults; `retransmits` counts the
+/// rows the supervised recovery loop re-announced in response — it is
+/// repair work, not a fault, so [`FaultCounters::injected`] excludes it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages transmitted but lost in flight.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held past their superstep barrier.
+    pub delayed: u64,
+    /// Messages rejected by the receiver's checksum.
+    pub corrupted: u64,
+    /// Rank-stall events (a rank's whole outbox held for a superstep).
+    pub stalls: u64,
+    /// DV rows re-announced by supervised retry / verification passes.
+    pub retransmits: u64,
+}
+
+impl FaultCounters {
+    /// Total injected faults (everything except `retransmits`).
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.corrupted + self.stalls
+    }
+
+    fn merge(&mut self, other: &FaultCounters) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.corrupted += other.corrupted;
+        self.stalls += other.stalls;
+        self.retransmits += other.retransmits;
+    }
+
+    fn delta_since(&self, baseline: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            dropped: self.dropped.saturating_sub(baseline.dropped),
+            duplicated: self.duplicated.saturating_sub(baseline.duplicated),
+            delayed: self.delayed.saturating_sub(baseline.delayed),
+            corrupted: self.corrupted.saturating_sub(baseline.corrupted),
+            stalls: self.stalls.saturating_sub(baseline.stalls),
+            retransmits: self.retransmits.saturating_sub(baseline.retransmits),
+        }
+    }
+}
+
 /// Accumulated statistics for a cluster run.
 ///
 /// * `wall` is real elapsed time of the in-process execution.
@@ -28,6 +76,8 @@ pub struct RunStats {
     /// Restores performed (engine rebuilt or a rank recovered from a
     /// checkpoint).
     pub restores: u64,
+    /// Chaos-layer fault counters; all zero unless a `ChaosPlan` is armed.
+    pub faults: FaultCounters,
     /// Real elapsed time of rank computation.
     pub wall: Duration,
 }
@@ -60,6 +110,7 @@ impl RunStats {
         self.collectives += other.collectives;
         self.checkpoints += other.checkpoints;
         self.restores += other.restores;
+        self.faults.merge(&other.faults);
         self.wall += other.wall;
     }
 
@@ -78,6 +129,7 @@ impl RunStats {
             collectives: self.collectives.saturating_sub(baseline.collectives),
             checkpoints: self.checkpoints.saturating_sub(baseline.checkpoints),
             restores: self.restores.saturating_sub(baseline.restores),
+            faults: self.faults.delta_since(&baseline.faults),
             wall: self.wall.saturating_sub(baseline.wall),
         }
     }
@@ -107,6 +159,7 @@ mod tests {
             collectives: 1,
             checkpoints: 1,
             restores: 1,
+            faults: FaultCounters { dropped: 2, retransmits: 5, ..FaultCounters::default() },
             wall: Duration::from_millis(4),
         };
         a.merge(&b);
@@ -116,6 +169,9 @@ mod tests {
         assert_eq!(a.collectives, 1);
         assert_eq!(a.checkpoints, 1);
         assert_eq!(a.restores, 1);
+        assert_eq!(a.faults.dropped, 2);
+        assert_eq!(a.faults.retransmits, 5);
+        assert_eq!(a.faults.injected(), 2);
         assert!((a.sim_total_us() - 18.0).abs() < 1e-12);
         assert!((a.sim_total_secs() - 18.0e-6).abs() < 1e-15);
         assert_eq!(a.wall, Duration::from_millis(7));
@@ -132,6 +188,7 @@ mod tests {
             collectives: 2,
             checkpoints: 1,
             restores: 0,
+            faults: FaultCounters { corrupted: 1, ..FaultCounters::default() },
             wall: Duration::from_millis(10),
         };
         let mut at_end = at_checkpoint;
@@ -144,12 +201,14 @@ mod tests {
             collectives: 1,
             checkpoints: 0,
             restores: 1,
+            faults: FaultCounters { dropped: 4, ..FaultCounters::default() },
             wall: Duration::from_millis(5),
         });
         let delta = at_end.delta_since(&at_checkpoint);
         assert_eq!(delta.messages, 3);
         assert_eq!(delta.supersteps, 2);
         assert_eq!(delta.restores, 1);
+        assert_eq!(delta.faults, FaultCounters { dropped: 4, ..FaultCounters::default() });
         assert_eq!(delta.wall, Duration::from_millis(5));
         // Re-merging the delta onto the baseline reproduces the end state
         // exactly — the accounting identity that rules out double-counting.

@@ -1,0 +1,110 @@
+//! The chaos-tolerance contract: under any seeded fault plan with a finite
+//! horizon (faults eventually stop — the partial-synchrony GST assumption),
+//! the supervised convergence loop must reach the **same fixed point as a
+//! clean run, bit for bit**, on both executors. Min-merge is idempotent and
+//! commutative and DV rows are monotone upper bounds, so drops, duplicates,
+//! reorders, delays, corruption-discards, and stalls can cost time but never
+//! correctness — this suite checks exactly that.
+//!
+//! The CI chaos-soak job sweeps `CHAOS_SOAK_SEED` to vary the fault plans
+//! across matrix entries without touching the code.
+
+use anytime_anywhere::core::{AnytimeEngine, ChaosPlan, EngineConfig, RetryPolicy};
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::runtime::ExecutionMode;
+use proptest::prelude::*;
+
+/// Extra seed material from the CI soak matrix (0 for local runs).
+fn soak_seed() -> u64 {
+    std::env::var("CHAOS_SOAK_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x
+}
+
+fn config(procs: usize, mode: ExecutionMode) -> EngineConfig {
+    let mut c = EngineConfig::with_procs(procs);
+    c.cluster.mode = mode;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random graph × random fault plan × both executors: the supervised
+    /// run must converge (not degrade) and land on the clean fixed point.
+    #[test]
+    fn supervised_run_reconverges_bit_identically(
+        n in 40usize..100,
+        gseed in 0u64..1_000,
+        cseed in 0u64..1_000,
+        rate_permille in 1u64..350,
+        procs in 2usize..6,
+    ) {
+        let rate = rate_permille as f64 / 1_000.0;
+        let g = barabasi_albert(n, 2, WeightModel::UniformRange { lo: 1, hi: 8 }, gseed)
+            .unwrap();
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
+            let mut clean = AnytimeEngine::new(g.clone(), config(procs, mode)).unwrap();
+            prop_assert!(clean.run_to_convergence().converged);
+
+            let mut chaotic = AnytimeEngine::new(g.clone(), config(procs, mode)).unwrap();
+            chaotic.set_chaos(ChaosPlan::seeded(mix(cseed, soak_seed()), rate, 24));
+            let policy = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+            let run = chaotic.run_supervised(&policy).unwrap();
+            prop_assert!(
+                run.converged(),
+                "mode {:?}: supervised run degraded under an eventually-quiet plan: {:?}",
+                mode,
+                run.degraded.map(|d| d.reason)
+            );
+            prop_assert_eq!(chaotic.closeness(), clean.closeness());
+            prop_assert_eq!(chaotic.distances(), clean.distances());
+        }
+    }
+}
+
+/// The same seeded plan must injure the run identically on both executors:
+/// fault fates are drawn in the driver's sequential routing phase, so the
+/// executor threading cannot perturb them.
+#[test]
+fn injected_faults_are_executor_invariant() {
+    let g = barabasi_albert(80, 2, WeightModel::UniformRange { lo: 1, hi: 6 }, 3).unwrap();
+    let run = |mode| {
+        let mut e = AnytimeEngine::new(g.clone(), config(4, mode)).unwrap();
+        e.set_chaos(ChaosPlan::seeded(mix(42, soak_seed()), 0.25, 24));
+        let run =
+            e.run_supervised(&RetryPolicy { max_attempts: 64, ..RetryPolicy::default() }).unwrap();
+        let stats = e.stats();
+        (run, stats.messages, stats.bytes, stats.faults, e.closeness())
+    };
+    let seq = run(ExecutionMode::Sequential);
+    let par = run(ExecutionMode::Parallel);
+    assert_eq!(seq, par);
+    assert!(seq.3.injected() > 0, "a 25% plan over a whole run must inject something");
+}
+
+/// Retried/verified repair traffic is visible in the counters: a run that
+/// survived injected faults must have recorded retransmissions.
+#[test]
+fn repair_work_is_accounted() {
+    let g = barabasi_albert(60, 2, WeightModel::Unit, 5).unwrap();
+    let mut e = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+    e.set_chaos(ChaosPlan::seeded(9, 0.3, 24));
+    let run =
+        e.run_supervised(&RetryPolicy { max_attempts: 64, ..RetryPolicy::default() }).unwrap();
+    assert!(run.converged());
+    let faults = e.stats().faults;
+    assert!(faults.injected() > 0);
+    assert!(
+        faults.retransmits > 0,
+        "surviving {} injected faults requires repair traffic",
+        faults.injected()
+    );
+    assert!(run.retries + run.verification_passes > 0);
+}
