@@ -89,6 +89,39 @@ fn bench_exchange_chaos_off(c: &mut Criterion) {
     });
 }
 
+/// The observability zero-cost claim: a disarmed sink (the default
+/// `NoopSink`) must leave `exchange` within noise of the uninstrumented
+/// number above; an armed `MemorySink` shows the price of recording.
+fn bench_exchange_sinks(c: &mut Criterion) {
+    use aaa_runtime::{EventSink, MemorySink, NoopSink};
+    use std::sync::Arc;
+    let run = |sink: Option<Arc<dyn EventSink>>| {
+        let cfg = ClusterConfig {
+            mode: ExecutionMode::Sequential,
+            model: LogPModel::ethernet_1g(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(vec![0u64; 16], cfg);
+        if let Some(s) = sink {
+            cluster.set_sink(s);
+        }
+        for _ in 0..8 {
+            cluster.exchange(
+                |rank, _| (0..16).filter(|&d| d != rank).map(|d| (d, rank as u64)).collect(),
+                |_| 8,
+                |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+            );
+        }
+        cluster.stats().messages
+    };
+    c.bench_function("exchange/16r-8rounds/noop-sink", |b| {
+        b.iter(|| black_box(run(Some(Arc::new(NoopSink)))))
+    });
+    c.bench_function("exchange/16r-8rounds/memory-sink", |b| {
+        b.iter(|| black_box(run(Some(Arc::new(MemorySink::new())))))
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -99,6 +132,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules, bench_exchange_chaos_off
+    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules, bench_exchange_chaos_off, bench_exchange_sinks
 }
 criterion_main!(benches);

@@ -1,10 +1,11 @@
 //! Measures anytime-persistence overhead: snapshot size and checkpoint /
 //! restore latency at `--scale`/4, `--scale`/2 and `--scale` vertices.
 
-use aaa_bench::{experiments, CommonArgs};
+use aaa_bench::{experiments, observe, CommonArgs};
 
 fn main() {
     let args = CommonArgs::parse();
+    observe::maybe_observe("checkpoint_overhead", &args);
     experiments::checkpoint_overhead(&args).emit(args.csv.as_ref());
     println!("\nSnapshot size is dominated by the per-rank DV rows (Θ(n²/P) distances");
     println!("per rank at convergence), so bytes grow quadratically with the vertex");

@@ -1,0 +1,129 @@
+//! The CI perf gate: diffs a candidate RunReport against a baseline and
+//! exits nonzero when a gated (deterministic) metric regressed past its
+//! threshold.
+//!
+//! ```text
+//! usage: perfgate <candidate.json> <baseline.json>
+//!                 [--threshold 0.10] [--override metric=thr]...
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression, 2 = usage / IO / parse /
+//! scenario-mismatch errors.
+//!
+//! Gated metrics are exact functions of (scenario, seed, code): simulated
+//! communication time, message/byte counts, step counts and the final
+//! convergence error. Measured metrics (compute/wall time) appear in the
+//! table for humans but never fail the gate — CI hosts are noisy.
+
+use aaa_bench::Table;
+use aaa_observe::{compare, regressed, GateConfig, MetricDiff, RunReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfgate <candidate.json> <baseline.json> \
+         [--threshold 0.10] [--override metric=thr]..."
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perfgate: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> RunReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    RunReport::from_json_str(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn fmt_change(d: &MetricDiff) -> String {
+    if d.rel_change.is_infinite() {
+        "+inf".into()
+    } else {
+        format!("{:+.2}%", d.rel_change * 100.0)
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut cfg = GateConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage());
+                cfg.default_threshold =
+                    v.parse().unwrap_or_else(|_| fail("--threshold wants a number"));
+            }
+            "--override" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage());
+                let (name, thr) =
+                    v.split_once('=').unwrap_or_else(|| fail("--override wants metric=threshold"));
+                let thr: f64 =
+                    thr.parse().unwrap_or_else(|_| fail("--override wants metric=threshold"));
+                cfg.overrides.push((name.to_string(), thr));
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [candidate_path, baseline_path] = paths[..] else { usage() };
+    let candidate = load(candidate_path);
+    let baseline = load(baseline_path);
+    if candidate.scenario != baseline.scenario {
+        fail(&format!(
+            "scenario mismatch: candidate ran {:?} but baseline is {:?} — not comparable",
+            candidate.scenario, baseline.scenario
+        ));
+    }
+
+    let rows = compare(&candidate, &baseline, &cfg);
+    let mut table = Table::new(
+        format!(
+            "perfgate: {} (threshold {:.0}%)",
+            candidate.scenario,
+            cfg.default_threshold * 100.0
+        ),
+        &["metric", "baseline", "candidate", "change", "threshold", "verdict"],
+    );
+    for d in &rows {
+        let verdict = if d.regressed {
+            "REGRESSED"
+        } else if !d.gated {
+            "info"
+        } else {
+            "ok"
+        };
+        let threshold = if d.gated { format!("{:.0}%", d.threshold * 100.0) } else { "—".into() };
+        table.row(vec![
+            d.name.to_string(),
+            fmt_value(d.baseline),
+            fmt_value(d.candidate),
+            fmt_change(d),
+            threshold,
+            verdict.to_string(),
+        ]);
+    }
+    table.emit(None);
+
+    if regressed(&rows) {
+        let worst: Vec<&str> = rows.iter().filter(|d| d.regressed).map(|d| d.name).collect();
+        eprintln!("\nperfgate: FAIL — regressed metrics: {}", worst.join(", "));
+        std::process::exit(1);
+    }
+    println!("\nperfgate: OK — no gated metric regressed");
+}

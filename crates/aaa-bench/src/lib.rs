@@ -14,6 +14,12 @@
 //! --chaos <seed:rate>   arm the seeded message-fault injector at the given
 //!                       overall fault rate and drive convergence through
 //!                       the supervised retry loop
+//! --report <path>       also run the pinned observed scenario and write
+//!                       its machine-readable RunReport JSON (consumed by
+//!                       the `perfgate` binary)
+//! --trace <path>        also run the pinned observed scenario and write a
+//!                       Chrome-trace JSON array (open in Perfetto /
+//!                       chrome://tracing)
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -43,6 +49,12 @@ pub struct CommonArgs {
     /// Arm the chaos layer with `ChaosPlan::seeded(seed, rate, …)`
     /// (`--chaos seed:rate`).
     pub chaos: Option<(u64, f64)>,
+    /// Write the pinned observed scenario's RunReport JSON here
+    /// (`--report path`; see [`observe`]).
+    pub report: Option<PathBuf>,
+    /// Write the pinned observed scenario's Chrome trace here
+    /// (`--trace path`).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -55,6 +67,8 @@ impl Default for CommonArgs {
             checkpoint_every: None,
             fault: None,
             chaos: None,
+            report: None,
+            trace: None,
         }
     }
 }
@@ -97,10 +111,13 @@ impl CommonArgs {
                         std::process::exit(2);
                     }));
                 }
+                "--report" => out.report = Some(PathBuf::from(take("--report"))),
+                "--trace" => out.trace = Some(PathBuf::from(take("--trace"))),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
-                         [--checkpoint-every N] [--fault R@S] [--chaos seed:rate]"
+                         [--checkpoint-every N] [--fault R@S] [--chaos seed:rate] \
+                         [--report path] [--trace path]"
                     );
                     std::process::exit(0);
                 }
@@ -267,3 +284,4 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod observe;

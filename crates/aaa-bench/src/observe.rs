@@ -1,0 +1,126 @@
+//! The pinned **observed scenario**: one fully deterministic, instrumented
+//! engine run that every figure binary can emit as a [`RunReport`] and/or
+//! Chrome trace via `--report` / `--trace`.
+//!
+//! The scenario is deliberately *sequential* (bit-deterministic execution
+//! mode) and fixed in shape — construction, a few RC steps, a dynamic
+//! vertex-addition batch, one checkpoint, then convergence with quality
+//! sampling — so two runs of the same tree produce byte-identical gated
+//! metrics. That determinism is what lets CI diff a fresh report against
+//! the checked-in baseline (`results/baselines/ci_smoke.json`) with the
+//! `perfgate` binary and treat any drift in simulated cost or traffic as a
+//! real behavioral change.
+
+use crate::experiments::{addition_batch, base_graph};
+use crate::CommonArgs;
+use aaa_core::quality::QualityTracker;
+use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink};
+use aaa_observe::{aggregate_phases, chrome_trace, per_rank_busy, QualityPoint, RunReport};
+use std::sync::Arc;
+
+/// RC steps run before the dynamic batch is injected.
+const STEPS_BEFORE_BATCH: usize = 4;
+
+/// If `--report` or `--trace` was given, runs the pinned observed scenario
+/// named `<scenario>:pinned` and writes the requested artifacts. A no-op
+/// otherwise.
+pub fn maybe_observe(scenario: &str, args: &CommonArgs) {
+    if args.report.is_none() && args.trace.is_none() {
+        return;
+    }
+    let (report, trace) = observed_run(scenario, args);
+    if let Some(path) = &args.report {
+        std::fs::write(path, report.to_json_string()).expect("report write");
+        println!("(run report written to {})", path.display());
+    }
+    if let Some(path) = &args.trace {
+        std::fs::write(path, trace).expect("trace write");
+        println!("(chrome trace written to {})", path.display());
+    }
+}
+
+/// Runs the pinned scenario and returns its report plus the rendered
+/// Chrome trace. Fully deterministic in everything the perf gate checks:
+/// sequential execution, seeded graph and batch, fixed step structure.
+pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
+    let sink = Arc::new(MemorySink::new());
+    let config = EngineConfig::deterministic(args.procs);
+    let g = base_graph(args);
+    let mut engine =
+        AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
+
+    // Phase 1: partial static convergence (the anytime prefix).
+    for _ in 0..STEPS_BEFORE_BATCH {
+        if !engine.rc_step() {
+            break;
+        }
+    }
+
+    // Phase 2: a dynamic vertex-addition batch lands mid-analysis.
+    let batch = addition_batch(&g, args.scaled(512, 8), args.seed + 1);
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch applies");
+
+    // Phase 3: one checkpoint at the post-batch barrier (exercises the
+    // Checkpoint span and counter).
+    let _snapshot = engine.checkpoint_bytes().expect("checkpoint");
+
+    // Phase 4: converge, sampling convergence quality per RC step. The
+    // sampling `closeness()` calls are extra supersteps, but deterministic
+    // ones — they are part of the pinned scenario's cost.
+    let mut tracker = QualityTracker::new(engine.graph(), 20);
+    let mut quality: Vec<QualityPoint> = Vec::new();
+    for _ in 0..256 {
+        let more = engine.rc_step();
+        let sample = tracker.record(engine.rc_steps_done(), &engine.closeness());
+        quality.push(QualityPoint {
+            rc_step: sample.rc_step as u64,
+            error: sample.error,
+            top_k_recall: sample.top_k_recall,
+        });
+        if !more {
+            break;
+        }
+    }
+
+    let events = sink.drain();
+    let mut report = engine.stats().init_report(&format!("{scenario}:pinned"));
+    report.scale = args.scale as u64;
+    report.procs = args.procs as u64;
+    report.seed = args.seed;
+    report.rc_steps = engine.rc_steps_done() as u64;
+    report.phases = aggregate_phases(&events);
+    report.ranks = per_rank_busy(&events);
+    report.quality = quality;
+    let trace = chrome_trace(&events, args.procs);
+    (report, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_args() -> CommonArgs {
+        CommonArgs { scale: 120, procs: 3, seed: 7, ..CommonArgs::default() }
+    }
+
+    #[test]
+    fn observed_run_is_deterministic_in_gated_metrics() {
+        let args = small_args();
+        let (a, _) = observed_run("unit", &args);
+        let (b, _) = observed_run("unit", &args);
+        assert_eq!(a.scenario, "unit:pinned");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.collectives, b.collectives);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.checkpoints, 1);
+        assert!(a.rc_steps as usize > STEPS_BEFORE_BATCH);
+        assert!(!a.phases.is_empty());
+        assert!(a.ranks.len() >= args.procs, "every rank plus the driver recorded spans");
+        let last = a.final_quality().expect("quality sampled");
+        assert!(last.error < 1e-6, "converged run matches exact closeness");
+    }
+}

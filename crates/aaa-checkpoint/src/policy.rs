@@ -20,7 +20,7 @@ impl CheckpointPolicy {
     /// have completed? Called at the barrier after each RC step.
     pub fn due_after_rc_step(&self, rc_steps_done: usize) -> bool {
         match *self {
-            CheckpointPolicy::EveryNRcSteps(n) => n > 0 && rc_steps_done.is_multiple_of(n),
+            CheckpointPolicy::EveryNRcSteps(n) => n > 0 && rc_steps_done % n == 0,
             CheckpointPolicy::OnChangeApplied | CheckpointPolicy::Manual => false,
         }
     }

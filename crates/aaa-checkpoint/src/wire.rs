@@ -143,7 +143,8 @@ impl<'a> PayloadReader<'a> {
     /// as truncation instead of huge allocations.
     pub fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
         let n = self.u64()? as usize;
-        if n.checked_mul(elem_bytes).is_none_or(|total| self.pos + total > self.buf.len()) {
+        let fits = n.checked_mul(elem_bytes).map(|total| self.pos + total <= self.buf.len());
+        if fits != Some(true) {
             return Err(CheckpointError::Truncated { section: self.section });
         }
         Ok(n)

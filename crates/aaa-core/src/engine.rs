@@ -14,12 +14,14 @@ use aaa_checkpoint::{
 };
 use aaa_graph::apsp::DistMatrix;
 use aaa_graph::{AdjGraph, PartId, VertexId, Weight};
+use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 use aaa_partition::simple::{
     BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
 };
 use aaa_partition::{MultilevelPartitioner, Partition, Partitioner};
 use aaa_runtime::{ChaosPlan, Cluster, ClusterConfig, ClusterError, FaultPlan, RunStats};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Which partitioner the domain-decomposition phase uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +147,16 @@ pub struct AnytimeEngine {
 impl AnytimeEngine {
     /// Domain decomposition + initial approximation.
     pub fn new(graph: AdjGraph, config: EngineConfig) -> Result<Self, CoreError> {
+        Self::with_sink(graph, config, Arc::new(NoopSink))
+    }
+
+    /// [`AnytimeEngine::new`] with an event sink installed from the start,
+    /// so even the construction phases (DD, IA) are traced.
+    pub fn with_sink(
+        graph: AdjGraph,
+        config: EngineConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<Self, CoreError> {
         if config.procs == 0 {
             return Err(CoreError::Config("procs must be ≥ 1".into()));
         }
@@ -156,6 +168,20 @@ impl AnytimeEngine {
             .map(|r| RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec()))
             .collect();
         let mut cluster = Cluster::new(states, config.cluster);
+        cluster.set_sink(sink);
+        if cluster.observing() {
+            cluster.emit(SpanEvent {
+                kind: SpanKind::DomainDecomposition,
+                rank: DRIVER_LANE,
+                superstep: 0,
+                sim_start_us: cluster.sim_now_us(),
+                sim_dur_us: dd_us,
+                wall_start_us: 0.0,
+                wall_dur_us: dd_us,
+                messages: 0,
+                bytes: 0,
+            });
+        }
         // The DD partitioner runs once at the orchestrator; on the paper's
         // testbed it is parallel ParMETIS on the cluster — charge its time.
         cluster.charge_compute_us(dd_us);
@@ -170,6 +196,13 @@ impl AnytimeEngine {
             rr_cursor: 0,
             changes_applied: 0,
         })
+    }
+
+    /// Installs an event sink on the engine's cluster; spans flow to it
+    /// from the next superstep on. A disabled sink (e.g. [`NoopSink`])
+    /// disarms recording.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.cluster.set_sink(sink);
     }
 
     /// Number of processors.
@@ -208,6 +241,12 @@ impl AnytimeEngine {
     /// personalized all-to-all schedule, min-merge, and the local min-plus
     /// refinement (Fig. 1). Returns `true` while more work remains.
     pub fn rc_step(&mut self) -> bool {
+        let observing = self.cluster.observing();
+        let (sim0, wall0) = if observing {
+            (self.cluster.sim_now_us(), self.cluster.wall_now_us())
+        } else {
+            (0.0, 0.0)
+        };
         let cap = self.config.message_cap_bytes;
         self.cluster.exchange(
             move |_, s: &mut RankState| s.produce_rc_messages(cap),
@@ -215,7 +254,24 @@ impl AnytimeEngine {
             |_, s, inbox| s.consume_rc_messages(inbox),
         );
         self.rc_steps += 1;
-        self.cluster.allreduce_or(|_, s| s.last_sent || s.last_changed || s.has_dirty())
+        let more = self.cluster.allreduce_or(|_, s| s.last_sent || s.last_changed || s.has_dirty());
+        if observing {
+            // One span bracketing the whole step (exchange + quiescence
+            // reduction), on the driver lane; `superstep` carries the
+            // RC-step index.
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::RcStep,
+                rank: DRIVER_LANE,
+                superstep: (self.rc_steps - 1) as u64,
+                sim_start_us: sim0,
+                sim_dur_us: self.cluster.sim_now_us() - sim0,
+                wall_start_us: wall0,
+                wall_dur_us: self.cluster.wall_now_us() - wall0,
+                messages: 0,
+                bytes: 0,
+            });
+        }
+        more
     }
 
     /// Runs RC steps until no processor has updates left (or the safety
@@ -571,9 +627,26 @@ impl AnytimeEngine {
     /// at a superstep barrier (i.e. between `rc_step`s / `apply_*`s),
     /// which every public entry point guarantees.
     pub fn snapshot(&mut self) -> Snapshot {
+        let observing = self.cluster.observing();
+        let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
         self.cluster.record_checkpoint();
         let ranks: Vec<RankSnapshot> =
             self.cluster.ranks_mut().iter().map(|s| s.to_snapshot()).collect();
+        if observing {
+            // An instant on the simulated clock (snapshotting is driver
+            // work, not priced cluster time); real cost rides in wall_dur.
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::Checkpoint,
+                rank: DRIVER_LANE,
+                superstep: self.rc_steps as u64,
+                sim_start_us: self.cluster.sim_now_us(),
+                sim_dur_us: 0.0,
+                wall_start_us: wall0,
+                wall_dur_us: self.cluster.wall_now_us() - wall0,
+                messages: 0,
+                bytes: 0,
+            });
+        }
         Snapshot {
             meta: EngineMeta {
                 procs: self.config.procs as u32,
@@ -801,6 +874,15 @@ impl AnytimeEngine {
                     if injected_now != faults_seen {
                         faults_seen = injected_now;
                         verification_passes += 1;
+                        if self.cluster.observing() {
+                            self.cluster.emit(SpanEvent::instant(
+                                SpanKind::Verification,
+                                DRIVER_LANE,
+                                steps as u64,
+                                self.cluster.sim_now_us(),
+                                self.cluster.wall_now_us(),
+                            ));
+                        }
                         self.resend_all();
                         continue;
                     }
@@ -821,6 +903,21 @@ impl AnytimeEngine {
                     let mut wait = retry.backoff_us(attempts);
                     if matches!(incident, ClusterError::RankStalled { .. }) {
                         wait += retry.deadline_us;
+                    }
+                    if self.cluster.observing() {
+                        // The backoff is real simulated network time: a span
+                        // of exactly the charged wait.
+                        self.cluster.emit(SpanEvent {
+                            kind: SpanKind::Retry,
+                            rank: DRIVER_LANE,
+                            superstep: steps as u64,
+                            sim_start_us: self.cluster.sim_now_us(),
+                            sim_dur_us: wait,
+                            wall_start_us: self.cluster.wall_now_us(),
+                            wall_dur_us: 0.0,
+                            messages: 0,
+                            bytes: 0,
+                        });
                     }
                     self.cluster.charge_comm_us(wait);
                     if attempts > retry.max_attempts {
@@ -862,16 +959,28 @@ impl AnytimeEngine {
     }
 
     /// Rebuilds the engine from `snap` and re-arms the chaos and fault
-    /// plans (they live in the replaced cluster, not in the snapshot).
+    /// plans — and the event sink — none of which live in the snapshot
+    /// (they belong to the replaced cluster).
     fn fallback_restore(&mut self, snap: &Snapshot) -> Result<(), CoreError> {
         let chaos = self.cluster.chaos_plan();
         let fault = self.cluster.fault_plan();
+        let sink = self.cluster.sink();
         *self = Self::from_snapshot(snap, self.config.clone())?;
+        self.cluster.set_sink(sink);
         if let Some(c) = chaos {
             self.cluster.set_chaos(c);
         }
         if let Some(f) = fault {
             self.cluster.inject_fault(f);
+        }
+        if self.cluster.observing() {
+            self.cluster.emit(SpanEvent::instant(
+                SpanKind::Restore,
+                DRIVER_LANE,
+                self.rc_steps as u64,
+                self.cluster.sim_now_us(),
+                self.cluster.wall_now_us(),
+            ));
         }
         // Restart announcement flow from the restored rows.
         self.resend_all();
@@ -941,6 +1050,20 @@ impl AnytimeEngine {
         }
         let rebuild_us = started.elapsed().as_secs_f64() * 1e6;
         self.cluster.ranks_mut()[rank] = fresh;
+        if self.cluster.observing() {
+            // The rebuild runs on the recovered rank's lane.
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::Recovery,
+                rank: rank as i64,
+                superstep: self.rc_steps as u64,
+                sim_start_us: self.cluster.sim_now_us(),
+                sim_dur_us: rebuild_us,
+                wall_start_us: self.cluster.wall_now_us() - rebuild_us,
+                wall_dur_us: rebuild_us,
+                messages: 0,
+                bytes: 0,
+            });
+        }
         // The rebuild is real recovery work — charge it to the cluster
         // clock — and the resend pass below is a priced superstep.
         self.cluster.charge_compute_us(rebuild_us);

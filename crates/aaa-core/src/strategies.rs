@@ -71,7 +71,11 @@ pub fn cut_edge_assign(
     for t in 0..tries.max(1) as u64 {
         let part = MultilevelPartitioner::seeded(seed.wrapping_add(t)).partition(&g, p)?;
         let cut = cut_edges(&g, &part);
-        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+        let improves = match &best {
+            Some((bc, _)) => cut < *bc,
+            None => true,
+        };
+        if improves {
             best = Some((cut, part));
         }
     }

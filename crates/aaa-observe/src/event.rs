@@ -1,0 +1,139 @@
+//! Typed span events: the unit of observability.
+//!
+//! Every event describes one span of work (or an instant) on one lane —
+//! a rank, or the driver — stamped with *both* clocks the runtime keeps:
+//! real wall time of the in-process execution, and the LogP-simulated
+//! cluster time. The simulated clock is the paper-comparable one (§IV.C),
+//! so the Chrome-trace exporter and the perf gate are built on it; wall
+//! time rides along in the event for transparency.
+
+/// Lane id for events that belong to the driver/orchestrator rather than
+/// to any rank (exchange pricing, collectives, checkpoints, retries).
+pub const DRIVER_LANE: i64 = -1;
+
+/// What kind of work a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One rank's compute slice of a BSP superstep (produce, consume, or a
+    /// plain `step`). Per-rank lane; duration is that rank's measured time.
+    Superstep,
+    /// The priced message-routing phase of an exchange (driver lane;
+    /// duration is the LogP all-to-all cost, counters carry the traffic).
+    Exchange,
+    /// A collective: broadcast or all-reduction (driver lane; duration is
+    /// the LogP tree cost, including any chaos retransmission penalty).
+    Collective,
+    /// One whole recombination step (driver lane; brackets the exchange
+    /// and quiescence reduction of that step).
+    RcStep,
+    /// A checkpoint: full engine snapshot taken at a superstep barrier.
+    Checkpoint,
+    /// An engine rebuilt from a snapshot (restore / supervised fallback).
+    Restore,
+    /// A failed rank rebuilt and min-merged back in (`recover_rank`).
+    Recovery,
+    /// A supervised retry: backoff charged after a detected fault incident.
+    Retry,
+    /// A quiescence-time verification pass (full resend after silent
+    /// faults).
+    Verification,
+    /// The domain-decomposition phase (partitioner run at construction).
+    DomainDecomposition,
+}
+
+impl SpanKind {
+    /// Stable lowercase name — used as the phase key in [`RunReport`]s and
+    /// as the span name in Chrome traces.
+    ///
+    /// [`RunReport`]: crate::RunReport
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Superstep => "superstep",
+            SpanKind::Exchange => "exchange",
+            SpanKind::Collective => "collective",
+            SpanKind::RcStep => "rc_step",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Restore => "restore",
+            SpanKind::Recovery => "recovery",
+            SpanKind::Retry => "retry",
+            SpanKind::Verification => "verification",
+            SpanKind::DomainDecomposition => "domain_decomposition",
+        }
+    }
+
+    /// Every kind, in a stable order (report phase tables follow it).
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::Superstep,
+        SpanKind::Exchange,
+        SpanKind::Collective,
+        SpanKind::RcStep,
+        SpanKind::Checkpoint,
+        SpanKind::Restore,
+        SpanKind::Recovery,
+        SpanKind::Retry,
+        SpanKind::Verification,
+        SpanKind::DomainDecomposition,
+    ];
+}
+
+/// One recorded span.
+///
+/// `rank` is the lane: a rank index, or [`DRIVER_LANE`] for orchestrator
+/// work. `sim_start_us`/`sim_dur_us` position the span on the simulated
+/// timeline; `wall_start_us`/`wall_dur_us` on the real clock (µs since the
+/// cluster's epoch). A zero simulated duration renders as an instant event
+/// in the Chrome trace. `messages`/`bytes` carry the traffic the span
+/// moved (exchanges and collectives; zero elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    pub kind: SpanKind,
+    pub rank: i64,
+    /// Superstep counter when the span opened (RC-step index for `RcStep`).
+    pub superstep: u64,
+    pub sim_start_us: f64,
+    pub sim_dur_us: f64,
+    pub wall_start_us: f64,
+    pub wall_dur_us: f64,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    /// An instant event (zero duration on both clocks) on a lane.
+    pub fn instant(kind: SpanKind, rank: i64, superstep: u64, sim_us: f64, wall_us: f64) -> Self {
+        Self {
+            kind,
+            rank,
+            superstep,
+            sim_start_us: sim_us,
+            sim_dur_us: 0.0,
+            wall_start_us: wall_us,
+            wall_dur_us: 0.0,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate span-kind name");
+        assert_eq!(SpanKind::Superstep.name(), "superstep");
+    }
+
+    #[test]
+    fn instant_has_zero_durations() {
+        let e = SpanEvent::instant(SpanKind::Checkpoint, DRIVER_LANE, 3, 10.0, 20.0);
+        assert_eq!(e.sim_dur_us, 0.0);
+        assert_eq!(e.wall_dur_us, 0.0);
+        assert_eq!(e.rank, DRIVER_LANE);
+    }
+}

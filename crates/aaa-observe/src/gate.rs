@@ -1,0 +1,224 @@
+//! The perf-gate comparator: diffs a candidate [`RunReport`] against a
+//! baseline, metric by metric, and decides which changes are regressions.
+//!
+//! Only *deterministic* metrics are gated — simulated communication time,
+//! traffic counters, step counts, and final convergence error are exact
+//! functions of (scenario, seed, code), so any drift is a real behavioral
+//! change. Measured metrics (compute/wall durations) vary with the host
+//! and CI neighbor noise; they are reported in the diff table for humans
+//! but can never fail the gate. See DESIGN.md §S24 for the rationale.
+
+use crate::report::RunReport;
+
+/// Thresholds for the comparator.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Maximum allowed relative increase for gated metrics (0.10 = +10%).
+    pub default_threshold: f64,
+    /// Per-metric overrides, by metric name.
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { default_threshold: 0.10, overrides: Vec::new() }
+    }
+}
+
+impl GateConfig {
+    pub fn threshold_for(&self, metric: &str) -> f64 {
+        self.overrides
+            .iter()
+            .rev() // last override wins
+            .find(|(name, _)| name == metric)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.default_threshold)
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    pub name: &'static str,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// `(candidate - baseline) / baseline`; 0 when both are 0, +∞ when the
+    /// baseline is 0 and the candidate is not.
+    pub rel_change: f64,
+    /// Threshold applied (gated metrics only; 0 for info metrics).
+    pub threshold: f64,
+    /// Whether this metric can fail the gate.
+    pub gated: bool,
+    /// Gated and over threshold.
+    pub regressed: bool,
+}
+
+fn rel_change(baseline: f64, candidate: f64) -> f64 {
+    if baseline == 0.0 {
+        if candidate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (candidate - baseline) / baseline
+    }
+}
+
+fn diff(
+    name: &'static str,
+    baseline: f64,
+    candidate: f64,
+    gated: bool,
+    cfg: &GateConfig,
+) -> MetricDiff {
+    let rel = rel_change(baseline, candidate);
+    let threshold = if gated { cfg.threshold_for(name) } else { 0.0 };
+    MetricDiff {
+        name,
+        baseline,
+        candidate,
+        rel_change: rel,
+        threshold,
+        gated,
+        // Only increases regress; a metric that went *down* is a win.
+        regressed: gated && rel > threshold,
+    }
+}
+
+/// Compares `candidate` against `baseline`. Returns every metric row,
+/// gated metrics first. The gate fails iff any row has `regressed`.
+///
+/// Reports for different scenarios are not comparable; the caller should
+/// check [`RunReport::scenario`] before calling (the CLI does).
+pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) -> Vec<MetricDiff> {
+    let mut rows = vec![
+        // Deterministic → gated.
+        diff("sim_comm_us", baseline.sim_comm_us, candidate.sim_comm_us, true, cfg),
+        diff("messages", baseline.messages as f64, candidate.messages as f64, true, cfg),
+        diff("bytes", baseline.bytes as f64, candidate.bytes as f64, true, cfg),
+        diff("supersteps", baseline.supersteps as f64, candidate.supersteps as f64, true, cfg),
+        diff("collectives", baseline.collectives as f64, candidate.collectives as f64, true, cfg),
+        diff("rc_steps", baseline.rc_steps as f64, candidate.rc_steps as f64, true, cfg),
+    ];
+    // Final convergence error is deterministic too; gate it when both runs
+    // sampled quality.
+    if let (Some(b), Some(c)) = (baseline.final_quality(), candidate.final_quality()) {
+        rows.push(diff("final_error", b.error, c.error, true, cfg));
+    }
+    // Host-dependent → info only.
+    rows.push(diff(
+        "sim_compute_us",
+        baseline.sim_compute_us,
+        candidate.sim_compute_us,
+        false,
+        cfg,
+    ));
+    rows.push(diff("sim_total_us", baseline.sim_total_us(), candidate.sim_total_us(), false, cfg));
+    rows.push(diff("wall_us", baseline.wall_us, candidate.wall_us, false, cfg));
+    rows.push(diff(
+        "faults_injected",
+        baseline.faults.injected() as f64,
+        candidate.faults.injected() as f64,
+        false,
+        cfg,
+    ));
+    rows
+}
+
+/// Whether any row fails the gate.
+pub fn regressed(rows: &[MetricDiff]) -> bool {
+    rows.iter().any(|r| r.regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::QualityPoint;
+
+    fn baseline() -> RunReport {
+        RunReport {
+            scenario: "unit".into(),
+            messages: 1000,
+            bytes: 80_000,
+            supersteps: 40,
+            collectives: 10,
+            rc_steps: 8,
+            sim_comm_us: 50_000.0,
+            sim_compute_us: 900.0,
+            wall_us: 850.0,
+            quality: vec![QualityPoint { rc_step: 8, error: 0.01, top_k_recall: 1.0 }],
+            ..RunReport::default()
+        }
+    }
+
+    #[test]
+    fn doubled_sim_cost_fails_the_gate() {
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.sim_comm_us *= 2.0; // injected 2× regression
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(regressed(&rows));
+        let row = rows.iter().find(|r| r.name == "sim_comm_us").unwrap();
+        assert!(row.regressed);
+        assert!((row.rel_change - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_percent_jitter_passes() {
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.sim_comm_us *= 1.02;
+        cand.bytes = (base.bytes as f64 * 0.98) as u64;
+        cand.quality[0].error *= 1.02;
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!regressed(&rows), "±2% is inside the 10% default threshold");
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.sim_comm_us *= 0.5;
+        cand.messages /= 2;
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!regressed(&rows));
+    }
+
+    #[test]
+    fn wall_noise_is_not_gated() {
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.wall_us *= 10.0;
+        cand.sim_compute_us *= 10.0;
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!regressed(&rows), "measured metrics are info-only");
+        assert!(rows.iter().any(|r| r.name == "wall_us" && !r.gated));
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_a_regression() {
+        let mut base = baseline();
+        base.messages = 0;
+        let mut cand = base.clone();
+        cand.messages = 5;
+        let rows = compare(&cand, &base, &GateConfig::default());
+        let row = rows.iter().find(|r| r.name == "messages").unwrap();
+        assert!(row.rel_change.is_infinite());
+        assert!(row.regressed);
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.sim_comm_us *= 1.15; // +15%
+        let loose =
+            GateConfig { default_threshold: 0.10, overrides: vec![("sim_comm_us".into(), 0.25)] };
+        assert!(!regressed(&compare(&cand, &base, &loose)));
+        let tight =
+            GateConfig { default_threshold: 0.25, overrides: vec![("sim_comm_us".into(), 0.10)] };
+        assert!(regressed(&compare(&cand, &base, &tight)));
+        assert_eq!(tight.threshold_for("messages"), 0.25);
+    }
+}

@@ -1,0 +1,435 @@
+//! The machine-readable run report: a stable, versioned JSON document
+//! summarizing one engine run — counters, the LogP cost breakdown, fault
+//! tallies, per-phase and per-rank aggregates from the event sink, and
+//! convergence-quality samples.
+//!
+//! The report is the contract between a run and the perf gate
+//! ([`crate::gate`]): CI regenerates a report for a pinned scenario and
+//! diffs it against a checked-in baseline. Only *deterministic* metrics
+//! are gated (simulated communication time, traffic counters, step counts,
+//! quality); measured wall/compute durations are carried for humans but
+//! never gated — they jitter with the host (see DESIGN.md §S24).
+
+use crate::event::{SpanEvent, SpanKind};
+use crate::json::{Json, JsonError};
+
+/// Current report format version. Readers reject other versions — the
+/// comparator must never silently diff incompatible documents.
+pub const REPORT_VERSION: u64 = 1;
+
+/// Injected-fault and repair tallies (mirror of the runtime's counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+    pub corrupted: u64,
+    pub stalls: u64,
+    pub retransmits: u64,
+}
+
+impl FaultTally {
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.corrupted + self.stalls
+    }
+}
+
+/// Aggregate of every span of one kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseReport {
+    /// [`SpanKind::name`] of the aggregated kind.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed simulated duration (µs). For per-rank span kinds this is
+    /// total rank-busy time, not elapsed time.
+    pub sim_us: f64,
+    /// Summed measured wall duration (µs), same caveat.
+    pub wall_us: f64,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Per-lane busy totals (one entry per rank that recorded spans, plus the
+/// driver lane at rank −1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankReport {
+    pub rank: i64,
+    pub spans: u64,
+    /// Summed simulated duration of this lane's spans (µs).
+    pub sim_busy_us: f64,
+    /// Summed measured duration of this lane's spans (µs).
+    pub wall_busy_us: f64,
+}
+
+/// One convergence-quality sample (mirrors the engine's quality tracker).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QualityPoint {
+    pub rc_step: u64,
+    /// Mean relative closeness error vs. exact.
+    pub error: f64,
+    /// Fraction of the true top-k most central vertices identified.
+    pub top_k_recall: f64,
+}
+
+/// The versioned run report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Scenario identifier, e.g. `fig4:pinned`.
+    pub scenario: String,
+    /// Workload parameters the scenario was pinned at.
+    pub scale: u64,
+    pub procs: u64,
+    pub seed: u64,
+    /// Traffic and step counters (deterministic).
+    pub messages: u64,
+    pub bytes: u64,
+    pub supersteps: u64,
+    pub collectives: u64,
+    pub checkpoints: u64,
+    pub restores: u64,
+    pub rc_steps: u64,
+    /// LogP-priced communication time (µs) — deterministic, the gate's
+    /// primary metric.
+    pub sim_comm_us: f64,
+    /// Measured per-superstep max compute, summed (µs) — host-dependent.
+    pub sim_compute_us: f64,
+    /// Measured wall time of rank computation (µs) — host-dependent.
+    pub wall_us: f64,
+    pub faults: FaultTally,
+    pub phases: Vec<PhaseReport>,
+    pub ranks: Vec<RankReport>,
+    pub quality: Vec<QualityPoint>,
+}
+
+impl RunReport {
+    /// Total simulated time (µs).
+    pub fn sim_total_us(&self) -> f64 {
+        self.sim_comm_us + self.sim_compute_us
+    }
+
+    /// Final quality sample, if any were recorded.
+    pub fn final_quality(&self) -> Option<QualityPoint> {
+        self.quality.last().copied()
+    }
+
+    // ---------------------------------------------------------------
+    // Serialization
+    // ---------------------------------------------------------------
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Num(REPORT_VERSION as f64)),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    ("scale".into(), Json::Num(self.scale as f64)),
+                    ("procs".into(), Json::Num(self.procs as f64)),
+                    ("seed".into(), Json::Num(self.seed as f64)),
+                ]),
+            ),
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("messages".into(), Json::Num(self.messages as f64)),
+                    ("bytes".into(), Json::Num(self.bytes as f64)),
+                    ("supersteps".into(), Json::Num(self.supersteps as f64)),
+                    ("collectives".into(), Json::Num(self.collectives as f64)),
+                    ("checkpoints".into(), Json::Num(self.checkpoints as f64)),
+                    ("restores".into(), Json::Num(self.restores as f64)),
+                    ("rc_steps".into(), Json::Num(self.rc_steps as f64)),
+                ]),
+            ),
+            (
+                "sim".into(),
+                Json::Obj(vec![
+                    ("comm_us".into(), Json::Num(self.sim_comm_us)),
+                    ("compute_us".into(), Json::Num(self.sim_compute_us)),
+                    ("total_us".into(), Json::Num(self.sim_total_us())),
+                ]),
+            ),
+            ("wall_us".into(), Json::Num(self.wall_us)),
+            (
+                "faults".into(),
+                Json::Obj(vec![
+                    ("dropped".into(), Json::Num(self.faults.dropped as f64)),
+                    ("duplicated".into(), Json::Num(self.faults.duplicated as f64)),
+                    ("delayed".into(), Json::Num(self.faults.delayed as f64)),
+                    ("corrupted".into(), Json::Num(self.faults.corrupted as f64)),
+                    ("stalls".into(), Json::Num(self.faults.stalls as f64)),
+                    ("retransmits".into(), Json::Num(self.faults.retransmits as f64)),
+                ]),
+            ),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(p.name.clone())),
+                                ("count".into(), Json::Num(p.count as f64)),
+                                ("sim_us".into(), Json::Num(p.sim_us)),
+                                ("wall_us".into(), Json::Num(p.wall_us)),
+                                ("messages".into(), Json::Num(p.messages as f64)),
+                                ("bytes".into(), Json::Num(p.bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ranks".into(),
+                Json::Arr(
+                    self.ranks
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("rank".into(), Json::Num(r.rank as f64)),
+                                ("spans".into(), Json::Num(r.spans as f64)),
+                                ("sim_busy_us".into(), Json::Num(r.sim_busy_us)),
+                                ("wall_busy_us".into(), Json::Num(r.wall_busy_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "quality".into(),
+                Json::Arr(
+                    self.quality
+                        .iter()
+                        .map(|q| {
+                            Json::Obj(vec![
+                                ("rc_step".into(), Json::Num(q.rc_step as f64)),
+                                ("error".into(), Json::Num(q.error)),
+                                ("top_k_recall".into(), Json::Num(q.top_k_recall)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The on-disk representation (pretty, stable key order, trailing
+    /// newline).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    pub fn from_json(doc: &Json) -> Result<Self, JsonError> {
+        let version = doc.u64_field("version")?;
+        if version != REPORT_VERSION {
+            return Err(JsonError::Shape(format!(
+                "report version {version} is not supported (expected {REPORT_VERSION})"
+            )));
+        }
+        let params = doc.field("params")?;
+        let counters = doc.field("counters")?;
+        let sim = doc.field("sim")?;
+        let faults = doc.field("faults")?;
+        let mut report = RunReport {
+            scenario: doc.str_field("scenario")?.to_string(),
+            scale: params.u64_field("scale")?,
+            procs: params.u64_field("procs")?,
+            seed: params.u64_field("seed")?,
+            messages: counters.u64_field("messages")?,
+            bytes: counters.u64_field("bytes")?,
+            supersteps: counters.u64_field("supersteps")?,
+            collectives: counters.u64_field("collectives")?,
+            checkpoints: counters.u64_field("checkpoints")?,
+            restores: counters.u64_field("restores")?,
+            rc_steps: counters.u64_field("rc_steps")?,
+            sim_comm_us: sim.f64_field("comm_us")?,
+            sim_compute_us: sim.f64_field("compute_us")?,
+            wall_us: doc.f64_field("wall_us")?,
+            faults: FaultTally {
+                dropped: faults.u64_field("dropped")?,
+                duplicated: faults.u64_field("duplicated")?,
+                delayed: faults.u64_field("delayed")?,
+                corrupted: faults.u64_field("corrupted")?,
+                stalls: faults.u64_field("stalls")?,
+                retransmits: faults.u64_field("retransmits")?,
+            },
+            ..RunReport::default()
+        };
+        for p in doc.arr_field("phases")? {
+            report.phases.push(PhaseReport {
+                name: p.str_field("name")?.to_string(),
+                count: p.u64_field("count")?,
+                sim_us: p.f64_field("sim_us")?,
+                wall_us: p.f64_field("wall_us")?,
+                messages: p.u64_field("messages")?,
+                bytes: p.u64_field("bytes")?,
+            });
+        }
+        for r in doc.arr_field("ranks")? {
+            report.ranks.push(RankReport {
+                rank: r.f64_field("rank")? as i64,
+                spans: r.u64_field("spans")?,
+                sim_busy_us: r.f64_field("sim_busy_us")?,
+                wall_busy_us: r.f64_field("wall_busy_us")?,
+            });
+        }
+        for q in doc.arr_field("quality")? {
+            report.quality.push(QualityPoint {
+                rc_step: q.u64_field("rc_step")?,
+                error: q.f64_field("error")?,
+                top_k_recall: q.f64_field("top_k_recall")?,
+            });
+        }
+        Ok(report)
+    }
+
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Aggregates sink events into per-phase totals, in [`SpanKind::ALL`]
+/// order, omitting kinds with no spans.
+pub fn aggregate_phases(events: &[SpanEvent]) -> Vec<PhaseReport> {
+    SpanKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let mut agg = PhaseReport { name: kind.name().to_string(), ..PhaseReport::default() };
+            for e in events.iter().filter(|e| e.kind == kind) {
+                agg.count += 1;
+                agg.sim_us += e.sim_dur_us;
+                agg.wall_us += e.wall_dur_us;
+                agg.messages += e.messages;
+                agg.bytes += e.bytes;
+            }
+            (agg.count > 0).then_some(agg)
+        })
+        .collect()
+}
+
+/// Aggregates sink events into per-lane busy totals, ordered by lane
+/// (driver −1 first, then ranks ascending).
+pub fn per_rank_busy(events: &[SpanEvent]) -> Vec<RankReport> {
+    let mut lanes: Vec<RankReport> = Vec::new();
+    for e in events {
+        let lane = match lanes.iter_mut().find(|l| l.rank == e.rank) {
+            Some(l) => l,
+            None => {
+                lanes.push(RankReport { rank: e.rank, ..RankReport::default() });
+                lanes.last_mut().expect("just pushed")
+            }
+        };
+        lane.spans += 1;
+        lane.sim_busy_us += e.sim_dur_us;
+        lane.wall_busy_us += e.wall_dur_us;
+    }
+    lanes.sort_unstable_by_key(|l| l.rank);
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DRIVER_LANE;
+
+    pub(crate) fn sample_report() -> RunReport {
+        RunReport {
+            scenario: "fig4:pinned".into(),
+            scale: 300,
+            procs: 4,
+            seed: 42,
+            messages: 1234,
+            bytes: 98765,
+            supersteps: 40,
+            collectives: 12,
+            checkpoints: 1,
+            restores: 0,
+            rc_steps: 9,
+            sim_comm_us: 123456.25,
+            sim_compute_us: 789.5,
+            wall_us: 321.125,
+            faults: FaultTally { dropped: 2, retransmits: 5, ..FaultTally::default() },
+            phases: vec![PhaseReport {
+                name: "superstep".into(),
+                count: 160,
+                sim_us: 700.0,
+                wall_us: 650.0,
+                messages: 0,
+                bytes: 0,
+            }],
+            ranks: vec![
+                RankReport { rank: -1, spans: 30, sim_busy_us: 9.0, wall_busy_us: 1.0 },
+                RankReport { rank: 0, spans: 40, sim_busy_us: 200.5, wall_busy_us: 180.0 },
+            ],
+            quality: vec![
+                QualityPoint { rc_step: 0, error: 0.25, top_k_recall: 0.6 },
+                QualityPoint { rc_step: 5, error: 0.0, top_k_recall: 1.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_equal() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("own output parses");
+        assert_eq!(back, report);
+        // And the serialized form is stable (idempotent).
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut doc = sample_report().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Num(99.0);
+        }
+        let err = RunReport::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn totals_and_final_quality() {
+        let r = sample_report();
+        assert_eq!(r.sim_total_us(), 123456.25 + 789.5);
+        assert_eq!(r.final_quality().unwrap().rc_step, 5);
+        assert_eq!(r.faults.injected(), 2);
+    }
+
+    #[test]
+    fn aggregation_from_events() {
+        let mk = |kind, rank, sim, msgs| SpanEvent {
+            kind,
+            rank,
+            superstep: 0,
+            sim_start_us: 0.0,
+            sim_dur_us: sim,
+            wall_start_us: 0.0,
+            wall_dur_us: sim / 2.0,
+            messages: msgs,
+            bytes: msgs * 10,
+        };
+        let events = vec![
+            mk(SpanKind::Superstep, 0, 10.0, 0),
+            mk(SpanKind::Superstep, 1, 20.0, 0),
+            mk(SpanKind::Exchange, DRIVER_LANE, 100.0, 6),
+            mk(SpanKind::Superstep, 0, 5.0, 0),
+        ];
+        let phases = aggregate_phases(&events);
+        assert_eq!(phases.len(), 2, "only kinds with spans appear");
+        assert_eq!(phases[0].name, "superstep");
+        assert_eq!(phases[0].count, 3);
+        assert_eq!(phases[0].sim_us, 35.0);
+        assert_eq!(phases[1].name, "exchange");
+        assert_eq!(phases[1].messages, 6);
+        assert_eq!(phases[1].bytes, 60);
+
+        let ranks = per_rank_busy(&events);
+        assert_eq!(ranks.len(), 3);
+        assert_eq!(ranks[0].rank, DRIVER_LANE);
+        assert_eq!(ranks[1].rank, 0);
+        assert_eq!(ranks[1].spans, 2);
+        assert_eq!(ranks[1].sim_busy_us, 15.0);
+        assert_eq!(ranks[2].sim_busy_us, 20.0);
+    }
+}

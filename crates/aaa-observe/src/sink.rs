@@ -1,0 +1,175 @@
+//! Event sinks: where spans go.
+//!
+//! The runtime records through an `Arc<dyn EventSink>` it checks with a
+//! single cached boolean before building any event — so with the default
+//! [`NoopSink`] the hot path pays one predictable branch and nothing else
+//! (the disarmed `exchange` micro-benchmark must stay within noise of the
+//! pre-instrumentation number; see EXPERIMENTS.md).
+//!
+//! [`MemorySink`] is the armed implementation: per-rank shards so
+//! concurrently-recording lanes never contend on one lock, with a global
+//! atomic sequence number so [`MemorySink::drain`] can restore a total
+//! order. In the current BSP cluster all recording happens driver-side at
+//! barriers, so the shard locks are uncontended in practice — the sharding
+//! keeps the sink honest for future genuinely-concurrent recorders (the
+//! SPMD substrate).
+
+use crate::event::SpanEvent;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A destination for span events. Implementations must be cheap to probe:
+/// the runtime caches [`EventSink::enabled`] and skips event construction
+/// entirely when it returns `false`.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    /// Whether recording is live. Checked once at installation time — a
+    /// sink cannot toggle mid-run.
+    fn enabled(&self) -> bool;
+
+    /// Records one span. Only called when [`EventSink::enabled`] is true.
+    fn record(&self, event: SpanEvent);
+}
+
+/// The default sink: discards everything, reports itself disabled, and is
+/// never actually invoked on the hot path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&self, _event: SpanEvent) {}
+}
+
+/// Number of lane shards in a [`MemorySink`]. Lanes hash to shards by
+/// `(rank + 2) % SHARDS` (driver lane −1 maps to shard 1), so up to this
+/// many concurrently-recording lanes never share a lock.
+const SHARDS: usize = 32;
+
+/// An in-memory collecting sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    shards: [Mutex<Vec<(u64, SpanEvent)>>; SHARDS],
+    seq: AtomicU64,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(rank: i64) -> usize {
+        (rank + 2).rem_euclid(SHARDS as i64) as usize
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("sink shard poisoned").len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns every recorded event in recording order.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<(u64, SpanEvent)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.append(&mut shard.lock().expect("sink shard poisoned"));
+        }
+        all.sort_unstable_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// A copy of every recorded event in recording order (non-destructive).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<(u64, SpanEvent)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("sink shard poisoned").iter().copied());
+        }
+        all.sort_unstable_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: SpanEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.shards[Self::shard_of(event.rank)]
+            .lock()
+            .expect("sink shard poisoned")
+            .push((seq, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanKind, DRIVER_LANE};
+
+    fn ev(rank: i64, superstep: u64) -> SpanEvent {
+        SpanEvent::instant(SpanKind::Superstep, rank, superstep, superstep as f64, 0.0)
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.record(ev(0, 0)); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn memory_sink_preserves_recording_order_across_shards() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        // Interleave lanes that land in different shards.
+        for step in 0..10u64 {
+            for rank in [DRIVER_LANE, 0, 1, 2, 33] {
+                s.record(ev(rank, step));
+            }
+        }
+        assert_eq!(s.len(), 50);
+        let events = s.events();
+        assert_eq!(events.len(), 50);
+        let drained = s.drain();
+        assert_eq!(events, drained, "events() and drain() agree on order");
+        assert!(s.is_empty(), "drain empties the sink");
+        // Order: grouped by step, lanes in recording order within a step.
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.superstep, (i / 5) as u64);
+        }
+        assert_eq!(drained[0].rank, DRIVER_LANE);
+        assert_eq!(drained[4].rank, 33);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let s = std::sync::Arc::new(MemorySink::new());
+        std::thread::scope(|scope| {
+            for rank in 0..8i64 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for step in 0..100u64 {
+                        s.record(ev(rank, step));
+                    }
+                });
+            }
+        });
+        let events = s.drain();
+        assert_eq!(events.len(), 800);
+        // Per-lane order is preserved (seq is monotone per thread).
+        for rank in 0..8i64 {
+            let steps: Vec<u64> =
+                events.iter().filter(|e| e.rank == rank).map(|e| e.superstep).collect();
+            assert_eq!(steps, (0..100).collect::<Vec<_>>(), "lane {rank} reordered");
+        }
+    }
+}

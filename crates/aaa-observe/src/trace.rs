@@ -1,0 +1,133 @@
+//! Chrome-trace export: renders sink events as a Trace Event Format JSON
+//! array (the legacy-but-universal format `chrome://tracing`, Perfetto,
+//! and Speedscope all open).
+//!
+//! The timeline is the *simulated* clock — span `ts`/`dur` are LogP
+//! microseconds, so the picture shows the modeled cluster, not this
+//! process. Wall-clock durations ride along in each span's `args`.
+//! Lanes map to trace threads: rank *r* is `tid = r`, and the driver lane
+//! ([`DRIVER_LANE`]) renders as `tid = num_ranks` so it sorts after the
+//! ranks instead of at −1.
+
+use crate::event::{SpanEvent, DRIVER_LANE};
+use crate::json::Json;
+
+/// Renders `events` as a Chrome-trace JSON array string for a run with
+/// `num_ranks` ranks. Complete spans get `ph:"X"`; zero-simulated-duration
+/// events render as instants (`ph:"i"`). Thread-name metadata events label
+/// each lane.
+pub fn chrome_trace(events: &[SpanEvent], num_ranks: usize) -> String {
+    let driver_tid = num_ranks as i64;
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + num_ranks + 1);
+
+    // Lane labels first: one thread_name metadata event per lane that
+    // could appear.
+    for rank in 0..num_ranks {
+        out.push(thread_name(rank as i64, format!("rank {rank}")));
+    }
+    out.push(thread_name(driver_tid, "driver".to_string()));
+
+    for e in events {
+        let tid = if e.rank == DRIVER_LANE { driver_tid } else { e.rank };
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(e.kind.name().to_string())),
+            ("cat".to_string(), Json::Str("aaa".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(tid as f64)),
+            ("ts".to_string(), Json::Num(e.sim_start_us)),
+        ];
+        if e.sim_dur_us > 0.0 {
+            fields.push(("ph".to_string(), Json::Str("X".to_string())));
+            fields.push(("dur".to_string(), Json::Num(e.sim_dur_us)));
+        } else {
+            fields.push(("ph".to_string(), Json::Str("i".to_string())));
+            fields.push(("s".to_string(), Json::Str("t".to_string())));
+        }
+        let mut args = vec![
+            ("superstep".to_string(), Json::Num(e.superstep as f64)),
+            ("wall_us".to_string(), Json::Num(e.wall_dur_us)),
+        ];
+        if e.messages > 0 || e.bytes > 0 {
+            args.push(("messages".to_string(), Json::Num(e.messages as f64)));
+            args.push(("bytes".to_string(), Json::Num(e.bytes as f64)));
+        }
+        fields.push(("args".to_string(), Json::Obj(args)));
+        out.push(Json::Obj(fields));
+    }
+
+    let mut text = Json::Arr(out).render();
+    text.push('\n');
+    text
+}
+
+fn thread_name(tid: i64, name: String) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("thread_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(tid as f64)),
+        ("args".to_string(), Json::Obj(vec![("name".to_string(), Json::Str(name))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+
+    #[test]
+    fn trace_is_a_valid_json_array_with_expected_shapes() {
+        let events = vec![
+            SpanEvent {
+                kind: SpanKind::Exchange,
+                rank: DRIVER_LANE,
+                superstep: 3,
+                sim_start_us: 100.0,
+                sim_dur_us: 40.5,
+                wall_start_us: 1.0,
+                wall_dur_us: 2.0,
+                messages: 12,
+                bytes: 96,
+            },
+            SpanEvent::instant(SpanKind::Checkpoint, DRIVER_LANE, 4, 200.0, 3.0),
+            SpanEvent {
+                kind: SpanKind::Superstep,
+                rank: 1,
+                superstep: 3,
+                sim_start_us: 90.0,
+                sim_dur_us: 8.0,
+                wall_start_us: 0.5,
+                wall_dur_us: 8.0,
+                messages: 0,
+                bytes: 0,
+            },
+        ];
+        let text = chrome_trace(&events, 2);
+        let doc = Json::parse(&text).expect("exporter output parses");
+        let arr = doc.as_arr().expect("top level is an array");
+        // 2 rank labels + 1 driver label + 3 events.
+        assert_eq!(arr.len(), 6);
+
+        // Metadata events label lanes.
+        assert_eq!(arr[0].str_field("ph").unwrap(), "M");
+        assert_eq!(arr[2].field("args").unwrap().str_field("name").unwrap(), "driver");
+        assert_eq!(arr[2].u64_field("tid").unwrap(), 2, "driver lane is tid = num_ranks");
+
+        // Complete span on the driver lane.
+        let exchange = &arr[3];
+        assert_eq!(exchange.str_field("name").unwrap(), "exchange");
+        assert_eq!(exchange.str_field("ph").unwrap(), "X");
+        assert_eq!(exchange.f64_field("ts").unwrap(), 100.0);
+        assert_eq!(exchange.f64_field("dur").unwrap(), 40.5);
+        assert_eq!(exchange.u64_field("tid").unwrap(), 2);
+        assert_eq!(exchange.field("args").unwrap().u64_field("messages").unwrap(), 12);
+
+        // Zero-duration span renders as an instant.
+        let ckpt = &arr[4];
+        assert_eq!(ckpt.str_field("ph").unwrap(), "i");
+        assert!(ckpt.get("dur").is_none());
+
+        // Rank span keeps its own tid.
+        assert_eq!(arr[5].u64_field("tid").unwrap(), 1);
+    }
+}

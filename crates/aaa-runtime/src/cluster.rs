@@ -6,8 +6,10 @@ use crate::logp::LogPModel;
 use crate::schedule::{all_to_all_cost_us, ExchangeSchedule};
 use crate::stats::RunStats;
 use crate::Rank;
+use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 use rayon::prelude::*;
 use std::any::Any;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How rank computation is executed.
@@ -151,6 +153,14 @@ pub struct Cluster<S> {
     chaos: Option<ChaosPlan>,
     delayed: Vec<DelayedMsg>,
     pending_chaos: Vec<ClusterError>,
+    /// Span destination. Defaults to [`NoopSink`]; `sink_armed` caches
+    /// `sink.enabled()` so the disarmed hot path pays exactly one
+    /// predictable branch per instrumentation site and never builds an
+    /// event.
+    sink: Arc<dyn EventSink>,
+    sink_armed: bool,
+    /// Wall epoch for `wall_start_us` stamps on recorded spans.
+    epoch: Instant,
 }
 
 impl<S: Send> Cluster<S> {
@@ -165,6 +175,9 @@ impl<S: Send> Cluster<S> {
             chaos: None,
             delayed: Vec::new(),
             pending_chaos: Vec::new(),
+            sink: Arc::new(NoopSink),
+            sink_armed: false,
+            epoch: Instant::now(),
         }
     }
 
@@ -309,7 +322,73 @@ impl<S: Send> Cluster<S> {
         self.stats.sim_compute_us += us;
     }
 
-    fn record_compute(&mut self, per_rank_us: &[f64], wall: std::time::Duration) {
+    /// Installs an event sink. The sink's [`EventSink::enabled`] is probed
+    /// once here and cached; installing a disabled sink (e.g. [`NoopSink`])
+    /// disarms recording entirely.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink_armed = sink.enabled();
+        self.sink = sink;
+    }
+
+    /// A handle to the installed sink (for re-arming a rebuilt cluster
+    /// after a checkpoint restore).
+    pub fn sink(&self) -> Arc<dyn EventSink> {
+        Arc::clone(&self.sink)
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.sink_armed
+    }
+
+    /// Position on the simulated clock (µs): where the next span starts.
+    #[inline]
+    pub fn sim_now_us(&self) -> f64 {
+        self.stats.sim_total_us()
+    }
+
+    /// Position on the wall clock (µs since this cluster's epoch).
+    #[inline]
+    pub fn wall_now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Records a span if a live sink is installed. Callers at higher
+    /// layers (the engine) use this together with [`Cluster::sim_now_us`] /
+    /// [`Cluster::wall_now_us`] to place their own spans; guard event
+    /// construction behind [`Cluster::observing`] to keep disarmed runs
+    /// free.
+    #[inline]
+    pub fn emit(&self, event: SpanEvent) {
+        if self.sink_armed {
+            self.sink.record(event);
+        }
+    }
+
+    fn record_compute(&mut self, per_rank_us: &[f64], started: Instant, wall: std::time::Duration) {
+        if self.sink_armed {
+            // One Superstep span per rank, all opening at the barrier: the
+            // simulated superstep starts every rank together, and each
+            // rank's slice lasts its measured time (the laggard's span is
+            // the one that advances the simulated clock below).
+            let sim_start = self.stats.sim_total_us();
+            let wall_start = started.duration_since(self.epoch).as_secs_f64() * 1e6;
+            let superstep = self.stats.supersteps;
+            for (rank, &us) in per_rank_us.iter().enumerate() {
+                self.sink.record(SpanEvent {
+                    kind: SpanKind::Superstep,
+                    rank: rank as i64,
+                    superstep,
+                    sim_start_us: sim_start,
+                    sim_dur_us: us,
+                    wall_start_us: wall_start,
+                    wall_dur_us: us,
+                    messages: 0,
+                    bytes: 0,
+                });
+            }
+        }
         let max = per_rank_us.iter().copied().fold(0.0f64, f64::max);
         self.stats.sim_compute_us += max;
         self.stats.supersteps += 1;
@@ -335,7 +414,7 @@ impl<S: Send> Cluster<S> {
         };
         let wall = started.elapsed();
         let (times, outs): (Vec<f64>, Vec<R>) = results.into_iter().unzip();
-        self.record_compute(&times, wall);
+        self.record_compute(&times, started, wall);
         outs
     }
 
@@ -375,6 +454,17 @@ impl<S: Send> Cluster<S> {
         let outboxes: Vec<Vec<(Rank, M)>> = self.step(produce);
 
         // Phase 2: price and route.
+        let (msg0, bytes0, comm0, sim_route_start, wall_route_start) = if self.sink_armed {
+            (
+                self.stats.messages,
+                self.stats.bytes,
+                self.stats.sim_comm_us,
+                self.stats.sim_total_us(),
+                self.wall_now_us(),
+            )
+        } else {
+            (0, 0, 0.0, 0.0, 0.0)
+        };
         let mut bytes = vec![vec![0usize; p]; p];
         let mut inboxes: Vec<Vec<(Rank, M)>> = (0..p).map(|_| Vec::new()).collect();
         if self.chaos.is_none() && self.delayed.is_empty() {
@@ -396,6 +486,21 @@ impl<S: Send> Cluster<S> {
         }
         self.stats.sim_comm_us +=
             all_to_all_cost_us(self.config.schedule, &self.config.model, &bytes);
+        if self.sink_armed {
+            // The priced routing phase, on the driver lane. Durations are
+            // deltas, so chaos extras (NACKs, retransmissions) are included.
+            self.sink.record(SpanEvent {
+                kind: SpanKind::Exchange,
+                rank: DRIVER_LANE,
+                superstep,
+                sim_start_us: sim_route_start,
+                sim_dur_us: self.stats.sim_comm_us - comm0,
+                wall_start_us: wall_route_start,
+                wall_dur_us: self.wall_now_us() - wall_route_start,
+                messages: self.stats.messages - msg0,
+                bytes: self.stats.bytes - bytes0,
+            });
+        }
 
         // Phase 3: consume (compute superstep).
         let started = Instant::now();
@@ -413,7 +518,7 @@ impl<S: Send> Cluster<S> {
             }
         };
         let wall = started.elapsed();
-        self.record_compute(&times, wall);
+        self.record_compute(&times, started, wall);
     }
 
     /// The chaos/delay-queue routing path of [`Cluster::exchange`]. Runs
@@ -567,6 +672,17 @@ impl<S: Send> Cluster<S> {
         let payload = produce(&mut self.states[root]);
         let sz = size_of(&payload);
         let p = self.p();
+        let (msg0, bytes0, comm0, sim_start, wall_start) = if self.sink_armed {
+            (
+                self.stats.messages,
+                self.stats.bytes,
+                self.stats.sim_comm_us,
+                self.stats.sim_total_us(),
+                self.wall_now_us(),
+            )
+        } else {
+            (0, 0, 0.0, 0.0, 0.0)
+        };
         self.stats.sim_comm_us += self.config.model.broadcast_cost_us(p, sz);
         self.stats.messages += (p - 1) as u64;
         self.stats.bytes += (sz * (p - 1)) as u64;
@@ -610,6 +726,19 @@ impl<S: Send> Cluster<S> {
                 }
             }
         }
+        if self.sink_armed {
+            self.sink.record(SpanEvent {
+                kind: SpanKind::Collective,
+                rank: DRIVER_LANE,
+                superstep: self.stats.supersteps,
+                sim_start_us: sim_start,
+                sim_dur_us: self.stats.sim_comm_us - comm0,
+                wall_start_us: wall_start,
+                wall_dur_us: self.wall_now_us() - wall_start,
+                messages: self.stats.messages - msg0,
+                bytes: self.stats.bytes - bytes0,
+            });
+        }
         let payload_ref = &payload;
         self.step(move |rank, state| consume(rank, state, payload_ref));
     }
@@ -622,8 +751,8 @@ impl<S: Send> Cluster<S> {
     {
         let p = self.p();
         let result = self.states.iter().enumerate().any(|(r, s)| f(r, s));
-        self.stats.sim_comm_us += 2.0 * self.config.model.broadcast_cost_us(p, 1);
-        self.stats.collectives += 1;
+        let cost = 2.0 * self.config.model.broadcast_cost_us(p, 1);
+        self.record_collective(cost);
         result
     }
 
@@ -635,9 +764,28 @@ impl<S: Send> Cluster<S> {
     {
         let p = self.p();
         let result = self.states.iter().enumerate().map(|(r, s)| f(r, s)).max().unwrap_or(0);
-        self.stats.sim_comm_us += 2.0 * self.config.model.broadcast_cost_us(p, 8);
-        self.stats.collectives += 1;
+        let cost = 2.0 * self.config.model.broadcast_cost_us(p, 8);
+        self.record_collective(cost);
         result
+    }
+
+    /// Prices an all-reduction and records its Collective span.
+    fn record_collective(&mut self, cost_us: f64) {
+        if self.sink_armed {
+            self.sink.record(SpanEvent {
+                kind: SpanKind::Collective,
+                rank: DRIVER_LANE,
+                superstep: self.stats.supersteps,
+                sim_start_us: self.stats.sim_total_us(),
+                sim_dur_us: cost_us,
+                wall_start_us: self.wall_now_us(),
+                wall_dur_us: 0.0,
+                messages: 0,
+                bytes: 0,
+            });
+        }
+        self.stats.sim_comm_us += cost_us;
+        self.stats.collectives += 1;
     }
 }
 
@@ -962,6 +1110,58 @@ mod tests {
             assert!(c.stats().sim_comm_us > clean_cost, "faults must price retransmissions");
         }
         assert!(c.poll_chaos().is_ok(), "collectives absorb their faults internally");
+    }
+
+    #[test]
+    fn armed_sink_records_spans_without_perturbing_stats() {
+        use aaa_observe::{MemorySink, SpanKind};
+        let run = |armed: bool| {
+            let mut c = Cluster::new(vec![0u64; 4], config(ExecutionMode::Sequential));
+            let sink = std::sync::Arc::new(MemorySink::new());
+            if armed {
+                c.set_sink(sink.clone());
+                assert!(c.observing());
+            } else {
+                assert!(!c.observing(), "NoopSink default is disarmed");
+            }
+            for _ in 0..3 {
+                c.exchange(
+                    |rank, s| vec![((rank + 1) % 4, *s + rank as u64)],
+                    |_| 16,
+                    |_, s, inbox| *s += inbox.iter().map(|&(_, m)| m).sum::<u64>(),
+                );
+            }
+            c.broadcast(0, |_| 1u8, |_| 1, |_, _, _| {});
+            c.allreduce_or(|_, &s| s > 0);
+            (*c.stats(), sink.drain())
+        };
+        let (armed_stats, events) = run(true);
+        let (disarmed_stats, no_events) = run(false);
+
+        assert!(no_events.is_empty(), "disarmed cluster records nothing");
+        // Deterministic accounting must be identical armed vs disarmed.
+        assert_eq!(armed_stats.messages, disarmed_stats.messages);
+        assert_eq!(armed_stats.bytes, disarmed_stats.bytes);
+        assert_eq!(armed_stats.sim_comm_us, disarmed_stats.sim_comm_us);
+        assert_eq!(armed_stats.supersteps, disarmed_stats.supersteps);
+
+        let count = |k| events.iter().filter(|e| e.kind == k).count();
+        // 3 exchanges × 2 compute phases × 4 ranks + 1 broadcast-consume × 4.
+        assert_eq!(count(SpanKind::Superstep), 28);
+        assert_eq!(count(SpanKind::Exchange), 3);
+        assert_eq!(count(SpanKind::Collective), 2);
+        let exch = events.iter().find(|e| e.kind == SpanKind::Exchange).unwrap();
+        assert_eq!(exch.rank, DRIVER_LANE);
+        assert_eq!(exch.messages, 4);
+        assert_eq!(exch.bytes, 64);
+        assert!(exch.sim_dur_us > 0.0);
+        // Spans cover the whole simulated comm time.
+        let comm: f64 = events
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Exchange | SpanKind::Collective))
+            .map(|e| e.sim_dur_us)
+            .sum();
+        assert!((comm - armed_stats.sim_comm_us).abs() < 1e-9);
     }
 
     #[test]

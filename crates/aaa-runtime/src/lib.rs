@@ -19,6 +19,10 @@
 //!
 //! Correctness of the algorithms above never depends on the cost model —
 //! it only prices traffic; message *routing* is exact.
+//!
+//! Every superstep, exchange and collective is also recorded as a typed
+//! span into an installed [`EventSink`] (S24; `aaa-observe`). The default
+//! sink is disarmed and costs one predictable branch per site.
 
 pub mod chaos;
 pub mod cluster;
@@ -27,6 +31,7 @@ pub mod schedule;
 pub mod spmd;
 pub mod stats;
 
+pub use aaa_observe::{EventSink, MemorySink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 pub use chaos::{ChannelFault, ChaosPlan};
 pub use cluster::{Cluster, ClusterConfig, ClusterError, ExecutionMode, FaultPlan};
 pub use logp::LogPModel;

@@ -30,7 +30,7 @@ pub fn tournament_rounds(p: usize) -> Vec<Vec<(Rank, Rank)>> {
         return Vec::new();
     }
     // Work with an even number of slots; `p` odd gets a phantom slot.
-    let slots = if p.is_multiple_of(2) { p } else { p + 1 };
+    let slots = if p % 2 == 0 { p } else { p + 1 };
     let phantom = slots - 1;
     let mut ring: Vec<usize> = (0..slots).collect();
     let mut rounds = Vec::with_capacity(slots - 1);

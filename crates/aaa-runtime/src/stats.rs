@@ -114,6 +114,33 @@ impl RunStats {
         self.wall += other.wall;
     }
 
+    /// Seeds a [`RunReport`](aaa_observe::RunReport) with this block's
+    /// counters and clocks. The caller fills in the scenario parameters
+    /// and the sink-derived sections (phases, ranks, quality).
+    pub fn init_report(&self, scenario: &str) -> aaa_observe::RunReport {
+        aaa_observe::RunReport {
+            scenario: scenario.to_string(),
+            messages: self.messages,
+            bytes: self.bytes,
+            supersteps: self.supersteps,
+            collectives: self.collectives,
+            checkpoints: self.checkpoints,
+            restores: self.restores,
+            sim_comm_us: self.sim_comm_us,
+            sim_compute_us: self.sim_compute_us,
+            wall_us: self.wall.as_secs_f64() * 1e6,
+            faults: aaa_observe::FaultTally {
+                dropped: self.faults.dropped,
+                duplicated: self.faults.duplicated,
+                delayed: self.faults.delayed,
+                corrupted: self.faults.corrupted,
+                stalls: self.faults.stalls,
+                retransmits: self.faults.retransmits,
+            },
+            ..aaa_observe::RunReport::default()
+        }
+    }
+
     /// The per-phase delta between this (cumulative) block and an earlier
     /// `baseline` of the same run: what happened strictly after the
     /// baseline was captured. Saturating, so a baseline from a discarded

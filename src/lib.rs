@@ -16,6 +16,8 @@
 //!   and the rank-failure recovery building blocks.
 //! * [`core`] — the anytime anywhere closeness-centrality engine with
 //!   dynamic vertex additions and processor-assignment strategies.
+//! * [`observe`] — structured run tracing: typed span events, Chrome-trace
+//!   export, machine-readable run reports, and the perf-gate comparator.
 //!
 //! ## Quickstart
 //!
@@ -35,5 +37,6 @@
 pub use aaa_checkpoint as checkpoint;
 pub use aaa_core as core;
 pub use aaa_graph as graph;
+pub use aaa_observe as observe;
 pub use aaa_partition as partition;
 pub use aaa_runtime as runtime;

@@ -1,0 +1,124 @@
+//! Integration tests for the observability layer (S24): armed engine runs
+//! produce consistent spans, reports round-trip through their JSON form,
+//! the Chrome-trace export is valid JSON, and recording never perturbs the
+//! deterministic accounting.
+
+use anytime_anywhere::core::changes::preferential_batch;
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, SpanKind};
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::observe::{
+    aggregate_phases, chrome_trace, compare, per_rank_busy, regressed, GateConfig, Json, RunReport,
+};
+use anytime_anywhere::runtime::RunStats;
+use std::sync::Arc;
+
+const PROCS: usize = 4;
+
+/// One small dynamic scenario; returns the final stats and (if a sink was
+/// armed) the recorded events.
+fn run_scenario(armed: bool) -> (RunStats, Vec<anytime_anywhere::core::SpanEvent>) {
+    let g = barabasi_albert(150, 2, WeightModel::Unit, 11).expect("generator");
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = if armed {
+        AnytimeEngine::with_sink(g, EngineConfig::deterministic(PROCS), sink.clone())
+            .expect("engine")
+    } else {
+        AnytimeEngine::new(g, EngineConfig::deterministic(PROCS)).expect("engine")
+    };
+    for _ in 0..3 {
+        engine.rc_step();
+    }
+    let batch = preferential_batch(engine.graph(), 10, 2, 3);
+    engine.apply_vertex_additions(&batch, AssignStrategy::RoundRobin).expect("batch");
+    let _ = engine.checkpoint_bytes().expect("checkpoint");
+    assert!(engine.run_to_convergence().converged);
+    (engine.stats(), sink.drain())
+}
+
+#[test]
+fn recording_does_not_perturb_deterministic_accounting() {
+    let (armed, events) = run_scenario(true);
+    let (disarmed, none) = run_scenario(false);
+    assert!(none.is_empty());
+    assert!(!events.is_empty());
+    assert_eq!(armed.messages, disarmed.messages);
+    assert_eq!(armed.bytes, disarmed.bytes);
+    assert_eq!(armed.sim_comm_us, disarmed.sim_comm_us);
+    assert_eq!(armed.supersteps, disarmed.supersteps);
+    assert_eq!(armed.collectives, disarmed.collectives);
+    assert_eq!(armed.checkpoints, disarmed.checkpoints);
+}
+
+#[test]
+fn engine_spans_cover_the_run() {
+    let (stats, events) = run_scenario(true);
+    let count = |k: SpanKind| events.iter().filter(|e| e.kind == k).count() as u64;
+
+    assert_eq!(count(SpanKind::DomainDecomposition), 1);
+    assert_eq!(count(SpanKind::Checkpoint), stats.checkpoints);
+    assert_eq!(count(SpanKind::Collective), stats.collectives);
+    // Every superstep contributes one span per rank (exchange supersteps
+    // contribute two compute phases, but each bumps the counter once).
+    assert_eq!(count(SpanKind::Superstep), stats.supersteps * PROCS as u64);
+    assert!(count(SpanKind::RcStep) >= 4, "3 pre-batch + convergence steps");
+
+    // Exchange spans carry the point-to-point traffic, Collective spans
+    // the broadcast/reduction traffic; together they cover every message.
+    let (msgs, bytes) = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Exchange | SpanKind::Collective))
+        .fold((0u64, 0u64), |(m, b), e| (m + e.messages, b + e.bytes));
+    assert_eq!(msgs, stats.messages);
+    assert_eq!(bytes, stats.bytes);
+
+    // Exchange + Collective simulated durations add up to sim_comm_us.
+    let comm: f64 = events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Exchange | SpanKind::Collective))
+        .map(|e| e.sim_dur_us)
+        .sum();
+    assert!((comm - stats.sim_comm_us).abs() < 1e-6);
+
+    // Per-rank aggregation sees every lane: P ranks + the driver.
+    assert_eq!(per_rank_busy(&events).len(), PROCS + 1);
+}
+
+#[test]
+fn report_round_trips_and_gate_accepts_self() {
+    let (stats, events) = run_scenario(true);
+    let mut report = stats.init_report("itest:pinned");
+    report.scale = 150;
+    report.procs = PROCS as u64;
+    report.seed = 11;
+    report.rc_steps = 9;
+    report.phases = aggregate_phases(&events);
+    report.ranks = per_rank_busy(&events);
+
+    // JSON round-trip is exact, including every f64.
+    let text = report.to_json_string();
+    let back = RunReport::from_json_str(&text).expect("parses");
+    assert_eq!(back, report);
+
+    // Self-comparison never regresses (even at threshold 0).
+    let cfg = GateConfig { default_threshold: 0.0, overrides: vec![] };
+    let rows = compare(&back, &report, &cfg);
+    assert!(!regressed(&rows));
+    assert!(rows.iter().all(|r| r.rel_change == 0.0 || !r.gated));
+}
+
+#[test]
+fn chrome_trace_is_a_valid_json_array() {
+    let (_, events) = run_scenario(true);
+    let trace = chrome_trace(&events, PROCS);
+    let doc = Json::parse(&trace).expect("trace parses");
+    let arr = doc.as_arr().expect("top level array");
+    // Lane metadata + one entry per span.
+    assert_eq!(arr.len(), events.len() + PROCS + 1);
+    for entry in arr {
+        let ph = entry.str_field("ph").expect("every event has a phase");
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(entry.f64_field("dur").expect("complete spans have dur") > 0.0);
+        }
+    }
+}
