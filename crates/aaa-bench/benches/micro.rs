@@ -2,7 +2,7 @@
 //! row relaxation, partitioning, community detection, schedules, and the
 //! chaos-off exchange fast path.
 
-use aaa_core::rank::relax_via;
+use aaa_core::rank::{relax_via, RankState, RowMsg};
 use aaa_graph::community::{louvain, LouvainConfig};
 use aaa_graph::generators::{barabasi_albert, planted_partition, PlantedPartition, WeightModel};
 use aaa_graph::sssp::dijkstra;
@@ -29,6 +29,62 @@ fn bench_relax_via(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_min_merge(c: &mut Criterion) {
+    use aaa_core::dv::min_merge;
+    for n in [512usize, 4_096] {
+        let src: Vec<u32> = (0..n).map(|i| (i % 89) as u32).collect();
+        c.bench_function(&format!("min_merge/{n}-cols"), |b| {
+            b.iter_batched(
+                || (0..n).map(|i| (i % 97) as u32).collect::<Vec<u32>>(),
+                |mut dst| black_box(min_merge(&mut dst, &src)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+/// The whole-`relax_worklist` hot path, driven through the RC consume the
+/// engine actually runs: rank 1 of a 2-rank block partition produces its
+/// post-IA boundary rows, and the benchmark measures rank 0 min-merging
+/// that inbox and relaxing to its rank-local fixed point.
+fn bench_relax_worklist(c: &mut Criterion) {
+    for n in [512usize, 4_096] {
+        let g = barabasi_albert(n, 3, WeightModel::Unit, 1).unwrap();
+        let owner: Vec<u32> = (0..n as u32).map(|v| u32::from(v as usize >= n / 2)).collect();
+        let adj = |v: u32| g.neighbors(v).to_vec();
+        let mut s0 = RankState::build(0, owner.clone(), adj);
+        let mut s1 = RankState::build(1, owner, adj);
+        s0.initial_approximation();
+        s1.initial_approximation();
+        // Retire the IA dirt so the clone under test is a realistic
+        // mid-RC rank, then route rank 1's boundary rows to rank 0.
+        let _ = s0.produce_rc_messages(usize::MAX);
+        let inbox: Vec<(usize, RowMsg)> = s1
+            .produce_rc_messages(usize::MAX)
+            .into_iter()
+            .filter(|&(q, _)| q == 0)
+            .map(|(_, m)| (1usize, m))
+            .collect();
+        // The kernel is bit-identical for any thread count; "par" uses the
+        // host's cores (on a single-core runner it measures the same code
+        // path plus scope overhead).
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        for (label, threads) in [("seq", 1usize), ("par", cores.max(2))] {
+            s0.set_kernel_threads(threads);
+            c.bench_function(&format!("relax_worklist/ba-{n}-p2/{label}"), |b| {
+                b.iter_batched(
+                    || (s0.clone(), inbox.clone()),
+                    |(mut s, inbox)| {
+                        s.consume_rc_messages(inbox);
+                        black_box(s.last_changed)
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
 }
 
 fn bench_multilevel_partition(c: &mut Criterion) {
@@ -132,6 +188,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dijkstra, bench_relax_via, bench_multilevel_partition, bench_louvain, bench_schedules, bench_exchange_chaos_off, bench_exchange_sinks
+    targets = bench_dijkstra, bench_relax_via, bench_min_merge, bench_relax_worklist, bench_multilevel_partition, bench_louvain, bench_schedules, bench_exchange_chaos_off, bench_exchange_sinks
 }
 criterion_main!(benches);

@@ -20,6 +20,9 @@
 //! --trace <path>        also run the pinned observed scenario and write a
 //!                       Chrome-trace JSON array (open in Perfetto /
 //!                       chrome://tracing)
+//! --wire full|delta     RC wire format: full rows (default) or sparse
+//!                       improvement deltas (suffixes the pinned scenario
+//!                       name with `:wire=delta` so gating stays per-wire)
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -27,7 +30,7 @@
 //! paper's minutes on its 16-processor testbed. Wall-clock of this
 //! in-process run is also shown for transparency.
 
-use aaa_core::EngineConfig;
+use aaa_core::{EngineConfig, WireFormat};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -55,6 +58,8 @@ pub struct CommonArgs {
     /// Write the pinned observed scenario's Chrome trace here
     /// (`--trace path`).
     pub trace: Option<PathBuf>,
+    /// RC wire format (`--wire full|delta`).
+    pub wire: WireFormat,
 }
 
 impl Default for CommonArgs {
@@ -69,6 +74,7 @@ impl Default for CommonArgs {
             chaos: None,
             report: None,
             trace: None,
+            wire: WireFormat::Full,
         }
     }
 }
@@ -113,11 +119,17 @@ impl CommonArgs {
                 }
                 "--report" => out.report = Some(PathBuf::from(take("--report"))),
                 "--trace" => out.trace = Some(PathBuf::from(take("--trace"))),
+                "--wire" => {
+                    out.wire = take("--wire").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
                          [--checkpoint-every N] [--fault R@S] [--chaos seed:rate] \
-                         [--report path] [--trace path]"
+                         [--report path] [--trace path] [--wire full|delta]"
                     );
                     std::process::exit(0);
                 }
@@ -139,7 +151,9 @@ impl CommonArgs {
     /// Engine configuration for this run (parallel execution, 1 Gb/s
     /// Ethernet LogP pricing — the paper's testbed).
     pub fn engine_config(&self) -> EngineConfig {
-        EngineConfig::with_procs(self.procs)
+        let mut config = EngineConfig::with_procs(self.procs);
+        config.wire = self.wire;
+        config
     }
 }
 

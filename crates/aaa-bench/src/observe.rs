@@ -14,7 +14,7 @@
 use crate::experiments::{addition_batch, base_graph};
 use crate::CommonArgs;
 use aaa_core::quality::QualityTracker;
-use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink};
+use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, WireFormat};
 use aaa_observe::{aggregate_phases, chrome_trace, per_rank_busy, QualityPoint, RunReport};
 use std::sync::Arc;
 
@@ -44,7 +44,8 @@ pub fn maybe_observe(scenario: &str, args: &CommonArgs) {
 /// sequential execution, seeded graph and batch, fixed step structure.
 pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     let sink = Arc::new(MemorySink::new());
-    let config = EngineConfig::deterministic(args.procs);
+    let mut config = EngineConfig::deterministic(args.procs);
+    config.wire = args.wire;
     let g = base_graph(args);
     let mut engine =
         AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
@@ -83,7 +84,14 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     }
 
     let events = sink.drain();
-    let mut report = engine.stats().init_report(&format!("{scenario}:pinned"));
+    // Per-wire scenario names: `perfgate` refuses to compare reports from
+    // different scenarios, so each wire format gates against its own
+    // committed baseline.
+    let name = match args.wire {
+        WireFormat::Full => format!("{scenario}:pinned"),
+        WireFormat::Delta => format!("{scenario}:pinned:wire=delta"),
+    };
+    let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
     report.seed = args.seed;
@@ -122,5 +130,24 @@ mod tests {
         assert!(a.ranks.len() >= args.procs, "every rank plus the driver recorded spans");
         let last = a.final_quality().expect("quality sampled");
         assert!(last.error < 1e-6, "converged run matches exact closeness");
+    }
+
+    /// The pinned scenario includes a vertex-addition batch, so it is the
+    /// incremental workload the delta wire targets: same converged answer,
+    /// strictly fewer simulated bytes.
+    #[test]
+    fn delta_wire_reduces_bytes_and_converges() {
+        let full_args = small_args();
+        let delta_args = CommonArgs { wire: WireFormat::Delta, ..small_args() };
+        let (full, _) = observed_run("unit", &full_args);
+        let (delta, _) = observed_run("unit", &delta_args);
+        assert_eq!(delta.scenario, "unit:pinned:wire=delta");
+        assert!(
+            delta.bytes < full.bytes,
+            "delta wire must cut simulated bytes ({} vs {})",
+            delta.bytes,
+            full.bytes
+        );
+        assert!(delta.final_quality().expect("quality sampled").error < 1e-6);
     }
 }

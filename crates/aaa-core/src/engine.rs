@@ -6,7 +6,7 @@ use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
 use crate::policy::RetryPolicy;
 use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
-use crate::rank::{GrowMsg, RankState, RowMsg};
+use crate::rank::{GrowMsg, RankState, RowMsg, WireFormat};
 use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
 use aaa_checkpoint::{
     CheckpointError, CheckpointPolicy, EngineMeta, GraphSnapshot, PartitionSnapshot, RankSnapshot,
@@ -70,6 +70,8 @@ pub struct EngineConfig {
     /// Seeded attempts for CutEdge-PS (the paper scores one partition per
     /// processor and keeps the best).
     pub cutedge_tries: usize,
+    /// Wire format for RC row exchanges (full rows vs sparse deltas).
+    pub wire: WireFormat,
 }
 
 impl EngineConfig {
@@ -83,6 +85,7 @@ impl EngineConfig {
             message_cap_bytes: 1 << 20,
             max_rc_steps: 10_000,
             cutedge_tries: 4,
+            wire: WireFormat::Full,
         }
     }
 
@@ -91,6 +94,25 @@ impl EngineConfig {
         let mut c = Self::with_procs(p);
         c.cluster.mode = aaa_runtime::ExecutionMode::Sequential;
         c
+    }
+
+    /// Relaxation-kernel worker threads matching the execution mode: the
+    /// sequential executor models single-threaded ranks, the parallel one
+    /// uses the host's cores. The kernel is bit-identical either way.
+    fn kernel_threads(&self) -> usize {
+        match self.cluster.mode {
+            aaa_runtime::ExecutionMode::Sequential => 1,
+            aaa_runtime::ExecutionMode::Parallel => {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            }
+        }
+    }
+
+    /// Applies the per-rank knobs this config carries (wire format, kernel
+    /// threads) to a freshly built state.
+    fn configure_state(&self, state: &mut RankState) {
+        state.set_wire(self.wire);
+        state.set_kernel_threads(self.kernel_threads());
     }
 }
 
@@ -165,7 +187,11 @@ impl AnytimeEngine {
         let dd_us = dd_started.elapsed().as_secs_f64() * 1e6;
         let owner: Vec<PartId> = partition.assignment().to_vec();
         let states: Vec<RankState> = (0..config.procs)
-            .map(|r| RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec()))
+            .map(|r| {
+                let mut s = RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec());
+                config.configure_state(&mut s);
+                s
+            })
             .collect();
         let mut cluster = Cluster::new(states, config.cluster);
         cluster.set_sink(sink);
@@ -716,6 +742,7 @@ impl AnytimeEngine {
             .map(|r| RankState::build(r, owner.clone(), |v| graph.neighbors(v).to_vec()))
             .collect();
         for (r, s) in states.iter_mut().enumerate() {
+            config.configure_state(s);
             if let Some(rs) = snap.rank(r) {
                 s.restore_from_snapshot(rs);
             }
@@ -1042,6 +1069,7 @@ impl AnytimeEngine {
         let owner: Vec<PartId> = self.partition.assignment().to_vec();
         let graph = &self.graph;
         let mut fresh = RankState::build(rank, owner, |v| graph.neighbors(v).to_vec());
+        self.config.configure_state(&mut fresh);
         fresh.initial_approximation();
         if let Some(rs) = snap.rank(rank) {
             // Merge, don't replace: the snapshot may predate edges the IA

@@ -63,4 +63,5 @@ pub use policy::{RetryPolicy, StrategyPolicy};
 pub use quality::{
     degraded_closeness_bounds, DegradedReason, DegradedReport, QualitySample, QualityTracker,
 };
+pub use rank::WireFormat;
 pub use strategies::AssignStrategy;

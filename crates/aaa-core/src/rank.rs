@@ -10,17 +10,63 @@ use rustc_hash::{FxHashMap, FxHashSet};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Re-exported kernel (it lives next to the arena it operates on).
+pub use crate::dv::relax_via;
+
+/// How DV rows travel between ranks during RC steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Every send carries the full row (the paper's baseline wire).
+    #[default]
+    Full,
+    /// Sends only the improved `(column, distance)` pairs to destinations
+    /// known to hold the previously-sent row, falling back to the full row
+    /// when the delta is dense or the destination is unsynced. Entries
+    /// only decrease, so a delta chain reconstructs the row exactly.
+    Delta,
+}
+
+impl std::str::FromStr for WireFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(Self::Full),
+            "delta" => Ok(Self::Delta),
+            other => Err(format!("unknown wire format '{other}' (expected full|delta)")),
+        }
+    }
+}
+
+/// One row on the wire: the full vector, or the sparse improvements since
+/// the sender's last send to a synced destination.
+#[derive(Debug, Clone)]
+pub enum RowPayload {
+    Full(Vec<Dist>),
+    Delta(Vec<(VertexId, Dist)>),
+}
+
+impl RowPayload {
+    /// Wire size: 8-byte row header plus 4 bytes per dense entry or 8 per
+    /// sparse `(col, dist)` pair — what the LogP pricing sees.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Self::Full(r) => 8 + 4 * r.len(),
+            Self::Delta(p) => 8 + 8 * p.len(),
+        }
+    }
+}
+
 /// A bundle of distance-vector rows travelling between ranks.
 #[derive(Debug, Clone)]
 pub struct RowMsg {
-    pub rows: Vec<(VertexId, Vec<Dist>)>,
+    pub rows: Vec<(VertexId, RowPayload)>,
 }
 
 impl RowMsg {
-    /// Wire size: 8-byte header per row plus 4 bytes per entry — what the
-    /// LogP pricing sees.
+    /// Wire size summed over the carried rows.
     pub fn size_bytes(&self) -> usize {
-        self.rows.iter().map(|(_, r)| 8 + 4 * r.len()).sum()
+        self.rows.iter().map(|(_, p)| p.size_bytes()).sum()
     }
 }
 
@@ -40,6 +86,13 @@ impl GrowMsg {
     }
 }
 
+/// Undirected-edge key for the duplicate-edge probe.
+#[inline]
+fn edge_key(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
 /// The state a single logical processor owns.
 #[derive(Debug, Clone)]
 pub struct RankState {
@@ -50,12 +103,24 @@ pub struct RankState {
     local: Vec<VertexId>,
     /// Adjacency of local vertices, in global ids (includes cut edges).
     adj: FxHashMap<VertexId, Vec<(VertexId, Weight)>>,
+    /// Edges already recorded in `adj`, as packed undirected keys — an O(1)
+    /// duplicate probe replacing the per-insert list scan (quadratic over a
+    /// batched `grow`).
+    edge_seen: FxHashSet<u64>,
     /// Distance vectors.
     dv: DvStore,
     /// Rows gathered for the in-flight edge relaxation (Fig. 3 broadcasts).
     gathered: FxHashMap<VertexId, Vec<Dist>>,
     /// Local rows changed by dynamic updates, pending intra-rank relaxation.
     pending: FxHashSet<VertexId>,
+    /// Wire format for produced RC messages.
+    wire: WireFormat,
+    /// Worker threads for the relaxation kernel (1 = sequential).
+    kernel_threads: usize,
+    /// Delta wire tracking: per row, the copy as of its last send, and the
+    /// destinations known to hold exactly that copy.
+    sent_snapshot: FxHashMap<VertexId, Vec<Dist>>,
+    synced: FxHashMap<VertexId, Vec<Rank>>,
     /// Whether the last produce emitted anything / consume changed anything
     /// (drives the global convergence reduction).
     pub last_sent: bool,
@@ -79,17 +144,24 @@ impl RankState {
             adj.insert(v, adjacency_of(v));
             dv.add_local_row(v);
         }
-        Self {
+        let mut state = Self {
             rank,
             owner,
             local,
             adj,
+            edge_seen: FxHashSet::default(),
             dv,
             gathered: FxHashMap::default(),
             pending: FxHashSet::default(),
+            wire: WireFormat::Full,
+            kernel_threads: 1,
+            sent_snapshot: FxHashMap::default(),
+            synced: FxHashMap::default(),
             last_sent: false,
             last_changed: false,
-        }
+        };
+        state.rebuild_edge_seen();
+        state
     }
 
     /// This rank's index.
@@ -117,6 +189,36 @@ impl RankState {
         self.dv.has_dirty()
     }
 
+    /// Selects the wire format for produced RC messages.
+    pub fn set_wire(&mut self, wire: WireFormat) {
+        self.wire = wire;
+    }
+
+    /// Sets the relaxation kernel's worker-thread count (1 = sequential;
+    /// the kernel is bit-identical for any value).
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        self.kernel_threads = threads.max(1);
+    }
+
+    /// Re-derives the duplicate-edge probe from the adjacency lists.
+    fn rebuild_edge_seen(&mut self) {
+        self.edge_seen.clear();
+        for (&v, l) in &self.adj {
+            for &(t, _) in l {
+                self.edge_seen.insert(edge_key(v, t));
+            }
+        }
+    }
+
+    /// Drops the delta-wire sync tracking: the next produce sends full
+    /// rows. Required whenever receiver caches may diverge from what this
+    /// rank believes it sent (migration, restore, recovery resend) or when
+    /// rows may *increase* (recompute), which breaks delta monotonicity.
+    fn reset_wire_tracking(&mut self) {
+        self.sent_snapshot.clear();
+        self.synced.clear();
+    }
+
     // --------------------------------------------------------------------
     // IA phase
     // --------------------------------------------------------------------
@@ -129,7 +231,8 @@ impl RankState {
         let m = ids.len();
         let mut dist = vec![INF; m];
         let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
-        for &v in &self.local.clone() {
+        let Self { local, dv, .. } = self;
+        for &v in local.iter() {
             let s = index_of[&v];
             dist.fill(INF);
             dist[s as usize] = 0;
@@ -148,16 +251,17 @@ impl RankState {
                 }
             }
             // Write results into the global-indexed row.
-            let mut row = self.dv.take_local(v).expect("IA row must exist");
-            let mut changed = false;
-            for (i, &d) in dist.iter().enumerate() {
-                let g = ids[i] as usize;
-                if d < row[g] {
-                    row[g] = d;
-                    changed = true;
+            dv.update_local_row(v, |row| {
+                let mut changed = false;
+                for (i, &d) in dist.iter().enumerate() {
+                    let g = ids[i] as usize;
+                    if d < row[g] {
+                        row[g] = d;
+                        changed = true;
+                    }
                 }
-            }
-            self.dv.put_back_local(v, row, changed);
+                changed
+            });
         }
     }
 
@@ -167,13 +271,17 @@ impl RankState {
     /// deletion algorithm [10]).
     pub fn recompute_from_scratch(&mut self) {
         let n = self.dv.n();
-        for &v in &self.local.clone() {
+        for i in 0..self.local.len() {
+            let v = self.local[i];
             let mut row = vec![INF; n];
             row[v as usize] = 0;
             self.dv.install_local(v, row, true);
         }
         self.dv.clear_cache();
         self.pending.clear();
+        // Rows just *increased* — delta chains off the old values would be
+        // unsound, so the next sends must be full rows.
+        self.reset_wire_tracking();
         self.initial_approximation();
         self.dv.mark_all_dirty();
     }
@@ -239,17 +347,41 @@ impl RankState {
     /// each neighboring rank, chunked to at most `cap_bytes` per message
     /// (the paper's maximum message size `M`). Dirty non-boundary rows are
     /// simply retired — no one else needs them.
+    ///
+    /// Under [`WireFormat::Delta`], a destination that already holds this
+    /// row's previously-sent copy receives only the improved `(col, dist)`
+    /// pairs — exact, because entries only decrease — unless the delta is
+    /// dense enough that the full row is smaller on the wire.
     pub fn produce_rc_messages(&mut self, cap_bytes: usize) -> Vec<(Rank, RowMsg)> {
         let dirty = self.dv.take_dirty_sorted();
-        let mut buckets: FxHashMap<Rank, Vec<(VertexId, Vec<Dist>)>> = FxHashMap::default();
+        let mut buckets: FxHashMap<Rank, Vec<(VertexId, RowPayload)>> = FxHashMap::default();
         for v in dirty {
             let dests = self.boundary_destinations(v);
             if dests.is_empty() {
                 continue;
             }
-            let row = self.dv.local_row(v).expect("dirty row must be local").to_vec();
-            for q in dests {
-                buckets.entry(q).or_default().push((v, row.clone()));
+            let row = self.dv.local_row(v).expect("dirty row must be local");
+            if self.wire == WireFormat::Delta {
+                // One delta serves every synced destination: they all hold
+                // the same last-sent copy.
+                let pairs = self.sent_snapshot.get(&v).map(|prev| delta_pairs(prev, row));
+                let synced = self.synced.get(&v);
+                for &q in &dests {
+                    let in_sync = synced.is_some_and(|s| s.binary_search(&q).is_ok());
+                    let payload = match &pairs {
+                        Some(p) if in_sync && 8 * p.len() < 4 * row.len() => {
+                            RowPayload::Delta(p.clone())
+                        }
+                        _ => RowPayload::Full(row.to_vec()),
+                    };
+                    buckets.entry(q).or_default().push((v, payload));
+                }
+                self.sent_snapshot.insert(v, row.to_vec());
+                self.synced.insert(v, dests);
+            } else {
+                for &q in &dests {
+                    buckets.entry(q).or_default().push((v, RowPayload::Full(row.to_vec())));
+                }
             }
         }
         let mut out = Vec::new();
@@ -258,16 +390,16 @@ impl RankState {
         for q in dests {
             let rows = buckets.remove(&q).expect("bucket exists");
             // Chunk to the message cap; every chunk carries ≥ 1 row.
-            let mut chunk: Vec<(VertexId, Vec<Dist>)> = Vec::new();
+            let mut chunk: Vec<(VertexId, RowPayload)> = Vec::new();
             let mut bytes = 0usize;
-            for (v, row) in rows {
-                let sz = 8 + 4 * row.len();
+            for (v, payload) in rows {
+                let sz = payload.size_bytes();
                 if !chunk.is_empty() && bytes + sz > cap_bytes {
                     out.push((q, RowMsg { rows: std::mem::take(&mut chunk) }));
                     bytes = 0;
                 }
                 bytes += sz;
-                chunk.push((v, row));
+                chunk.push((v, payload));
             }
             if !chunk.is_empty() {
                 out.push((q, RowMsg { rows: chunk }));
@@ -284,11 +416,23 @@ impl RankState {
     pub fn consume_rc_messages(&mut self, inbox: Vec<(Rank, RowMsg)>) {
         let mut worklist: FxHashSet<VertexId> = FxHashSet::default();
         for (_, msg) in inbox {
-            for (v, row) in msg.rows {
-                let changed = if self.dv.is_local(v) {
-                    self.dv.min_merge_local(v, &row)
-                } else {
-                    self.dv.min_merge_cached(v, &row)
+            for (v, payload) in msg.rows {
+                let local = self.dv.is_local(v);
+                let changed = match payload {
+                    RowPayload::Full(row) => {
+                        if local {
+                            self.dv.min_merge_local(v, &row)
+                        } else {
+                            self.dv.min_merge_cached(v, &row)
+                        }
+                    }
+                    RowPayload::Delta(pairs) => {
+                        if local {
+                            self.dv.min_merge_local_sparse(v, &pairs)
+                        } else {
+                            self.dv.min_merge_cached_sparse(v, &pairs)
+                        }
+                    }
                 };
                 if changed {
                     worklist.insert(v);
@@ -301,60 +445,15 @@ impl RankState {
         self.last_changed = self.relax_worklist(worklist);
     }
 
-    /// Min-plus relaxation until the rank-local fixed point (the paper's
-    /// Floyd–Warshall-flavoured local refresh, §IV.C.1).
-    ///
-    /// A relaxation `D[v][·] ← min(D[v][·], D[v][u] + D[u][·])` can newly
-    /// improve only when (a) pivot `u`'s row changed, or (b) row `v`'s
-    /// column `u` changed. Each round therefore relaxes every local row
-    /// through the rows that changed last round, and additionally re-relaxes
-    /// *rows that changed themselves* through **all** available pivots —
-    /// covering case (b). Monotone (entries only decrease) and terminating
-    /// (u32 distances strictly decrease). Returns whether any local row
+    /// Min-plus relaxation until the rank-local fixed point. The kernel
+    /// itself lives with the arena ([`DvStore::relax_to_fixed_point`]);
+    /// this wrapper resolves the pivot set deterministically (sorted) and
+    /// applies the configured thread count. Returns whether any local row
     /// changed.
     pub fn relax_worklist(&mut self, initial: FxHashSet<VertexId>) -> bool {
-        let mut pivots: Vec<VertexId> = initial.iter().copied().collect();
+        let mut pivots: Vec<VertexId> = initial.into_iter().collect();
         pivots.sort_unstable();
-        // Changed local rows have new column values, so they start as
-        // full-relaxation targets too (cached ids in the set are harmless —
-        // they are never iterated as `v`).
-        let mut full_targets: FxHashSet<VertexId> = initial;
-        let locals = self.local.clone();
-        let all_rows = self.dv.all_ids_sorted();
-        let mut any = false;
-        while !pivots.is_empty() || !full_targets.is_empty() {
-            let mut next: FxHashSet<VertexId> = FxHashSet::default();
-            for &v in &locals {
-                let mut row = match self.dv.take_local(v) {
-                    Some(r) => r,
-                    None => continue,
-                };
-                let mut changed = false;
-                let pivot_set: &[VertexId] =
-                    if full_targets.contains(&v) { &all_rows } else { &pivots };
-                for &u in pivot_set {
-                    if u == v {
-                        continue;
-                    }
-                    let through = row[u as usize];
-                    if through == INF {
-                        continue;
-                    }
-                    if let Some(urow) = self.dv.row(u) {
-                        changed |= relax_via(&mut row, through, urow);
-                    }
-                }
-                self.dv.put_back_local(v, row, changed);
-                if changed {
-                    next.insert(v);
-                    any = true;
-                }
-            }
-            pivots = next.iter().copied().collect();
-            pivots.sort_unstable();
-            full_targets = next;
-        }
-        any
+        self.dv.relax_to_fixed_point(&pivots, self.kernel_threads)
     }
 
     // --------------------------------------------------------------------
@@ -387,18 +486,22 @@ impl RankState {
     }
 
     /// Records an edge in the local adjacency (both endpoints if owned).
+    /// Duplicates are skipped via the O(1) packed-key probe; the first
+    /// recording of an edge wins, as before.
     pub fn record_edge(&mut self, a: VertexId, b: VertexId, w: Weight) {
-        if self.owner[a as usize] as usize == self.rank {
-            let l = self.adj.entry(a).or_default();
-            if !l.iter().any(|&(t, _)| t == b) {
-                l.push((b, w));
-            }
+        let a_local = self.owner[a as usize] as usize == self.rank;
+        let b_local = self.owner[b as usize] as usize == self.rank;
+        if !a_local && !b_local {
+            return;
         }
-        if self.owner[b as usize] as usize == self.rank {
-            let l = self.adj.entry(b).or_default();
-            if !l.iter().any(|&(t, _)| t == a) {
-                l.push((a, w));
-            }
+        if !self.edge_seen.insert(edge_key(a, b)) {
+            return;
+        }
+        if a_local {
+            self.adj.entry(a).or_default().push((b, w));
+        }
+        if b_local && b != a {
+            self.adj.entry(b).or_default().push((a, w));
         }
     }
 
@@ -410,6 +513,7 @@ impl RankState {
         if let Some(l) = self.adj.get_mut(&b) {
             l.retain(|&(t, _)| t != a);
         }
+        self.edge_seen.remove(&edge_key(a, b));
     }
 
     /// Updates an edge weight in the local adjacency.
@@ -457,30 +561,31 @@ impl RankState {
     /// `D[a][t] > D[a][x] + w + D[y][t]` and the symmetric direction, using
     /// the stashed broadcast rows of `x` and `y`.
     pub fn apply_edge_relax(&mut self, x: VertexId, y: VertexId, w: Weight) {
-        let rx = self.gathered.get(&x).cloned();
-        let ry = self.gathered.get(&y).cloned();
-        let locals = self.local.clone();
-        for &a in &locals {
-            let mut row = match self.dv.take_local(a) {
-                Some(r) => r,
-                None => continue,
-            };
-            let mut changed = false;
-            if let Some(ref ry) = ry {
-                let dx = row[x as usize];
-                if dx != INF {
-                    changed |= relax_via(&mut row, dist_add(dx, w as Dist), ry);
-                }
+        let Self { gathered, local, dv, pending, .. } = self;
+        let rx = gathered.get(&x);
+        let ry = gathered.get(&y);
+        for &a in local.iter() {
+            if !dv.is_local(a) {
+                continue;
             }
-            if let Some(ref rx) = rx {
-                let dy = row[y as usize];
-                if dy != INF {
-                    changed |= relax_via(&mut row, dist_add(dy, w as Dist), rx);
+            let changed = dv.update_local_row(a, |row| {
+                let mut changed = false;
+                if let Some(ry) = ry {
+                    let dx = row[x as usize];
+                    if dx != INF {
+                        changed |= relax_via(row, dist_add(dx, w as Dist), ry);
+                    }
                 }
-            }
-            self.dv.put_back_local(a, row, changed);
+                if let Some(rx) = rx {
+                    let dy = row[y as usize];
+                    if dy != INF {
+                        changed |= relax_via(row, dist_add(dy, w as Dist), rx);
+                    }
+                }
+                changed
+            });
             if changed {
-                self.pending.insert(a);
+                pending.insert(a);
             }
         }
     }
@@ -504,16 +609,20 @@ impl RankState {
 
     /// Produce side of the migration exchange: removes rows whose vertex
     /// now belongs elsewhere and addresses them to the new owner.
+    /// Migration always ships full rows, whatever the wire format.
     pub fn migrate_out(&mut self, new_owner: &[PartId]) -> Vec<(Rank, RowMsg)> {
-        let mut buckets: FxHashMap<Rank, Vec<(VertexId, Vec<Dist>)>> = FxHashMap::default();
-        for &v in &self.local.clone() {
+        let mut buckets: FxHashMap<Rank, Vec<(VertexId, RowPayload)>> = FxHashMap::default();
+        let Self { local, dv, rank, .. } = self;
+        for &v in local.iter() {
             let q = new_owner[v as usize] as Rank;
-            if q != self.rank {
-                if let Some(row) = self.dv.remove_local(v) {
-                    buckets.entry(q).or_default().push((v, row));
+            if q != *rank {
+                if let Some(row) = dv.remove_local(v) {
+                    buckets.entry(q).or_default().push((v, RowPayload::Full(row)));
                 }
             }
         }
+        // Receiver caches are about to be rebuilt wholesale.
+        self.reset_wire_tracking();
         let mut dests: Vec<Rank> = buckets.keys().copied().collect();
         dests.sort_unstable();
         dests
@@ -540,16 +649,23 @@ impl RankState {
         self.dv.clear_cache();
         self.gathered.clear();
         self.pending.clear();
+        self.reset_wire_tracking();
         self.local =
             (0..n as VertexId).filter(|&v| self.owner[v as usize] as usize == self.rank).collect();
         self.adj.clear();
         for &v in &self.local {
             self.adj.insert(v, adjacency_of(v));
         }
+        self.rebuild_edge_seen();
         for (_, msg) in inbox {
-            for (v, row) in msg.rows {
+            for (v, payload) in msg.rows {
                 debug_assert_eq!(self.owner[v as usize] as usize, self.rank);
-                self.dv.install_local(v, row, true);
+                match payload {
+                    RowPayload::Full(row) => self.dv.install_local(v, row, true),
+                    RowPayload::Delta(_) => {
+                        debug_assert!(false, "migration ships full rows");
+                    }
+                }
             }
         }
         // Rows this rank kept across the migration stay; fresh vertices get
@@ -557,21 +673,23 @@ impl RankState {
         // direct edges — stale rows know nothing about edges added with the
         // batch, and the RC relaxation can only propagate facts that exist
         // in some row.
-        for &v in &self.local.clone() {
-            if !self.dv.is_local(v) {
+        let Self { local, adj, dv, .. } = self;
+        for &v in local.iter() {
+            if !dv.is_local(v) {
                 let mut row = vec![INF; n];
                 row[v as usize] = 0;
-                self.dv.install_local(v, row, true);
+                dv.install_local(v, row, true);
             }
-            let mut row = self.dv.take_local(v).expect("local row exists");
-            let mut changed = false;
-            for &(t, w) in &self.adj[&v] {
-                if (w as Dist) < row[t as usize] {
-                    row[t as usize] = w as Dist;
-                    changed = true;
+            dv.update_local_row(v, |row| {
+                let mut changed = false;
+                for &(t, w) in &adj[&v] {
+                    if (w as Dist) < row[t as usize] {
+                        row[t as usize] = w as Dist;
+                        changed = true;
+                    }
                 }
-            }
-            self.dv.put_back_local(v, row, changed);
+                changed
+            });
         }
         // Force a full local relaxation on the next RC step: the migration
         // changed which rows live together, so every pairing is new here.
@@ -631,6 +749,7 @@ impl RankState {
         self.pending.clear();
         self.pending.extend(snap.pending.iter().copied().filter(|&v| self.dv.is_local(v)));
         self.gathered.clear();
+        self.reset_wire_tracking();
         self.last_sent = false;
         self.last_changed = false;
     }
@@ -659,10 +778,13 @@ impl RankState {
     /// Marks every local row dirty and queues a full local relaxation —
     /// the recovery kick: after a rank is rebuilt from an older snapshot,
     /// every rank re-announces its rows so the recovered rank's stale
-    /// entries are overwritten by min-merge on the next RC steps.
+    /// entries are overwritten by min-merge on the next RC steps. Delta
+    /// tracking is dropped so the re-announcements are full rows — the
+    /// recovered rank's caches hold nothing to delta against.
     pub fn mark_all_for_resend(&mut self) {
         self.dv.mark_all_dirty();
         self.pending.extend(self.local.iter().copied());
+        self.reset_wire_tracking();
     }
 
     // --------------------------------------------------------------------
@@ -683,23 +805,18 @@ impl RankState {
     }
 }
 
-/// Relaxes `row[t] = min(row[t], through + via[t])` for all `t`.
-/// Returns whether anything improved. This is the inner loop of the whole
-/// engine — kept branch-light so it vectorizes.
-#[inline]
-pub fn relax_via(row: &mut [Dist], through: Dist, via: &[Dist]) -> bool {
-    if through == INF {
-        return false;
-    }
-    let mut changed = false;
-    for (r, &b) in row.iter_mut().zip(via) {
-        let cand = through.saturating_add(b);
-        if cand < *r {
-            *r = cand;
-            changed = true;
+/// The sparse improvements from `prev` to `cur`. Columns `prev` never had
+/// (the row grew since the last send) count as `INF` — the receiver's copy
+/// grew with `INF` fill too, so the bases agree.
+fn delta_pairs(prev: &[Dist], cur: &[Dist]) -> Vec<(VertexId, Dist)> {
+    let mut pairs = Vec::new();
+    for (t, &d) in cur.iter().enumerate() {
+        let before = prev.get(t).copied().unwrap_or(INF);
+        if d < before {
+            pairs.push((t as VertexId, d));
         }
     }
-    changed
+    pairs
 }
 
 #[cfg(test)]
@@ -779,6 +896,50 @@ mod tests {
         assert!(!r0.last_sent);
     }
 
+    /// Same convergence as `rc_exchange_converges_on_path`, but over the
+    /// delta wire: after the first full-row exchange, later sends are
+    /// sparse deltas, and the fixed point is identical.
+    #[test]
+    fn delta_wire_converges_and_sends_sparse_after_sync() {
+        let exchange = |r0: &mut RankState, r1: &mut RankState| -> Vec<(usize, RowMsg)> {
+            let out0 = r0.produce_rc_messages(usize::MAX);
+            let out1 = r1.produce_rc_messages(usize::MAX);
+            let to0: Vec<(usize, RowMsg)> =
+                out1.into_iter().filter(|&(q, _)| q == 0).map(|(_, m)| (1, m)).collect();
+            let to1: Vec<(usize, RowMsg)> =
+                out0.into_iter().filter(|&(q, _)| q == 1).map(|(_, m)| (0, m)).collect();
+            r0.consume_rc_messages(to0);
+            let all: Vec<(usize, RowMsg)> = to1.clone();
+            r1.consume_rc_messages(to1);
+            all
+        };
+        let (mut r0, mut r1) = two_rank_path();
+        r0.set_wire(WireFormat::Delta);
+        r1.set_wire(WireFormat::Delta);
+        r0.initial_approximation();
+        r1.initial_approximation();
+        // First exchange: nothing synced yet, everything is a full row.
+        let first = exchange(&mut r0, &mut r1);
+        assert!(first
+            .iter()
+            .flat_map(|(_, m)| &m.rows)
+            .all(|(_, p)| matches!(p, RowPayload::Full(_))));
+        // Second exchange: rank 0's boundary row improved by one column
+        // (it learned about vertex 3) — a sparse delta beats the full row.
+        let second = exchange(&mut r0, &mut r1);
+        assert!(second
+            .iter()
+            .flat_map(|(_, m)| &m.rows)
+            .any(|(_, p)| matches!(p, RowPayload::Delta(_))));
+        for _ in 0..2 {
+            exchange(&mut r0, &mut r1);
+        }
+        assert_eq!(r0.dv().row(0).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(r1.dv().row(3).unwrap(), &[3, 2, 1, 0]);
+        assert!(r0.produce_rc_messages(usize::MAX).is_empty());
+        assert!(r1.produce_rc_messages(usize::MAX).is_empty());
+    }
+
     #[test]
     fn grow_extends_columns_and_adds_local_vertex() {
         let (mut r0, _) = two_rank_path();
@@ -792,6 +953,23 @@ mod tests {
         // Edge recorded for both local endpoints.
         assert!(r0.adj[&4].contains(&(1, 2)));
         assert!(r0.adj[&1].contains(&(4, 2)));
+    }
+
+    #[test]
+    fn record_edge_dedups_against_built_adjacency() {
+        let (mut r0, _) = two_rank_path();
+        // Edge 0-1 already exists from build(); re-recording must not
+        // duplicate it, in either orientation.
+        r0.record_edge(0, 1, 1);
+        r0.record_edge(1, 0, 1);
+        assert_eq!(r0.adj[&0].iter().filter(|&&(t, _)| t == 1).count(), 1);
+        assert_eq!(r0.adj[&1].iter().filter(|&&(t, _)| t == 0).count(), 1);
+        // Erase forgets the edge, so it can be recorded again.
+        r0.erase_edge(0, 1);
+        assert!(r0.adj[&0].is_empty());
+        r0.record_edge(0, 1, 5);
+        assert!(r0.adj[&0].contains(&(1, 5)));
+        assert!(r0.adj[&1].contains(&(0, 5)));
     }
 
     #[test]
@@ -870,5 +1048,28 @@ mod tests {
         assert!(r0.adj[&1].contains(&(0, 9)));
         r0.erase_edge(0, 1);
         assert!(r0.adj[&0].is_empty());
+    }
+
+    #[test]
+    fn kernel_thread_count_does_not_change_results() {
+        let build = |threads: usize| {
+            let (mut r0, mut r1) = two_rank_path();
+            r0.set_kernel_threads(threads);
+            r1.set_kernel_threads(threads);
+            r0.initial_approximation();
+            r1.initial_approximation();
+            for _ in 0..4 {
+                let out0 = r0.produce_rc_messages(usize::MAX);
+                let out1 = r1.produce_rc_messages(usize::MAX);
+                let to1: Vec<(usize, RowMsg)> =
+                    out0.into_iter().filter(|&(q, _)| q == 1).map(|(_, m)| (0, m)).collect();
+                let to0: Vec<(usize, RowMsg)> =
+                    out1.into_iter().filter(|&(q, _)| q == 0).map(|(_, m)| (1, m)).collect();
+                r0.consume_rc_messages(to0);
+                r1.consume_rc_messages(to1);
+            }
+            (r0.local_rows(), r1.local_rows())
+        };
+        assert_eq!(build(1), build(4));
     }
 }

@@ -466,7 +466,21 @@ impl<S: Send> Cluster<S> {
             (0, 0, 0.0, 0.0, 0.0)
         };
         let mut bytes = vec![vec![0usize; p]; p];
-        let mut inboxes: Vec<Vec<(Rank, M)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(Rank, M)>> = if self.chaos.is_none() && self.delayed.is_empty() {
+            // Pre-size each inbox from a counting pass so the routing loop
+            // below never reallocates mid-delivery.
+            let mut counts = vec![0usize; p];
+            for outbox in &outboxes {
+                for &(dst, _) in outbox {
+                    if let Some(c) = counts.get_mut(dst) {
+                        *c += 1;
+                    }
+                }
+            }
+            counts.into_iter().map(Vec::with_capacity).collect()
+        } else {
+            (0..p).map(|_| Vec::new()).collect()
+        };
         if self.chaos.is_none() && self.delayed.is_empty() {
             // Fast path — byte-for-byte the pre-chaos routing loop.
             for (src, outbox) in outboxes.into_iter().enumerate() {

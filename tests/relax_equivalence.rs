@@ -1,0 +1,239 @@
+//! Equivalence harness for the relaxation-kernel rewrite: the arena-backed
+//! Jacobi kernel must reach the same rank-local fixed point — and produce
+//! the same dirty set — as the original hashmap-backed Gauss-Seidel
+//! worklist kernel, on random graphs and random update streams, with both
+//! the sequential and the multi-threaded executor.
+//!
+//! The reference model below re-implements the pre-arena kernel verbatim
+//! (rows in ordered maps, row taken out while relaxing, pivot rows read
+//! *current* mid-round). Equality holds because both kernels run monotone
+//! min-merge relaxations to quiescence over the same schedule soundness
+//! invariant, so they share one fixed point; and a row is dirty iff it
+//! ever changed iff (by monotonicity) its final value differs from its
+//! initial one — identical on both sides.
+
+use anytime_anywhere::core::rank::{RankState, RowMsg, RowPayload};
+use anytime_anywhere::graph::{AdjGraph, GraphBuilder, INF};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An arbitrary simple weighted graph with `n ∈ [2, 32]` vertices.
+fn arb_graph() -> impl Strategy<Value = AdjGraph> {
+    (2usize..32).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..8), 0..(3 * n));
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::with_vertices(n);
+            for (u, v, w) in edges {
+                b.edge(u, v, w);
+            }
+            b.build().expect("builder output is always valid")
+        })
+    })
+}
+
+/// The pre-arena `RankState` replica: rows in ordered maps, plus the dirty
+/// set, mirroring exactly what the old consume/relax pair did.
+struct Reference {
+    locals: Vec<u32>,
+    rows: BTreeMap<u32, Vec<u32>>,
+    dirty: BTreeSet<u32>,
+}
+
+impl Reference {
+    /// Captures a live state (any implementation) into the model.
+    fn capture(state: &RankState) -> Self {
+        let mut rows = BTreeMap::new();
+        for v in state.dv().all_ids_sorted() {
+            rows.insert(v, state.dv().row(v).expect("listed row exists").to_vec());
+        }
+        Self {
+            locals: state.local_vertices().to_vec(),
+            rows,
+            dirty: state.dv().dirty_sorted().into_iter().collect(),
+        }
+    }
+
+    /// The old `consume_rc_messages`: min-merge every incoming row (cached
+    /// rows are created on first contact and count as changed), then relax
+    /// the changed set to the fixed point.
+    fn consume(&mut self, inbox: &[(u32, Vec<u32>)]) -> bool {
+        let mut worklist: BTreeSet<u32> = BTreeSet::new();
+        for (v, incoming) in inbox {
+            let is_local = self.locals.binary_search(v).is_ok();
+            let changed = match self.rows.get_mut(v) {
+                Some(row) => {
+                    let mut changed = false;
+                    for (d, &s) in row.iter_mut().zip(incoming) {
+                        if s < *d {
+                            *d = s;
+                            changed = true;
+                        }
+                    }
+                    changed
+                }
+                None => {
+                    debug_assert!(!is_local);
+                    let n = incoming.len();
+                    let mut row = vec![INF; n];
+                    for (d, &s) in row.iter_mut().zip(incoming) {
+                        *d = (*d).min(s);
+                    }
+                    self.rows.insert(*v, row);
+                    true
+                }
+            };
+            if changed {
+                if is_local {
+                    self.dirty.insert(*v);
+                }
+                worklist.insert(*v);
+            }
+        }
+        self.relax_worklist(worklist)
+    }
+
+    /// The old Gauss-Seidel worklist kernel, verbatim: rows visited in
+    /// sorted-local order, the row under relaxation removed from the map
+    /// (so it never serves as its own pivot), every other pivot row read
+    /// at its *current* (mid-round) value.
+    fn relax_worklist(&mut self, initial: BTreeSet<u32>) -> bool {
+        let mut pivots: Vec<u32> = initial.iter().copied().collect();
+        let mut full_targets: BTreeSet<u32> = initial;
+        let all_rows: Vec<u32> = self.rows.keys().copied().collect();
+        let mut any = false;
+        while !pivots.is_empty() || !full_targets.is_empty() {
+            let mut next: BTreeSet<u32> = BTreeSet::new();
+            for &v in &self.locals {
+                let mut row = match self.rows.remove(&v) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                let mut changed = false;
+                let pivot_set: &[u32] = if full_targets.contains(&v) { &all_rows } else { &pivots };
+                for &u in pivot_set {
+                    if u == v {
+                        continue;
+                    }
+                    let through = row[u as usize];
+                    if through == INF {
+                        continue;
+                    }
+                    if let Some(urow) = self.rows.get(&u) {
+                        for (r, &b) in row.iter_mut().zip(urow) {
+                            let cand = through.saturating_add(b);
+                            if cand < *r {
+                                *r = cand;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                self.rows.insert(v, row);
+                if changed {
+                    next.insert(v);
+                    self.dirty.insert(v);
+                    any = true;
+                }
+            }
+            pivots = next.iter().copied().collect();
+            full_targets = next;
+        }
+        any
+    }
+}
+
+/// Asserts the live state matches the reference bit-for-bit: every row,
+/// the dirty set, and the change verdict.
+fn assert_matches(state: &RankState, reference: &Reference, ctx: &str) {
+    let ids = state.dv().all_ids_sorted();
+    let ref_ids: Vec<u32> = reference.rows.keys().copied().collect();
+    assert_eq!(ids, ref_ids, "{ctx}: row membership diverged");
+    for &v in &ids {
+        assert_eq!(
+            state.dv().row(v).expect("row exists"),
+            reference.rows[&v].as_slice(),
+            "{ctx}: row {v} diverged"
+        );
+    }
+    let dirty: BTreeSet<u32> = state.dv().dirty_sorted().into_iter().collect();
+    assert_eq!(dirty, reference.dirty, "{ctx}: dirty set diverged");
+}
+
+/// Builds the two-rank split of `g` under a seeded pseudo-random owner
+/// map, runs IA on both ranks, and returns them.
+fn two_ranks(g: &AdjGraph, owner_bits: u64) -> (RankState, RankState) {
+    let n = g.num_vertices();
+    let owner: Vec<u32> = (0..n).map(|v| ((owner_bits >> (v % 64)) & 1) as u32).collect();
+    let adj = |v: u32| g.neighbors(v).to_vec();
+    let mut r0 = RankState::build(0, owner.clone(), adj);
+    let mut r1 = RankState::build(1, owner, adj);
+    r0.initial_approximation();
+    r1.initial_approximation();
+    (r0, r1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random graph, random partition, two consume rounds: first the real
+    /// boundary rows produced by the peer rank, then a round of arbitrary
+    /// synthetic rows (random distances, random targets — exercising
+    /// cached-row creation and non-boundary pivots). After every round,
+    /// the arena kernel must match the old kernel on rows, dirty set, and
+    /// verdict, under both 1 and 4 worker threads.
+    #[test]
+    fn arena_kernel_matches_old_kernel(
+        g in arb_graph(),
+        owner_bits in 0u64..u64::MAX,
+        synthetic in proptest::collection::vec(
+            (0usize..32, proptest::collection::vec(0u32..40, 32)), 0..6),
+    ) {
+        let n = g.num_vertices();
+        let (r0, mut r1) = two_ranks(&g, owner_bits);
+        let mut reference = Reference::capture(&r0);
+        let mut seq = r0.clone();
+        let mut par = r0;
+        seq.set_kernel_threads(1);
+        par.set_kernel_threads(4);
+
+        // Round 1: the peer's real post-IA boundary rows.
+        let inbox: Vec<(usize, RowMsg)> = r1
+            .produce_rc_messages(usize::MAX)
+            .into_iter()
+            .filter(|&(q, _)| q == 0)
+            .map(|(_, m)| (1usize, m))
+            .collect();
+        let ref_inbox: Vec<(u32, Vec<u32>)> = inbox
+            .iter()
+            .flat_map(|(_, m)| &m.rows)
+            .map(|(v, p)| match p {
+                RowPayload::Full(row) => (*v, row.clone()),
+                RowPayload::Delta(_) => unreachable!("full wire produces full rows"),
+            })
+            .collect();
+        let ref_changed = reference.consume(&ref_inbox);
+        seq.consume_rc_messages(inbox.clone());
+        par.consume_rc_messages(inbox);
+        prop_assert_eq!(seq.last_changed, ref_changed);
+        prop_assert_eq!(par.last_changed, ref_changed);
+        assert_matches(&seq, &reference, "round 1, seq");
+        assert_matches(&par, &reference, "round 1, par");
+
+        // Round 2: synthetic rows clipped to this graph's width.
+        let synth: Vec<(u32, Vec<u32>)> = synthetic
+            .into_iter()
+            .filter(|&(v, _)| v < n)
+            .map(|(v, row)| (v as u32, row[..n].to_vec()))
+            .collect();
+        let msg = RowMsg {
+            rows: synth.iter().map(|(v, r)| (*v, RowPayload::Full(r.clone()))).collect(),
+        };
+        let ref_changed = reference.consume(&synth);
+        seq.consume_rc_messages(vec![(1usize, msg.clone())]);
+        par.consume_rc_messages(vec![(1usize, msg)]);
+        prop_assert_eq!(seq.last_changed, ref_changed);
+        prop_assert_eq!(par.last_changed, ref_changed);
+        assert_matches(&seq, &reference, "round 2, seq");
+        assert_matches(&par, &reference, "round 2, par");
+    }
+}
