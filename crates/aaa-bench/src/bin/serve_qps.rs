@@ -1,0 +1,124 @@
+//! Serving throughput under live updates: reader threads hammer point
+//! lookups against the engine's published views while a writer thread
+//! streams dynamic changes and re-converges — the pipeline's headline
+//! number (target: ≥ 1M point-lookups/sec aggregate).
+//!
+//! `--report` / `--trace` additionally emit the pinned **serve scenario**
+//! (`fig4:pinned:serve`, a deterministic coalescing change stream whose
+//! `changes` tally CI gates against `results/baselines/ci_smoke_serve.json`).
+
+use aaa_bench::experiments::base_graph;
+use aaa_bench::{observe, CommonArgs, Table};
+use aaa_core::{AnytimeEngine, DynamicChange, EngineConfig};
+use aaa_serve::ServeHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const READERS: usize = 4;
+const MEASURE: Duration = Duration::from_millis(1500);
+
+fn main() {
+    let args = CommonArgs::parse();
+    if args.report.is_some() || args.trace.is_some() {
+        let (report, trace) = observe::observed_serve_run("fig4", &args);
+        if let Some(path) = &args.report {
+            std::fs::write(path, report.to_json_string()).expect("report write");
+            println!("(run report written to {})", path.display());
+        }
+        if let Some(path) = &args.trace {
+            std::fs::write(path, trace).expect("trace write");
+            println!("(chrome trace written to {})", path.display());
+        }
+    }
+
+    let g = base_graph(&args);
+    let n = g.num_vertices() as u32;
+    let mut engine =
+        AnytimeEngine::new(g, EngineConfig::deterministic(args.procs)).expect("engine");
+    engine.run_to_convergence();
+    let handle = ServeHandle::attach(&engine);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut lookups = 0u64;
+                let mut epochs_seen = 1u64;
+                let mut last_epoch = 0u64;
+                let mut v = r as u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = handle.view();
+                    if view.epoch != last_epoch {
+                        last_epoch = view.epoch;
+                        epochs_seen += 1;
+                    }
+                    // One atomic view load amortized over a scan burst —
+                    // the intended reader pattern (hold the epoch, query).
+                    for _ in 0..64 {
+                        let c = view.point(v % n).expect("views are complete");
+                        assert!(c.is_finite());
+                        lookups += 1;
+                        v = v.wrapping_add(1);
+                    }
+                }
+                (lookups, epochs_seen)
+            })
+        })
+        .collect();
+
+    // Writer: stream edge churn through the ingest log, draining at RC
+    // barriers, until the measurement window closes.
+    let started = Instant::now();
+    let mut updates = 0u64;
+    let mut flips = 0u32;
+    while started.elapsed() < MEASURE {
+        let u = (updates as u32 * 7919) % n;
+        let v = (updates as u32 * 104_729 + 1) % n;
+        if u != v {
+            let change = if engine.graph().has_edge(u, v) {
+                DynamicChange::RemoveEdge { u, v }
+            } else {
+                DynamicChange::AddEdge { u, v, w: 1 + (flips % 3) }
+            };
+            if engine.submit(change).is_ok() {
+                updates += 1;
+            }
+            flips = flips.wrapping_add(1);
+        }
+        engine.rc_step();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_lookups = 0u64;
+    let mut total_epoch_switches = 0u64;
+    for r in readers {
+        let (lookups, epochs_seen) = r.join().expect("reader panicked");
+        total_lookups += lookups;
+        total_epoch_switches += epochs_seen;
+    }
+    let qps = total_lookups as f64 / elapsed;
+
+    let mut table = Table::new(
+        "Serving throughput under live updates (published-view point lookups)",
+        &["readers", "window_s", "updates", "epochs", "lookups", "lookups/sec"],
+    );
+    table.row(vec![
+        READERS.to_string(),
+        format!("{elapsed:.2}"),
+        updates.to_string(),
+        engine.epochs_published().to_string(),
+        total_lookups.to_string(),
+        format!("{qps:.0}"),
+    ]);
+    table.emit(args.csv.as_ref());
+    println!("\n(reader epoch switches observed: {total_epoch_switches})");
+    if qps >= 1_000_000.0 {
+        println!("target met: ≥ 1,000,000 point-lookups/sec against live views");
+    } else {
+        println!("below the 1M lookups/sec target on this machine");
+    }
+}

@@ -15,7 +15,9 @@ use crate::experiments::{addition_batch, base_graph};
 use crate::CommonArgs;
 use aaa_core::quality::QualityTracker;
 use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, WireFormat};
-use aaa_observe::{aggregate_phases, chrome_trace, per_rank_busy, QualityPoint, RunReport};
+use aaa_observe::{
+    aggregate_phases, chrome_trace, per_rank_busy, ChangeTally, QualityPoint, RunReport,
+};
 use std::sync::Arc;
 
 /// RC steps run before the dynamic batch is injected.
@@ -66,13 +68,14 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     let _snapshot = engine.checkpoint_bytes().expect("checkpoint");
 
     // Phase 4: converge, sampling convergence quality per RC step. The
-    // sampling `closeness()` calls are extra supersteps, but deterministic
-    // ones — they are part of the pinned scenario's cost.
+    // sampling uses `recompute_exact()` — the priced gather superstep the
+    // scenario has always charged — so the pipeline split's unpriced
+    // published-view reads leave every gated metric byte-identical.
     let mut tracker = QualityTracker::new(engine.graph(), 20);
     let mut quality: Vec<QualityPoint> = Vec::new();
     for _ in 0..256 {
         let more = engine.rc_step();
-        let sample = tracker.record(engine.rc_steps_done(), &engine.closeness());
+        let sample = tracker.record(engine.rc_steps_done(), &engine.recompute_exact());
         quality.push(QualityPoint {
             rc_step: sample.rc_step as u64,
             error: sample.error,
@@ -99,6 +102,148 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     report.phases = aggregate_phases(&events);
     report.ranks = per_rank_busy(&events);
     report.quality = quality;
+    let ingest = engine.ingest_stats();
+    report.changes = Some(ChangeTally {
+        submitted: ingest.submitted,
+        coalesced: ingest.coalesced,
+        applied: ingest.applied,
+        drains: ingest.drains,
+        epochs: engine.epochs_published(),
+    });
+    let trace = chrome_trace(&events, args.procs);
+    (report, trace)
+}
+
+/// Runs the pinned **serve scenario** — the ingest → compute → publish
+/// pipeline under a seeded, coalescing change stream — and returns its
+/// report (scenario `<name>:pinned:serve`) plus the rendered Chrome trace.
+///
+/// The stream is built so every coalescing rule fires deterministically:
+/// two vertex batches with the same strategy fold into one, every added
+/// edge is immediately reweighted (the reweight merges into the queued
+/// add), and every third pair is removed again (add + remove annihilate
+/// before ever reaching the compute layer). Everything drains at RC-step
+/// barriers, so the report's `changes` section (submitted / coalesced /
+/// applied / drains / epochs) is exactly reproducible and CI gates it
+/// against `results/baselines/ci_smoke_serve.json`.
+pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
+    use aaa_core::DynamicChange;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    let sink = Arc::new(MemorySink::new());
+    let mut config = EngineConfig::deterministic(args.procs);
+    config.wire = args.wire;
+    let g = base_graph(args);
+    let mut engine =
+        AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
+
+    // Phase 1: partial static convergence (the anytime prefix).
+    for _ in 0..STEPS_BEFORE_BATCH {
+        if !engine.rc_step() {
+            break;
+        }
+    }
+
+    // Phase 2: the change stream lands in the ingest log. Batch B is built
+    // against the graph as it will look once batch A applied (submitted
+    // changes are interpreted against the projected graph), and folds into
+    // the queued batch A since both pin the same strategy.
+    let batch_a = addition_batch(&g, args.scaled(256, 6), args.seed + 1);
+    let mut g_ext = g.clone();
+    let base = g_ext.num_vertices() as u32;
+    g_ext.add_vertices(batch_a.len());
+    for (a, b, w) in batch_a.global_edges(base) {
+        g_ext.add_edge(a, b, w).expect("batch validated");
+    }
+    let batch_b = addition_batch(&g_ext, args.scaled(128, 4), args.seed + 2);
+    engine
+        .submit_with_strategy(DynamicChange::AddVertices(batch_a), AssignStrategy::RoundRobin)
+        .expect("batch A submits");
+    engine
+        .submit_with_strategy(DynamicChange::AddVertices(batch_b), AssignStrategy::RoundRobin)
+        .expect("batch B folds into batch A");
+
+    // Seeded edge churn over the original vertices: add + reweight pairs
+    // merge in the log; every third pair is removed again and never
+    // reaches compute.
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed + 3);
+    let n = g.num_vertices() as u32;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    while pairs.len() < 12 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || g.has_edge(u, v) || pairs.contains(&(u, v)) || pairs.contains(&(v, u)) {
+            continue;
+        }
+        pairs.push((u, v));
+    }
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        engine.submit(DynamicChange::AddEdge { u, v, w: 3 }).expect("edge add submits");
+        engine.submit(DynamicChange::SetWeight { u, v, w: 1 }).expect("reweight merges");
+        if i % 3 == 0 {
+            engine.submit(DynamicChange::RemoveEdge { u, v }).expect("removal annihilates");
+        }
+    }
+
+    // Phase 3: converge. The first RC step drains the whole stream at its
+    // barrier; quality sampling uses the priced `recompute_exact` gather.
+    let mut more = engine.rc_step();
+    let mut tracker = QualityTracker::new(engine.graph(), 20);
+    let mut quality: Vec<QualityPoint> = Vec::new();
+    let sample = |engine: &mut AnytimeEngine,
+                  tracker: &mut QualityTracker,
+                  quality: &mut Vec<QualityPoint>| {
+        let s = tracker.record(engine.rc_steps_done(), &engine.recompute_exact());
+        quality.push(QualityPoint {
+            rc_step: s.rc_step as u64,
+            error: s.error,
+            top_k_recall: s.top_k_recall,
+        });
+    };
+    sample(&mut engine, &mut tracker, &mut quality);
+    while more {
+        more = engine.rc_step();
+        sample(&mut engine, &mut tracker, &mut quality);
+    }
+
+    // Phase 4: a second, smaller wave mid-serving (reweights of surviving
+    // pairs), drained explicitly this time, then re-converge — the report
+    // counts two drains. The reweights change the graph's exact answer, so
+    // quality sampling restarts on a fresh oracle.
+    for &(u, v) in pairs.iter().skip(1).take(2) {
+        engine.submit(DynamicChange::SetWeight { u, v, w: 2 }).expect("reweight submits");
+    }
+    engine.drain_changes().expect("wave 2 drains");
+    let mut tracker = QualityTracker::new(engine.graph(), 20);
+    let mut more = engine.rc_step();
+    sample(&mut engine, &mut tracker, &mut quality);
+    while more {
+        more = engine.rc_step();
+        sample(&mut engine, &mut tracker, &mut quality);
+    }
+
+    let events = sink.drain();
+    let name = match args.wire {
+        WireFormat::Full => format!("{scenario}:pinned:serve"),
+        WireFormat::Delta => format!("{scenario}:pinned:serve:wire=delta"),
+    };
+    let mut report = engine.stats().init_report(&name);
+    report.scale = args.scale as u64;
+    report.procs = args.procs as u64;
+    report.seed = args.seed;
+    report.rc_steps = engine.rc_steps_done() as u64;
+    report.phases = aggregate_phases(&events);
+    report.ranks = per_rank_busy(&events);
+    report.quality = quality;
+    let ingest = engine.ingest_stats();
+    report.changes = Some(ChangeTally {
+        submitted: ingest.submitted,
+        coalesced: ingest.coalesced,
+        applied: ingest.applied,
+        drains: ingest.drains,
+        epochs: engine.epochs_published(),
+    });
     let trace = chrome_trace(&events, args.procs);
     (report, trace)
 }
@@ -128,6 +273,28 @@ mod tests {
         assert!(a.rc_steps as usize > STEPS_BEFORE_BATCH);
         assert!(!a.phases.is_empty());
         assert!(a.ranks.len() >= args.procs, "every rank plus the driver recorded spans");
+        let last = a.final_quality().expect("quality sampled");
+        assert!(last.error < 1e-6, "converged run matches exact closeness");
+    }
+
+    #[test]
+    fn observed_serve_run_is_deterministic_and_coalesces() {
+        let args = small_args();
+        let (a, _) = observed_serve_run("unit", &args);
+        let (b, _) = observed_serve_run("unit", &args);
+        assert_eq!(a.scenario, "unit:pinned:serve");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.collectives, b.collectives);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.changes, b.changes);
+        let tally = a.changes.expect("serve scenario records its change tally");
+        assert!(tally.coalesced > 0, "batch fold + edge merges must coalesce");
+        assert_eq!(tally.drains, 2, "one drain per convergence wave");
+        assert_eq!(tally.submitted, tally.coalesced + tally.applied, "stream fully drained");
+        assert!(tally.epochs > a.rc_steps, "construction + per-step + per-drain epochs");
         let last = a.final_quality().expect("quality sampled");
         assert!(last.error < 1e-6, "converged run matches exact closeness");
     }

@@ -1,10 +1,24 @@
 //! The anytime anywhere engine: domain decomposition, initial
 //! approximation, the recombination loop, and the dynamic-update
-//! orchestration (§III–IV of the paper).
+//! orchestration (§III–IV of the paper) — structured as an
+//! **ingest → compute → publish** pipeline:
+//!
+//! * **ingest** — dynamic changes enter through [`AnytimeEngine::submit`]
+//!   into a coalescing [`ChangeLog`] and are validated immediately against
+//!   the projected graph;
+//! * **compute** — one unified driver loop ([`AnytimeEngine::rc_step`] and
+//!   the `run_*` wrappers over the internal `drive`) drains the log at
+//!   RC-step barriers and advances the BSP recombination;
+//! * **publish** — after every state change the engine swaps an immutable,
+//!   epoch-stamped [`PublishedView`] into a shared [`ViewCell`], so any
+//!   number of concurrent readers (see the `aaa-serve` crate) query
+//!   without touching the engine.
 
 use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
-use crate::policy::RetryPolicy;
+use crate::ingest::{ChangeLog, IngestStats};
+use crate::policy::{RetryPolicy, StrategyPolicy};
+use crate::publish::{BoundsMode, PublishedView, Publisher, ViewCell};
 use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
 use crate::rank::{GrowMsg, RankState, RowMsg, WireFormat};
 use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
@@ -13,6 +27,7 @@ use aaa_checkpoint::{
     Snapshot,
 };
 use aaa_graph::apsp::DistMatrix;
+use aaa_graph::closeness::closeness_from_row;
 use aaa_graph::{AdjGraph, PartId, VertexId, Weight};
 use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 use aaa_partition::simple::{
@@ -72,6 +87,9 @@ pub struct EngineConfig {
     pub cutedge_tries: usize,
     /// Wire format for RC row exchanges (full rows vs sparse deltas).
     pub wire: WireFormat,
+    /// What each published epoch carries: closeness only (default) or
+    /// closeness plus certified per-vertex error bounds.
+    pub publish_bounds: BoundsMode,
 }
 
 impl EngineConfig {
@@ -86,6 +104,7 @@ impl EngineConfig {
             max_rc_steps: 10_000,
             cutedge_tries: 4,
             wire: WireFormat::Full,
+            publish_bounds: BoundsMode::None,
         }
     }
 
@@ -149,13 +168,34 @@ impl SupervisedRun {
     }
 }
 
+/// Snapshot consumer handed to the driver by the checkpointing entry point.
+type CheckpointHook<'a> = &'a mut dyn FnMut(&[u8]);
+
+/// Policy bundle for the unified convergence driver (`drive`). Each of the
+/// public `run_*` entry points is a fixed choice of these knobs.
+struct DriveSpec<'a> {
+    /// Poll fault/chaos at every barrier (`rc_step_checked` stepping) vs.
+    /// the unchecked fast path.
+    checked: bool,
+    /// When to hand serialized snapshots to `on_checkpoint`.
+    checkpoint: CheckpointPolicy,
+    /// Snapshot consumer; only called when `checkpoint` says one is due.
+    on_checkpoint: Option<CheckpointHook<'a>>,
+    /// `Some` arms the retry/backoff/fallback supervisor and the
+    /// quiescence verification ladder; `None` propagates errors directly.
+    supervised: Option<&'a RetryPolicy>,
+}
+
 /// The anytime anywhere closeness-centrality engine.
 ///
 /// Construction runs the DD and IA phases; [`AnytimeEngine::rc_step`]
 /// advances the RC phase one step at a time (the *anytime* interface — the
-/// engine can be queried for closeness between any two steps); the
-/// `apply_*` methods incorporate dynamic changes mid-analysis (the
-/// *anywhere* interface).
+/// engine can be queried for closeness between any two steps); dynamic
+/// changes enter through [`AnytimeEngine::submit`] (or the `apply_*`
+/// convenience wrappers) and are drained at RC-step barriers (the
+/// *anywhere* interface). After every state change the engine publishes an
+/// immutable epoch-stamped view readable concurrently via
+/// [`AnytimeEngine::view_cell`].
 pub struct AnytimeEngine {
     graph: AdjGraph,
     partition: Partition,
@@ -164,6 +204,10 @@ pub struct AnytimeEngine {
     rc_steps: usize,
     rr_cursor: usize,
     changes_applied: u64,
+    /// Ingest layer: validated, coalesced changes awaiting the next drain.
+    changes: ChangeLog,
+    /// Publish layer: mints epochs into the shared view cell.
+    publisher: Publisher,
 }
 
 impl AnytimeEngine {
@@ -213,7 +257,8 @@ impl AnytimeEngine {
         cluster.charge_compute_us(dd_us);
         // IA phase: per-source Dijkstra inside every rank's sub-graph.
         cluster.step(|_, s| s.initial_approximation());
-        Ok(Self {
+        let publish_bounds = config.publish_bounds;
+        let mut engine = Self {
             graph,
             partition,
             cluster,
@@ -221,7 +266,13 @@ impl AnytimeEngine {
             rc_steps: 0,
             rr_cursor: 0,
             changes_applied: 0,
-        })
+            changes: ChangeLog::new(),
+            publisher: Publisher::new(publish_bounds),
+        };
+        // The anytime contract starts at construction: the IA answer is the
+        // first published epoch.
+        engine.publish_view(false);
+        Ok(engine)
     }
 
     /// Installs an event sink on the engine's cluster; spans flow to it
@@ -263,10 +314,97 @@ impl AnytimeEngine {
         *self.cluster.stats()
     }
 
-    /// Executes one recombination step: boundary DV exchange under the
-    /// personalized all-to-all schedule, min-merge, and the local min-plus
-    /// refinement (Fig. 1). Returns `true` while more work remains.
+    // ----------------------------------------------------------------
+    // Publish: epoch-stamped immutable views
+    // ----------------------------------------------------------------
+
+    /// The shared handle to the latest published view. Clone it (cheap) and
+    /// hand it to reader threads — every `load` returns a complete,
+    /// immutable epoch while the engine keeps running. The `aaa-serve`
+    /// crate wraps this in a query API.
+    pub fn view_cell(&self) -> Arc<ViewCell> {
+        self.publisher.cell()
+    }
+
+    /// The latest published view.
+    pub fn published(&self) -> Arc<PublishedView> {
+        self.publisher.latest()
+    }
+
+    /// Epochs published so far (strictly increasing from construction).
+    pub fn epochs_published(&self) -> u64 {
+        self.publisher.epochs_minted()
+    }
+
+    /// Builds and publishes a fresh epoch from current rank state. This is
+    /// driver-side work (the orchestrator reading rank memory it co-hosts,
+    /// exactly like checkpointing): no supersteps, messages, or simulated
+    /// time are charged, so publishing never perturbs the priced metrics.
+    fn publish_view(&mut self, converged: bool) {
+        let observing = self.cluster.observing();
+        let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
+        let n = self.graph.num_vertices();
+        let mut closeness = vec![0.0; n];
+        let mut bounds = Vec::new();
+        match self.publisher.mode() {
+            BoundsMode::None => {
+                for list in self.cluster.barrier_read(|_, s| s.local_closeness()) {
+                    for (v, c) in list {
+                        closeness[v as usize] = c;
+                    }
+                }
+            }
+            BoundsMode::Certified => {
+                bounds = vec![0.0; n];
+                let cache = self.publisher.cache_for(&self.graph);
+                let per_rank = self.cluster.barrier_read(|_, s| {
+                    s.local_vertices()
+                        .iter()
+                        .map(|&v| {
+                            let row = s.dv().local_row(v).expect("local row");
+                            let (lo, hi) = cache.interval(v, row);
+                            // Partial rows can overestimate closeness (fewer
+                            // finite terms); the certified interval is sound,
+                            // so clamp the estimate into it.
+                            (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                for list in per_rank {
+                    for (v, c, b) in list {
+                        closeness[v as usize] = c;
+                        bounds[v as usize] = b;
+                    }
+                }
+            }
+        }
+        self.publisher.publish(self.rc_steps, self.changes_applied, converged, closeness, bounds);
+        if observing {
+            // Zero simulated duration (renders as an instant, like
+            // checkpoints); the real cost rides in wall_dur.
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::Publish,
+                rank: DRIVER_LANE,
+                superstep: self.rc_steps as u64,
+                sim_start_us: self.cluster.sim_now_us(),
+                sim_dur_us: 0.0,
+                wall_start_us: wall0,
+                wall_dur_us: self.cluster.wall_now_us() - wall0,
+                messages: 0,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Executes one recombination step: drains the ingest log at the
+    /// barrier, then boundary DV exchange under the personalized all-to-all
+    /// schedule, min-merge, and the local min-plus refinement (Fig. 1), and
+    /// finally publishes a fresh view. Returns `true` while more work
+    /// remains.
     pub fn rc_step(&mut self) -> bool {
+        // Changes were validated at `submit`; on this unchecked path a
+        // drain failure is a programming error, not a runtime condition.
+        self.drain_changes().expect("queued change failed to apply at the RC barrier");
         let observing = self.cluster.observing();
         let (sim0, wall0) = if observing {
             (self.cluster.sim_now_us(), self.cluster.wall_now_us())
@@ -297,27 +435,43 @@ impl AnytimeEngine {
                 bytes: 0,
             });
         }
+        self.publish_view(!more);
         more
     }
 
     /// Runs RC steps until no processor has updates left (or the safety
     /// bound is hit). For a static graph this takes at most P−1 productive
     /// steps plus one quiescence-detection step.
+    ///
+    /// Panics if a queued change fails to apply at a barrier (impossible
+    /// for changes that passed [`AnytimeEngine::submit`] validation); use
+    /// [`AnytimeEngine::run_to_convergence_checked`] for a fallible run.
     pub fn run_to_convergence(&mut self) -> ConvergenceSummary {
-        let mut steps = 0;
-        while steps < self.config.max_rc_steps {
-            steps += 1;
-            if !self.rc_step() {
-                return ConvergenceSummary { steps, converged: true };
-            }
-        }
-        ConvergenceSummary { steps, converged: false }
+        self.drive(DriveSpec {
+            checked: false,
+            checkpoint: CheckpointPolicy::Manual,
+            on_checkpoint: None,
+            supervised: None,
+        })
+        .expect("unchecked convergence cannot fail")
+        .summary
     }
 
-    /// Closeness centrality of every vertex from the *current* partial
-    /// results — the anytime query. Monotonically improving across RC
-    /// steps; exact at convergence.
-    pub fn closeness(&mut self) -> Vec<f64> {
+    /// Closeness centrality of every vertex from the **latest published
+    /// view** — the anytime query. Monotonically improving across RC
+    /// steps; exact at convergence. Never blocks the compute loop: this is
+    /// a lock-free read of the last epoch, also available to other threads
+    /// through [`AnytimeEngine::view_cell`].
+    pub fn closeness(&self) -> Vec<f64> {
+        self.publisher.latest().closeness().to_vec()
+    }
+
+    /// Recomputes closeness with a priced gather superstep (every rank
+    /// reports its local values through the BSP fabric) instead of reading
+    /// the published view. This is the pre-pipeline query path, kept as an
+    /// escape hatch for oracles and perf baselines that price the gather;
+    /// it does **not** publish an epoch.
+    pub fn recompute_exact(&mut self) -> Vec<f64> {
         let per_rank = self.cluster.step(|_, s| s.local_closeness());
         let mut out = vec![0.0; self.graph.num_vertices()];
         for list in per_rank {
@@ -329,9 +483,10 @@ impl AnytimeEngine {
     }
 
     /// Gathers the full distance matrix (testing / small graphs only —
-    /// this is Θ(n²) memory at the driver).
-    pub fn distances(&mut self) -> DistMatrix {
-        let per_rank = self.cluster.step(|_, s| s.local_rows());
+    /// this is Θ(n²) memory at the driver). Driver-side barrier read; not
+    /// priced.
+    pub fn distances(&self) -> DistMatrix {
+        let per_rank = self.cluster.barrier_read(|_, s| s.local_rows());
         let n = self.graph.num_vertices();
         let mut m = DistMatrix::new(n);
         for list in per_rank {
@@ -345,29 +500,150 @@ impl AnytimeEngine {
     }
 
     // ----------------------------------------------------------------
+    // Ingest: the change log
+    // ----------------------------------------------------------------
+
+    /// Submits a dynamic change to the ingest layer. The change is
+    /// validated *now* (against the graph as it will look when the queue
+    /// ahead of it has been applied) and coalesced with queued changes
+    /// where safe; it takes effect at the next RC-step barrier or explicit
+    /// [`AnytimeEngine::drain_changes`]. Vertex batches submitted this way
+    /// get their assignment strategy chosen by [`StrategyPolicy`] at drain
+    /// time; use [`AnytimeEngine::submit_with_strategy`] to pin one.
+    pub fn submit(&mut self, change: DynamicChange) -> Result<(), CoreError> {
+        self.changes.submit(&self.graph, change, None)
+    }
+
+    /// [`AnytimeEngine::submit`] with a pinned processor-assignment
+    /// strategy for vertex batches (ignored by edge changes).
+    pub fn submit_with_strategy(
+        &mut self,
+        change: DynamicChange,
+        strategy: AssignStrategy,
+    ) -> Result<(), CoreError> {
+        self.changes.submit(&self.graph, change, Some(strategy))
+    }
+
+    /// Changes queued and not yet drained.
+    pub fn pending_changes(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Ingest-layer counters (submitted / coalesced / applied / drains).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.changes.stats()
+    }
+
+    /// Applies every queued change in submission order at the current
+    /// barrier — the compute layer's ingest drain. Runs automatically at
+    /// the top of every RC step; callable explicitly to force changes in
+    /// between. Publishes a fresh view when anything was applied and
+    /// returns the number of changes applied.
+    ///
+    /// On an execution error the failing change is discarded, the changes
+    /// behind it stay queued, and the error propagates (unreachable for
+    /// streams that passed `submit` validation).
+    pub fn drain_changes(&mut self) -> Result<usize, CoreError> {
+        if self.changes.is_empty() {
+            return Ok(0);
+        }
+        let observing = self.cluster.observing();
+        let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
+        let mut applied = 0usize;
+        let mut outcome = Ok(());
+        while let Some(pc) = self.changes.pop() {
+            let res = match pc.change {
+                DynamicChange::AddVertices(batch) => {
+                    let strategy = pc.strategy.unwrap_or_else(|| {
+                        StrategyPolicy::default().choose(&batch, self.graph.num_vertices())
+                    });
+                    self.exec_vertex_additions(&batch, strategy)
+                }
+                DynamicChange::RemoveVertices(victims) => self.exec_remove_vertices(&victims),
+                DynamicChange::AddEdge { u, v, w } => self.exec_add_edge(u, v, w),
+                DynamicChange::RemoveEdge { u, v } => self.exec_remove_edge(u, v),
+                DynamicChange::SetWeight { u, v, w } => self.exec_set_edge_weight(u, v, w),
+            };
+            match res {
+                Ok(()) => {
+                    applied += 1;
+                    self.changes.record_applied();
+                    // The graph changed; certified bounds must be rebuilt.
+                    self.publisher.invalidate_cache();
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        if applied > 0 {
+            self.changes.record_drain();
+            if observing {
+                // `messages` carries the number of changes applied.
+                self.cluster.emit(SpanEvent {
+                    kind: SpanKind::Drain,
+                    rank: DRIVER_LANE,
+                    superstep: self.rc_steps as u64,
+                    sim_start_us: self.cluster.sim_now_us(),
+                    sim_dur_us: 0.0,
+                    wall_start_us: wall0,
+                    wall_dur_us: self.cluster.wall_now_us() - wall0,
+                    messages: applied as u64,
+                    bytes: 0,
+                });
+            }
+            self.publish_view(false);
+        }
+        outcome.map(|()| applied)
+    }
+
+    // ----------------------------------------------------------------
     // Anywhere: dynamic changes
     // ----------------------------------------------------------------
 
-    /// Applies a dynamic change mid-analysis. Vertex additions honour the
-    /// given strategy; edge changes use the companion algorithms.
+    /// Applies a dynamic change mid-analysis: submit + immediate drain.
+    /// Vertex additions honour the given strategy; edge changes use the
+    /// companion algorithms.
     pub fn apply_change(
         &mut self,
         change: &DynamicChange,
         strategy: AssignStrategy,
     ) -> Result<(), CoreError> {
-        match change {
-            DynamicChange::AddVertices(batch) => self.apply_vertex_additions(batch, strategy),
-            DynamicChange::RemoveVertices(victims) => self.remove_vertices(victims),
-            DynamicChange::AddEdge { u, v, w } => self.add_edge(*u, *v, *w),
-            DynamicChange::RemoveEdge { u, v } => self.remove_edge(*u, *v),
-            DynamicChange::SetWeight { u, v, w } => self.set_edge_weight(*u, *v, *w),
-        }
+        self.submit_with_strategy(change.clone(), strategy)?;
+        self.drain_changes().map(|_| ())
     }
 
     /// Incorporates a batch of new vertices using the chosen processor
     /// assignment strategy (the paper's core contribution; Fig. 2 + Fig. 3).
-    /// The caller decides when to continue RC stepping.
+    /// Routed through the ingest log (submit + immediate drain) so every
+    /// mutation shares one path; the caller decides when to continue RC
+    /// stepping.
     pub fn apply_vertex_additions(
+        &mut self,
+        batch: &VertexBatch,
+        strategy: AssignStrategy,
+    ) -> Result<(), CoreError> {
+        self.submit_with_strategy(DynamicChange::AddVertices(batch.clone()), strategy)?;
+        self.drain_changes().map(|_| ())
+    }
+
+    /// Vertex additions with constraint-driven strategy selection
+    /// (Fig. 1 line 16): the policy picks RoundRobin-PS, CutEdge-PS or
+    /// Repartition-S from the batch's size and structure. Returns the
+    /// strategy it chose.
+    pub fn apply_vertex_additions_auto(
+        &mut self,
+        batch: &VertexBatch,
+        policy: &StrategyPolicy,
+    ) -> Result<AssignStrategy, CoreError> {
+        let strategy = policy.choose(batch, self.graph.num_vertices());
+        self.apply_vertex_additions(batch, strategy)?;
+        Ok(strategy)
+    }
+
+    /// Executes a vertex-addition batch at a barrier (drain path).
+    fn exec_vertex_additions(
         &mut self,
         batch: &VertexBatch,
         strategy: AssignStrategy,
@@ -397,20 +673,6 @@ impl AnytimeEngine {
         }
         self.changes_applied += 1;
         Ok(())
-    }
-
-    /// Vertex additions with constraint-driven strategy selection
-    /// (Fig. 1 line 16): the policy picks RoundRobin-PS, CutEdge-PS or
-    /// Repartition-S from the batch's size and structure. Returns the
-    /// strategy it chose.
-    pub fn apply_vertex_additions_auto(
-        &mut self,
-        batch: &VertexBatch,
-        policy: &crate::policy::StrategyPolicy,
-    ) -> Result<AssignStrategy, CoreError> {
-        let strategy = policy.choose(batch, self.graph.num_vertices());
-        self.apply_vertex_additions(batch, strategy)?;
-        Ok(strategy)
     }
 
     /// The anywhere vertex-addition strategy (Fig. 3): grow DVs, then per
@@ -481,7 +743,9 @@ impl AnytimeEngine {
     /// the paper lists as future work ("graph rebalancing strategies to
     /// deal with load imbalances").
     pub fn rebalance(&mut self, seed: u64) -> Result<(), CoreError> {
-        self.repartition_and_migrate(seed)
+        self.repartition_and_migrate(seed)?;
+        self.publish_view(false);
+        Ok(())
     }
 
     fn repartition_and_migrate(&mut self, seed: u64) -> Result<(), CoreError> {
@@ -518,8 +782,13 @@ impl AnytimeEngine {
     /// (global ids are stable across the cluster's DV columns) but loses
     /// every incident edge, making it isolated and giving it closeness 0.
     /// Shortest paths through it are invalidated, so the engine performs the
-    /// same partial restart as edge deletion.
+    /// same partial restart as edge deletion. Routed through the ingest log.
     pub fn remove_vertices(&mut self, victims: &[VertexId]) -> Result<(), CoreError> {
+        self.submit(DynamicChange::RemoveVertices(victims.to_vec()))?;
+        self.drain_changes().map(|_| ())
+    }
+
+    fn exec_remove_vertices(&mut self, victims: &[VertexId]) -> Result<(), CoreError> {
         if victims.is_empty() {
             return Ok(());
         }
@@ -561,8 +830,14 @@ impl AnytimeEngine {
     }
 
     /// Dynamic edge addition (the authors' algorithm [9]): record the edge
-    /// everywhere, broadcast both endpoint rows, relax.
+    /// everywhere, broadcast both endpoint rows, relax. Routed through the
+    /// ingest log (submit + immediate drain).
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), CoreError> {
+        self.submit(DynamicChange::AddEdge { u, v, w })?;
+        self.drain_changes().map(|_| ())
+    }
+
+    fn exec_add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), CoreError> {
         self.graph.add_edge(u, v, w)?;
         self.cluster.broadcast(
             0,
@@ -577,8 +852,19 @@ impl AnytimeEngine {
 
     /// Dynamic edge-weight change (companion algorithm [7]). A decrease is
     /// a relaxation; an increase invalidates shortest paths and triggers
-    /// the partial restart shared with deletion.
+    /// the partial restart shared with deletion. Routed through the ingest
+    /// log.
     pub fn set_edge_weight(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<(), CoreError> {
+        self.submit(DynamicChange::SetWeight { u, v, w })?;
+        self.drain_changes().map(|_| ())
+    }
+
+    fn exec_set_edge_weight(
         &mut self,
         u: VertexId,
         v: VertexId,
@@ -608,8 +894,14 @@ impl AnytimeEngine {
     /// algorithm [10]): the decomposition and DV columns are kept, but
     /// every rank recomputes its rows from its local sub-graph and the RC
     /// phase re-converges — a partial restart that reuses the anytime
-    /// structure rather than the stale distances.
+    /// structure rather than the stale distances. Routed through the
+    /// ingest log.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), CoreError> {
+        self.submit(DynamicChange::RemoveEdge { u, v })?;
+        self.drain_changes().map(|_| ())
+    }
+
+    fn exec_remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), CoreError> {
         self.graph.remove_edge(u, v)?;
         self.cluster.broadcast(0, move |_| (u, v), |_| 8, |_, s, &(a, b)| s.erase_edge(a, b));
         self.partial_restart();
@@ -651,7 +943,9 @@ impl AnytimeEngine {
     /// graph, partition, per-rank DV matrices with dirty masks, RC step
     /// counter, change-stream cursor, and run statistics. Must be called
     /// at a superstep barrier (i.e. between `rc_step`s / `apply_*`s),
-    /// which every public entry point guarantees.
+    /// which every public entry point guarantees. Pending (undrained)
+    /// ingest changes are **not** persisted — drain first if they must
+    /// survive the snapshot.
     pub fn snapshot(&mut self) -> Snapshot {
         let observing = self.cluster.observing();
         let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
@@ -716,7 +1010,9 @@ impl AnytimeEngine {
         Self::from_snapshot(&snap, config)
     }
 
-    /// [`AnytimeEngine::restore`] from an in-memory [`Snapshot`].
+    /// [`AnytimeEngine::restore`] from an in-memory [`Snapshot`]. The
+    /// restored engine starts with a fresh (empty) ingest log and a fresh
+    /// publish cell whose first epoch is the snapshot's answer.
     pub fn from_snapshot(snap: &Snapshot, config: EngineConfig) -> Result<Self, CoreError> {
         if config.procs != snap.meta.procs as usize {
             return Err(CoreError::Config(format!(
@@ -750,7 +1046,8 @@ impl AnytimeEngine {
         let mut cluster = Cluster::new(states, config.cluster);
         cluster.restore_stats(snap.stats);
         cluster.record_restore();
-        Ok(Self {
+        let publish_bounds = config.publish_bounds;
+        let mut engine = Self {
             graph,
             partition,
             cluster,
@@ -758,7 +1055,11 @@ impl AnytimeEngine {
             rc_steps: snap.meta.rc_steps as usize,
             rr_cursor: snap.meta.rr_cursor as usize,
             changes_applied: snap.meta.changes_applied,
-        })
+            changes: ChangeLog::new(),
+            publisher: Publisher::new(publish_bounds),
+        };
+        engine.publish_view(false);
+        Ok(engine)
     }
 
     /// Arms the fault injector: the chosen rank "dies" at the barrier
@@ -795,7 +1096,9 @@ impl AnytimeEngine {
     /// during the step. Either way the engine stays intact: the caller can
     /// recover the failed rank via [`AnytimeEngine::recover_rank`], or
     /// retry the step — which [`AnytimeEngine::run_supervised`] automates.
+    /// Drains the ingest log first, propagating its errors.
     pub fn rc_step_checked(&mut self) -> Result<bool, CoreError> {
+        self.drain_changes()?;
         self.cluster.poll_fault()?;
         let more = self.rc_step();
         self.cluster.poll_chaos()?;
@@ -804,7 +1107,14 @@ impl AnytimeEngine {
 
     /// Fault-aware [`AnytimeEngine::run_to_convergence`].
     pub fn run_to_convergence_checked(&mut self) -> Result<ConvergenceSummary, CoreError> {
-        self.run_to_convergence_checkpointed(CheckpointPolicy::Manual, |_| {})
+        Ok(self
+            .drive(DriveSpec {
+                checked: true,
+                checkpoint: CheckpointPolicy::Manual,
+                on_checkpoint: None,
+                supervised: None,
+            })?
+            .summary)
     }
 
     /// Runs RC to convergence, handing serialized snapshots to `sink`
@@ -816,19 +1126,14 @@ impl AnytimeEngine {
         policy: CheckpointPolicy,
         mut sink: impl FnMut(&[u8]),
     ) -> Result<ConvergenceSummary, CoreError> {
-        let mut steps = 0;
-        while steps < self.config.max_rc_steps {
-            steps += 1;
-            let more = self.rc_step_checked()?;
-            if policy.due_after_rc_step(self.rc_steps) {
-                let bytes = self.checkpoint_bytes()?;
-                sink(&bytes);
-            }
-            if !more {
-                return Ok(ConvergenceSummary { steps, converged: true });
-            }
-        }
-        Ok(ConvergenceSummary { steps, converged: false })
+        Ok(self
+            .drive(DriveSpec {
+                checked: true,
+                checkpoint: policy,
+                on_checkpoint: Some(&mut sink),
+                supervised: None,
+            })?
+            .summary)
     }
 
     /// Supervised convergence: [`AnytimeEngine::run_to_convergence`] under
@@ -860,12 +1165,31 @@ impl AnytimeEngine {
     /// `Err(RankFailed)` — crash recovery needs the caller's checkpoint
     /// and stays on the [`AnytimeEngine::recover_rank`] path.
     pub fn run_supervised(&mut self, retry: &RetryPolicy) -> Result<SupervisedRun, CoreError> {
+        self.drive(DriveSpec {
+            checked: true,
+            checkpoint: CheckpointPolicy::Manual,
+            on_checkpoint: None,
+            supervised: Some(retry),
+        })
+    }
+
+    /// The unified convergence driver behind every `run_*` entry point:
+    /// one loop, parameterized by [`DriveSpec`], that drains the ingest
+    /// log, steps RC, takes due checkpoints, and (when supervised) runs
+    /// the retry/verification/fallback ladder.
+    fn drive(&mut self, mut spec: DriveSpec<'_>) -> Result<SupervisedRun, CoreError> {
+        // Drain before the fallback snapshot below: applied changes land in
+        // the snapshot, so a restore cannot silently lose them. `submit`
+        // needs `&mut self`, so nothing can enqueue mid-run — the log stays
+        // empty for the rest of the loop.
+        self.drain_changes()?;
         // The fallback snapshot is only worth its cost under chaos; an
         // unarmed run must behave exactly like `run_to_convergence`.
-        let fallback = if self.cluster.chaos_plan().is_some() && retry.max_fallbacks > 0 {
-            Some(self.snapshot())
-        } else {
-            None
+        let fallback = match spec.supervised {
+            Some(retry) if self.cluster.chaos_plan().is_some() && retry.max_fallbacks > 0 => {
+                Some(self.snapshot())
+            }
+            _ => None,
         };
         let mut attempts: u32 = 0;
         let mut retries: u64 = 0;
@@ -875,43 +1199,65 @@ impl AnytimeEngine {
         let mut steps = 0usize;
         loop {
             if steps >= self.config.max_rc_steps {
-                return Ok(self.degraded_run(
-                    steps,
-                    retries,
-                    fallbacks,
-                    verification_passes,
-                    DegradedReason::StepBudgetExhausted,
-                ));
+                return Ok(if spec.supervised.is_some() {
+                    self.degraded_run(
+                        steps,
+                        retries,
+                        fallbacks,
+                        verification_passes,
+                        DegradedReason::StepBudgetExhausted,
+                    )
+                } else {
+                    SupervisedRun {
+                        summary: ConvergenceSummary { steps, converged: false },
+                        retries,
+                        fallbacks,
+                        verification_passes,
+                        degraded: None,
+                    }
+                });
             }
             steps += 1;
-            match self.rc_step_checked() {
-                Ok(true) => attempts = 0,
-                Ok(false) => {
+            let stepped = if spec.checked { self.rc_step_checked() } else { Ok(self.rc_step()) };
+            match stepped {
+                Ok(more) => {
                     attempts = 0;
-                    // Quiescence claimed. Delayed messages still in flight
-                    // can reopen work — keep stepping until the queue
-                    // drains (each step advances the delay clock).
-                    if self.cluster.has_undelivered() {
+                    if spec.checkpoint.due_after_rc_step(self.rc_steps) {
+                        let bytes = self.checkpoint_bytes()?;
+                        if let Some(sink) = spec.on_checkpoint.as_mut() {
+                            sink(&bytes);
+                        }
+                    }
+                    if more {
                         continue;
                     }
-                    // Silent drops leave no incident; only the counters
-                    // move. Verify the fixed point with a full resend if
-                    // anything was injected since the last verified total.
-                    let injected_now = self.stats().faults.injected();
-                    if injected_now != faults_seen {
-                        faults_seen = injected_now;
-                        verification_passes += 1;
-                        if self.cluster.observing() {
-                            self.cluster.emit(SpanEvent::instant(
-                                SpanKind::Verification,
-                                DRIVER_LANE,
-                                steps as u64,
-                                self.cluster.sim_now_us(),
-                                self.cluster.wall_now_us(),
-                            ));
+                    if spec.supervised.is_some() {
+                        // Quiescence claimed. Delayed messages still in
+                        // flight can reopen work — keep stepping until the
+                        // queue drains (each step advances the delay clock).
+                        if self.cluster.has_undelivered() {
+                            continue;
                         }
-                        self.resend_all();
-                        continue;
+                        // Silent drops leave no incident; only the counters
+                        // move. Verify the fixed point with a full resend if
+                        // anything was injected since the last verified
+                        // total.
+                        let injected_now = self.stats().faults.injected();
+                        if injected_now != faults_seen {
+                            faults_seen = injected_now;
+                            verification_passes += 1;
+                            if self.cluster.observing() {
+                                self.cluster.emit(SpanEvent::instant(
+                                    SpanKind::Verification,
+                                    DRIVER_LANE,
+                                    steps as u64,
+                                    self.cluster.sim_now_us(),
+                                    self.cluster.wall_now_us(),
+                                ));
+                            }
+                            self.resend_all();
+                            continue;
+                        }
                     }
                     return Ok(SupervisedRun {
                         summary: ConvergenceSummary { steps, converged: true },
@@ -924,7 +1270,8 @@ impl AnytimeEngine {
                 Err(CoreError::Cluster(
                     incident @ (ClusterError::MessageCorrupted { .. }
                     | ClusterError::RankStalled { .. }),
-                )) => {
+                )) if spec.supervised.is_some() => {
+                    let retry = spec.supervised.expect("guarded by is_some");
                     attempts += 1;
                     retries += 1;
                     let mut wait = retry.backoff_us(attempts);
@@ -987,12 +1334,21 @@ impl AnytimeEngine {
 
     /// Rebuilds the engine from `snap` and re-arms the chaos and fault
     /// plans — and the event sink — none of which live in the snapshot
-    /// (they belong to the replaced cluster).
+    /// (they belong to the replaced cluster). The publish cell and ingest
+    /// log survive the rebuild: readers keep their handle, epochs keep
+    /// increasing, and pending changes stay queued.
     fn fallback_restore(&mut self, snap: &Snapshot) -> Result<(), CoreError> {
         let chaos = self.cluster.chaos_plan();
         let fault = self.cluster.fault_plan();
         let sink = self.cluster.sink();
+        let mut publisher =
+            std::mem::replace(&mut self.publisher, Publisher::new(BoundsMode::None));
+        // The graph is about to be rewound; certified bounds must rebuild.
+        publisher.invalidate_cache();
+        let changes = std::mem::take(&mut self.changes);
         *self = Self::from_snapshot(snap, self.config.clone())?;
+        self.publisher = publisher;
+        self.changes = changes;
         self.cluster.set_sink(sink);
         if let Some(c) = chaos {
             self.cluster.set_chaos(c);
@@ -1009,8 +1365,10 @@ impl AnytimeEngine {
                 self.cluster.wall_now_us(),
             ));
         }
-        // Restart announcement flow from the restored rows.
+        // Restart announcement flow from the restored rows, and let readers
+        // see the rewound answer as a fresh epoch.
         self.resend_all();
+        self.publish_view(false);
         Ok(())
     }
 
@@ -1097,6 +1455,7 @@ impl AnytimeEngine {
         self.cluster.charge_compute_us(rebuild_us);
         self.cluster.step(|_, s| s.mark_all_for_resend());
         self.cluster.record_restore();
+        self.publish_view(false);
         Ok(())
     }
 }

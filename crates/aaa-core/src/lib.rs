@@ -48,7 +48,9 @@ pub mod changes;
 pub mod dv;
 pub mod engine;
 pub mod error;
+pub mod ingest;
 pub mod policy;
+pub mod publish;
 pub mod quality;
 pub mod rank;
 pub mod strategies;
@@ -59,9 +61,12 @@ pub use aaa_runtime::{ChannelFault, ChaosPlan, ClusterError, FaultCounters, Faul
 pub use changes::{DynamicChange, NewVertex, VertexBatch};
 pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig, SupervisedRun};
 pub use error::CoreError;
+pub use ingest::{ChangeLog, IngestStats, PendingChange};
 pub use policy::{RetryPolicy, StrategyPolicy};
+pub use publish::{BoundsMode, PublishedView, Publisher, ViewCell};
 pub use quality::{
-    degraded_closeness_bounds, DegradedReason, DegradedReport, QualitySample, QualityTracker,
+    degraded_closeness_bounds, CertifiedBoundsCache, DegradedReason, DegradedReport, QualitySample,
+    QualityTracker,
 };
 pub use rank::WireFormat;
 pub use strategies::AssignStrategy;

@@ -7,7 +7,7 @@
 
 use aaa_graph::apsp::DistMatrix;
 use aaa_graph::closeness::{closeness_exact, closeness_from_row, mean_relative_error, top_k};
-use aaa_graph::{AdjGraph, Csr, INF};
+use aaa_graph::{AdjGraph, Csr, Dist, INF};
 use aaa_runtime::{ClusterError, FaultCounters};
 use std::collections::VecDeque;
 use std::fmt;
@@ -214,6 +214,95 @@ pub fn degraded_closeness_bounds(graph: &AdjGraph, rows: &DistMatrix) -> Vec<f64
         .collect()
 }
 
+// ----------------------------------------------------------------
+// Certified per-vertex closeness intervals (publish layer)
+// ----------------------------------------------------------------
+
+/// Precomputed structure for certified closeness intervals, amortized over
+/// many published epochs of the *same* graph version.
+///
+/// The publish layer stamps every epoch with per-vertex error bounds; doing
+/// `n` BFS traversals per epoch would dwarf the RC step itself, so the hop
+/// counts (and the weight extremes) are computed once here and the engine
+/// rebuilds the cache only when the graph structure changes.
+///
+/// For a vertex `v` with current DV row `row`, [`interval`] returns a
+/// certified interval `[c_lo, c_hi]` containing the true closeness:
+///
+/// * every finite DV entry is a genuine path length, hence an **upper**
+///   bound on the true distance, and so is `w_max · hops(v,u)` (walk the
+///   min-hop path, every edge weighs at most `w_max`) — summing, per
+///   reachable vertex, the *smaller* of the two gives an upper bound on
+///   `Σ d_true`, i.e. `c_lo = 1/Σ min(row[u], w_max·hops) ≤ c_true`;
+/// * `w_min · hops(v,u)` is a **lower** bound on every true distance, so
+///   `c_hi = 1/Σ w_min·hops ≥ c_true`.
+///
+/// Because DV rows only ever min-merge downward, `c_lo` is non-decreasing
+/// and `c_hi` is fixed per graph version — the interval width `c_hi − c_lo`
+/// is **non-increasing across epochs** on a quiescing run (the anytime
+/// guarantee, stated per epoch), and at convergence `min(row, w_max·hops) =
+/// row = d_true`, so `c_lo` equals the true closeness exactly.
+///
+/// [`interval`]: CertifiedBoundsCache::interval
+#[derive(Debug, Clone)]
+pub struct CertifiedBoundsCache {
+    n: usize,
+    w_min: u64,
+    w_max: u64,
+    /// Flat n×n matrix of unit-weight hop counts (`u32::MAX` unreachable).
+    hops: Vec<u32>,
+}
+
+impl CertifiedBoundsCache {
+    /// Builds the cache for the current graph (n BFS traversals).
+    pub fn new(graph: &AdjGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut w_min = u64::MAX;
+        let mut w_max = 1u64;
+        for (_, _, w) in graph.edges() {
+            w_min = w_min.min(w as u64);
+            w_max = w_max.max(w as u64);
+        }
+        if w_min == u64::MAX {
+            w_min = 1;
+        }
+        let mut hops = Vec::with_capacity(n * n);
+        for v in 0..n as u32 {
+            hops.extend(hops_from(graph, v));
+        }
+        Self { n, w_min, w_max, hops }
+    }
+
+    /// Number of vertices the cache was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The certified closeness interval `[c_lo, c_hi]` for vertex `v` given
+    /// its current DV row. `(0, 0)` when `v` reaches nothing (its true
+    /// closeness is exactly 0 under the reachable-sum convention).
+    pub fn interval(&self, v: u32, row: &[Dist]) -> (f64, f64) {
+        assert_eq!(row.len(), self.n, "row does not match the cached graph");
+        let hops = &self.hops[v as usize * self.n..][..self.n];
+        let mut upper_sum = 0u64;
+        let mut lower_sum = 0u64;
+        for u in 0..self.n {
+            if u as u32 == v || hops[u] == u32::MAX {
+                continue;
+            }
+            let h = hops[u] as u64;
+            let cap = self.w_max * h;
+            let d_upper = if row[u] == INF { cap } else { (row[u] as u64).min(cap) };
+            upper_sum += d_upper;
+            lower_sum += self.w_min * h;
+        }
+        if upper_sum == 0 {
+            return (0.0, 0.0);
+        }
+        (1.0 / upper_sum as f64, 1.0 / lower_sum as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +398,49 @@ mod tests {
         assert!(report.certifies(&exact));
         assert!(report.reason.to_string().contains("stalled"));
         assert!(DegradedReason::StepBudgetExhausted.to_string().contains("budget"));
+    }
+
+    /// The certified interval contains the exact closeness at every stage
+    /// of row refinement, and tightens monotonically as rows improve.
+    #[test]
+    fn certified_intervals_cover_exact_and_tighten() {
+        for seed in [3u64, 11, 42] {
+            let g =
+                barabasi_albert(35, 2, WeightModel::UniformRange { lo: 1, hi: 4 }, seed).unwrap();
+            let n = g.num_vertices();
+            let exact = closeness_exact(&Csr::from_adj(&g));
+            let cache = CertifiedBoundsCache::new(&g);
+            let truth = aaa_graph::apsp::apsp_dijkstra(&Csr::from_adj(&g));
+
+            // Stage 1: IA-grade rows (self + direct neighbours only).
+            let mut rows = DistMatrix::new(n);
+            for v in 0..n as u32 {
+                for &(t, w) in g.neighbors(v) {
+                    rows.set(v, t, w);
+                }
+            }
+            for v in 0..n as u32 {
+                let (lo, hi) = cache.interval(v, rows.row(v));
+                let ex = exact[v as usize];
+                assert!(lo <= ex + 1e-12 && ex <= hi + 1e-12, "seed {seed} v{v}: {lo}..{hi}");
+                // Stage 2: converged rows — interval must only tighten, and
+                // the lower end must hit the exact value.
+                let (lo2, hi2) = cache.interval(v, truth.row(v));
+                assert!(lo2 + 1e-12 >= lo && hi2 <= hi + 1e-12, "interval widened");
+                assert!((lo2 - ex).abs() < 1e-12, "converged c_lo must equal exact");
+                assert!(ex <= hi2 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_interval_is_zero_for_isolated_vertices() {
+        let mut g = AdjGraph::with_vertices(3);
+        g.add_edge(0, 1, 2).unwrap();
+        let cache = CertifiedBoundsCache::new(&g);
+        let rows = DistMatrix::new(3);
+        assert_eq!(cache.interval(2, rows.row(2)), (0.0, 0.0));
+        assert_eq!(cache.n(), 3);
     }
 
     #[test]

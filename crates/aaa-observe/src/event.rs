@@ -39,6 +39,14 @@ pub enum SpanKind {
     Verification,
     /// The domain-decomposition phase (partitioner run at construction).
     DomainDecomposition,
+    /// A ChangeLog drain: queued dynamic changes applied at an RC-step
+    /// barrier (driver lane; `messages` carries the number of changes
+    /// applied).
+    Drain,
+    /// A published-view refresh: the engine snapshotting closeness (and
+    /// bounds) into a new epoch for concurrent readers. Driver-side work —
+    /// zero simulated duration, real cost rides in wall_dur.
+    Publish,
 }
 
 impl SpanKind {
@@ -58,11 +66,13 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Verification => "verification",
             SpanKind::DomainDecomposition => "domain_decomposition",
+            SpanKind::Drain => "drain",
+            SpanKind::Publish => "publish",
         }
     }
 
     /// Every kind, in a stable order (report phase tables follow it).
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Superstep,
         SpanKind::Exchange,
         SpanKind::Collective,
@@ -73,6 +83,8 @@ impl SpanKind {
         SpanKind::Retry,
         SpanKind::Verification,
         SpanKind::DomainDecomposition,
+        SpanKind::Drain,
+        SpanKind::Publish,
     ];
 }
 

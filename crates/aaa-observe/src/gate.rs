@@ -106,6 +106,17 @@ pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) ->
     if let (Some(b), Some(c)) = (baseline.final_quality(), candidate.final_quality()) {
         rows.push(diff("final_error", b.error, c.error, true, cfg));
     }
+    // ChangeLog drain counters are deterministic too, but the section is
+    // optional (pre-pipeline baselines omit it), so gate only when both
+    // reports carry it — an old baseline vs. a new candidate stays diffable
+    // on the classic metrics alone.
+    if let (Some(b), Some(c)) = (baseline.changes, candidate.changes) {
+        rows.push(diff("changes_submitted", b.submitted as f64, c.submitted as f64, true, cfg));
+        rows.push(diff("changes_coalesced", b.coalesced as f64, c.coalesced as f64, true, cfg));
+        rows.push(diff("changes_applied", b.applied as f64, c.applied as f64, true, cfg));
+        rows.push(diff("change_drains", b.drains as f64, c.drains as f64, true, cfg));
+        rows.push(diff("publish_epochs", b.epochs as f64, c.epochs as f64, true, cfg));
+    }
     // Host-dependent → info only.
     rows.push(diff(
         "sim_compute_us",
@@ -206,6 +217,30 @@ mod tests {
         let row = rows.iter().find(|r| r.name == "messages").unwrap();
         assert!(row.rel_change.is_infinite());
         assert!(row.regressed);
+    }
+
+    #[test]
+    fn change_counters_gate_only_when_both_reports_have_them() {
+        use crate::report::ChangeTally;
+        let tally = ChangeTally { submitted: 10, coalesced: 2, applied: 8, drains: 4, epochs: 12 };
+        // Old baseline (no section) vs. new candidate: no change rows.
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.changes = Some(tally);
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!rows.iter().any(|r| r.name.starts_with("changes_")));
+        assert!(!regressed(&rows));
+        // Both sides carry the section: counters are gated.
+        let mut base2 = base.clone();
+        base2.changes = Some(tally);
+        let mut cand2 = base2.clone();
+        cand2.changes = Some(ChangeTally { applied: 20, ..tally });
+        let rows = compare(&cand2, &base2, &GateConfig::default());
+        let row = rows.iter().find(|r| r.name == "changes_applied").unwrap();
+        assert!(row.gated && row.regressed);
+        // Identical tallies pass at threshold zero.
+        let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
+        assert!(!regressed(&compare(&base2, &base2, &strict)));
     }
 
     #[test]

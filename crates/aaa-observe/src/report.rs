@@ -62,6 +62,25 @@ pub struct RankReport {
     pub wall_busy_us: f64,
 }
 
+/// Ingest-pipeline tallies: ChangeLog traffic and published-view epochs.
+///
+/// Optional in the wire format (reports predating the pipeline split omit
+/// the section), so old baselines keep parsing — the gate only diffs these
+/// counters when *both* reports carry them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChangeTally {
+    /// Changes accepted by `submit`.
+    pub submitted: u64,
+    /// Changes absorbed into an earlier queued change instead of queueing.
+    pub coalesced: u64,
+    /// Changes actually executed against the graph by drains.
+    pub applied: u64,
+    /// Drain batches that applied at least one change.
+    pub drains: u64,
+    /// Published-view epochs minted by the publish layer.
+    pub epochs: u64,
+}
+
 /// One convergence-quality sample (mirrors the engine's quality tracker).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QualityPoint {
@@ -97,6 +116,9 @@ pub struct RunReport {
     /// Measured wall time of rank computation (µs) — host-dependent.
     pub wall_us: f64,
     pub faults: FaultTally,
+    /// Ingest/publish tallies — `None` for reports from before the
+    /// pipeline split (and for runs that never touched the ChangeLog).
+    pub changes: Option<ChangeTally>,
     pub phases: Vec<PhaseReport>,
     pub ranks: Vec<RankReport>,
     pub quality: Vec<QualityPoint>,
@@ -118,7 +140,7 @@ impl RunReport {
     // ---------------------------------------------------------------
 
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("version".into(), Json::Num(REPORT_VERSION as f64)),
             ("scenario".into(), Json::Str(self.scenario.clone())),
             (
@@ -210,7 +232,20 @@ impl RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(c) = &self.changes {
+            fields.push((
+                "changes".into(),
+                Json::Obj(vec![
+                    ("submitted".into(), Json::Num(c.submitted as f64)),
+                    ("coalesced".into(), Json::Num(c.coalesced as f64)),
+                    ("applied".into(), Json::Num(c.applied as f64)),
+                    ("drains".into(), Json::Num(c.drains as f64)),
+                    ("epochs".into(), Json::Num(c.epochs as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// The on-disk representation (pretty, stable key order, trailing
@@ -255,6 +290,16 @@ impl RunReport {
             },
             ..RunReport::default()
         };
+        // Optional section: absent in pre-pipeline reports and baselines.
+        if let Some(c) = doc.get("changes") {
+            report.changes = Some(ChangeTally {
+                submitted: c.u64_field("submitted")?,
+                coalesced: c.u64_field("coalesced")?,
+                applied: c.u64_field("applied")?,
+                drains: c.u64_field("drains")?,
+                epochs: c.u64_field("epochs")?,
+            });
+        }
         for p in doc.arr_field("phases")? {
             report.phases.push(PhaseReport {
                 name: p.str_field("name")?.to_string(),
@@ -349,6 +394,7 @@ mod tests {
             sim_compute_us: 789.5,
             wall_us: 321.125,
             faults: FaultTally { dropped: 2, retransmits: 5, ..FaultTally::default() },
+            changes: None,
             phases: vec![PhaseReport {
                 name: "superstep".into(),
                 count: 160,
@@ -375,6 +421,22 @@ mod tests {
         let back = RunReport::from_json_str(&text).expect("own output parses");
         assert_eq!(back, report);
         // And the serialized form is stable (idempotent).
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn changes_section_round_trips_and_is_optional() {
+        // Absent section stays absent (old baselines parse as None).
+        let without = sample_report();
+        assert!(without.changes.is_none());
+        assert!(!without.to_json_string().contains("\"changes\""));
+
+        let mut with = sample_report();
+        with.changes =
+            Some(ChangeTally { submitted: 10, coalesced: 3, applied: 7, drains: 2, epochs: 14 });
+        let text = with.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("own output parses");
+        assert_eq!(back, with);
         assert_eq!(back.to_json_string(), text);
     }
 

@@ -197,6 +197,18 @@ impl<S: Send> Cluster<S> {
         &self.states
     }
 
+    /// Runs a read-only closure over every rank state at a barrier and
+    /// collects the results in rank order. This is *driver-side* work: it
+    /// models the orchestrator inspecting rank memory it already co-hosts
+    /// (the same access [`Cluster::ranks`] gives), so — like snapshotting —
+    /// it charges **no** supersteps, messages, or simulated time. Use
+    /// [`Cluster::step`] instead for anything that represents real cluster
+    /// computation or traffic; this hook exists for the publish layer,
+    /// which must never perturb the priced metrics the perf gate pins.
+    pub fn barrier_read<T>(&self, mut f: impl FnMut(usize, &S) -> T) -> Vec<T> {
+        self.states.iter().enumerate().map(|(r, s)| f(r, s)).collect()
+    }
+
     /// Accumulated statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats

@@ -1,0 +1,234 @@
+//! # aaa-serve — snapshot-isolated query serving
+//!
+//! The read side of the engine's **ingest → compute → publish** pipeline.
+//! [`ServeHandle`] wraps the engine's shared [`ViewCell`] and answers
+//! point lookups, top-k queries, error-bound queries, and epoch metadata
+//! from the **latest published epoch** — entirely `&self`, `Send + Sync`,
+//! and without ever touching the engine. Any number of reader threads can
+//! query while the BSP loop, chaos layer, and checkpointing keep running
+//! on the writer thread.
+//!
+//! The isolation contract readers get:
+//!
+//! * **never torn** — a query sees one complete epoch, never a mix of two
+//!   (views are immutable; the cell swaps whole `Arc`s);
+//! * **never stale beyond the latest epoch** — `view()` returns the most
+//!   recently published epoch at the instant of the load;
+//! * **monotone** — epoch ids observed by any single reader through one
+//!   handle never decrease.
+//!
+//! ```
+//! use aaa_core::{AnytimeEngine, EngineConfig};
+//! use aaa_graph::generators::{barabasi_albert, WeightModel};
+//! use aaa_serve::ServeHandle;
+//!
+//! let g = barabasi_albert(120, 2, WeightModel::Unit, 7).unwrap();
+//! let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+//! let handle = ServeHandle::attach(&engine);
+//! let reader = std::thread::spawn(move || {
+//!     // Queries are answered from published epochs, off the engine.
+//!     handle.top_k(5)
+//! });
+//! engine.run_to_convergence();
+//! assert_eq!(reader.join().unwrap().len(), 5);
+//! ```
+
+use aaa_core::publish::{PublishedView, ViewCell};
+use aaa_graph::VertexId;
+use std::sync::Arc;
+
+/// Epoch metadata for one published view — what a dashboard or freshness
+/// monitor needs without the O(n) payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Strictly-increasing epoch id (0 = nothing published yet).
+    pub epoch: u64,
+    /// RC steps the engine had completed at publish time.
+    pub rc_steps: usize,
+    /// Dynamic changes applied at publish time.
+    pub changes_applied: u64,
+    /// Whether the engine had reached quiescence at publish time.
+    pub converged: bool,
+    /// Vertices covered by the view.
+    pub vertices: usize,
+}
+
+/// A cloneable, thread-safe query handle over the engine's published
+/// views. Obtain one with [`ServeHandle::attach`] (or from a raw cell via
+/// [`ServeHandle::new`]), clone it freely, and move clones into reader
+/// threads.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    cell: Arc<ViewCell>,
+}
+
+impl ServeHandle {
+    /// Wraps a view cell directly (e.g. one forwarded across a process
+    /// boundary in a larger system).
+    pub fn new(cell: Arc<ViewCell>) -> Self {
+        Self { cell }
+    }
+
+    /// Attaches to a live engine's publish layer. The handle stays valid
+    /// for the engine's whole life — including across checkpoint
+    /// fallbacks, which keep the cell identity.
+    pub fn attach(engine: &aaa_core::AnytimeEngine) -> Self {
+        Self::new(engine.view_cell())
+    }
+
+    /// The latest published view, as an immutable snapshot the caller can
+    /// hold as long as it likes. One atomic load; never blocks the
+    /// compute loop.
+    pub fn view(&self) -> Arc<PublishedView> {
+        self.cell.load()
+    }
+
+    /// The latest epoch id.
+    pub fn epoch(&self) -> u64 {
+        self.view().epoch
+    }
+
+    /// Closeness of `v` in the latest epoch; `None` if `v` is out of
+    /// range (e.g. submitted but not yet drained).
+    pub fn point(&self, v: VertexId) -> Option<f64> {
+        self.view().point(v)
+    }
+
+    /// The `k` most central vertices in the latest epoch.
+    pub fn top_k(&self, k: usize) -> Vec<(VertexId, f64)> {
+        self.view().top_k(k)
+    }
+
+    /// Certified bound on `|exact − closeness|` for `v` in the latest
+    /// epoch; `None` when the engine publishes without bounds
+    /// ([`aaa_core::BoundsMode::None`]) or `v` is out of range.
+    pub fn error_bound(&self, v: VertexId) -> Option<f64> {
+        self.view().error_bound(v)
+    }
+
+    /// Metadata of the latest epoch.
+    pub fn metadata(&self) -> EpochInfo {
+        let view = self.view();
+        EpochInfo {
+            epoch: view.epoch,
+            rc_steps: view.rc_steps,
+            changes_applied: view.changes_applied,
+            converged: view.converged,
+            vertices: view.num_vertices(),
+        }
+    }
+
+    /// Spin-waits until the published epoch is ≥ `epoch` and returns the
+    /// first such view. Test/example helper — production readers should
+    /// just `view()` whatever is current.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Arc<PublishedView> {
+        loop {
+            let view = self.view();
+            if view.epoch >= epoch {
+                return view;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_core::{AnytimeEngine, BoundsMode, EngineConfig};
+    use aaa_graph::generators::{barabasi_albert, WeightModel};
+
+    fn engine(n: usize, procs: usize) -> AnytimeEngine {
+        let g = barabasi_albert(n, 2, WeightModel::Unit, 11).unwrap();
+        AnytimeEngine::new(g, EngineConfig::deterministic(procs)).unwrap()
+    }
+
+    #[test]
+    fn handle_answers_from_published_epochs() {
+        let mut e = engine(80, 3);
+        let h = ServeHandle::attach(&e);
+        // Construction published the IA answer as epoch 1.
+        let meta = h.metadata();
+        assert_eq!(meta.epoch, 1);
+        assert_eq!(meta.vertices, 80);
+        assert!(!meta.converged);
+        e.run_to_convergence();
+        let meta = h.metadata();
+        assert!(meta.converged);
+        assert!(meta.epoch > 1);
+        assert_eq!(h.epoch(), meta.epoch);
+        assert_eq!(h.point(0), Some(h.view().closeness()[0]));
+        assert_eq!(h.point(80 as VertexId), None);
+        assert_eq!(h.top_k(3).len(), 3);
+        // Converged answer matches the engine's own query path.
+        assert_eq!(h.view().closeness(), e.closeness().as_slice());
+    }
+
+    #[test]
+    fn error_bounds_surface_only_in_certified_mode() {
+        let g = barabasi_albert(60, 2, WeightModel::UniformRange { lo: 1, hi: 5 }, 3).unwrap();
+        let mut cfg = EngineConfig::deterministic(3);
+        cfg.publish_bounds = BoundsMode::Certified;
+        let mut e = AnytimeEngine::new(g, cfg).unwrap();
+        let h = ServeHandle::attach(&e);
+        assert!(h.error_bound(0).is_some());
+        e.run_to_convergence();
+        let view = h.view();
+        assert!(view.has_bounds());
+        // At convergence the certified interval collapses onto the exact
+        // closeness for reachable vertices.
+        for v in 0..60u32 {
+            assert!(view.error_bound(v).unwrap() >= 0.0);
+        }
+        let plain = engine(60, 3);
+        let h2 = ServeHandle::attach(&plain);
+        assert_eq!(h2.error_bound(0), None);
+    }
+
+    #[test]
+    fn concurrent_readers_query_while_the_engine_converges() {
+        let mut e = engine(150, 4);
+        let h = ServeHandle::attach(&e);
+        let n = e.graph().num_vertices() as u32;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0;
+                    let mut lookups = 0u64;
+                    while !h.view().converged {
+                        let view = h.view();
+                        assert!(view.epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = view.epoch;
+                        for v in 0..n {
+                            // Every vertex answers in every epoch (views
+                            // are complete, never partial).
+                            assert!(view.point(v).is_some());
+                            lookups += 1;
+                        }
+                    }
+                    lookups
+                })
+            })
+            .collect();
+        // The writer thread drives the BSP loop while readers hammer away.
+        let summary = e.run_to_convergence();
+        assert!(summary.converged);
+        for r in readers {
+            assert!(r.join().expect("reader panicked") > 0);
+        }
+    }
+
+    #[test]
+    fn wait_for_epoch_returns_a_fresh_enough_view() {
+        let mut e = engine(60, 2);
+        let h = ServeHandle::attach(&e);
+        let target = h.epoch() + 1;
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || h.wait_for_epoch(target).epoch)
+        };
+        e.run_to_convergence();
+        assert!(waiter.join().unwrap() >= target);
+    }
+}

@@ -18,6 +18,8 @@
 //!   dynamic vertex additions and processor-assignment strategies.
 //! * [`observe`] — structured run tracing: typed span events, Chrome-trace
 //!   export, machine-readable run reports, and the perf-gate comparator.
+//! * [`serve`] — snapshot-isolated concurrent query serving over the
+//!   engine's published epoch views.
 //!
 //! ## Quickstart
 //!
@@ -40,3 +42,4 @@ pub use aaa_graph as graph;
 pub use aaa_observe as observe;
 pub use aaa_partition as partition;
 pub use aaa_runtime as runtime;
+pub use aaa_serve as serve;

@@ -1,0 +1,111 @@
+//! Soak the serving layer: reader threads query published views while the
+//! writer streams seeded updates through the ingest log and re-converges
+//! under an adversarial (but eventually-quiet) chaos plan. The contract
+//! under test is the pipeline's isolation guarantee — readers never panic,
+//! never see a torn or partial view, and epoch ids never move backwards,
+//! even across supervised retries and checkpoint fallbacks.
+//!
+//! The CI serve-soak job sweeps `CHAOS_SOAK_SEED` to vary the fault plans
+//! across matrix entries without touching the code.
+
+use anytime_anywhere::core::changes::{preferential_batch, DynamicChange};
+use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, ChaosPlan, EngineConfig, RetryPolicy};
+use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
+use anytime_anywhere::serve::ServeHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Extra seed material from the CI soak matrix (0 for local runs).
+fn soak_seed() -> u64 {
+    std::env::var("CHAOS_SOAK_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x
+}
+
+#[test]
+fn readers_survive_a_chaotic_update_stream_with_monotone_epochs() {
+    let seed = mix(4242, soak_seed());
+    let g =
+        barabasi_albert(150, 2, WeightModel::UniformRange { lo: 1, hi: 6 }, seed % 1_000).unwrap();
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+    engine.set_chaos(ChaosPlan::seeded(seed, 0.15, 24));
+    let policy = RetryPolicy { max_attempts: 64, ..RetryPolicy::default() };
+
+    let handle = ServeHandle::attach(&engine);
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let h = handle.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                let mut probes = 0u64;
+                let mut v = r as u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = h.view();
+                    assert!(view.epoch >= last, "epoch went backwards: {} < {last}", view.epoch);
+                    last = view.epoch;
+                    // Views are complete snapshots: every vertex of the
+                    // epoch answers with a finite closeness.
+                    let n = view.num_vertices() as u32;
+                    let c = view.point(v % n).expect("published views are complete");
+                    assert!(c.is_finite());
+                    probes += 1;
+                    v = v.wrapping_add(1);
+                }
+                (last, probes)
+            })
+        })
+        .collect();
+
+    // Writer: converge under chaos, then stream three waves of seeded
+    // structural churn (edge flips + one vertex batch) through the ingest
+    // log, re-converging supervised after each wave.
+    let run = engine.run_supervised(&policy).expect("supervised run under chaos");
+    assert!(run.converged(), "eventually-quiet plan must converge: {:?}", run.degraded);
+    for wave in 0..3u64 {
+        let n = engine.graph().num_vertices() as u32;
+        for i in 0..6u64 {
+            let r = mix(seed, wave * 97 + i);
+            let u = (r % n as u64) as u32;
+            let v = ((r >> 17) % n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            let change = if engine.graph().has_edge(u, v) {
+                DynamicChange::RemoveEdge { u, v }
+            } else {
+                DynamicChange::AddEdge { u, v, w: 1 + (r >> 40) as u32 % 5 }
+            };
+            engine.submit(change).expect("valid seeded change");
+        }
+        if wave == 1 {
+            let batch = preferential_batch(engine.graph(), 8, 2, seed % 512);
+            engine
+                .submit_with_strategy(DynamicChange::AddVertices(batch), AssignStrategy::RoundRobin)
+                .expect("valid vertex batch");
+        }
+        let run = engine.run_supervised(&policy).expect("supervised re-convergence");
+        assert!(run.converged(), "wave {wave} degraded: {:?}", run.degraded);
+        assert_eq!(engine.pending_changes(), 0, "RC barriers drain the log");
+    }
+    let final_epoch = engine.epochs_published();
+    stop.store(true, Ordering::Relaxed);
+
+    for r in readers {
+        let (last_seen, probes) = r.join().expect("reader panicked during the soak");
+        assert!(probes > 0);
+        assert!(last_seen <= final_epoch, "reader saw an epoch the engine never published");
+    }
+    // The handle ends fully fresh, on the final converged epoch.
+    let view = handle.view();
+    assert_eq!(view.epoch, final_epoch);
+    assert!(view.converged);
+    assert!(view.changes_applied > 0, "the churn waves actually landed");
+}
