@@ -23,6 +23,13 @@
 //! --wire full|delta     RC wire format: full rows (default) or sparse
 //!                       improvement deltas (suffixes the pinned scenario
 //!                       name with `:wire=delta` so gating stays per-wire)
+//! --store plain|compressed
+//!                       graph storage backend for the pinned scenario:
+//!                       plain adjacency (default) or the compressed
+//!                       gap-coded store fed through external-memory
+//!                       ingest, with domain decomposition running on the
+//!                       compressed backend (suffixes the scenario name
+//!                       with `:store=compressed`)
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -60,6 +67,33 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// RC wire format (`--wire full|delta`).
     pub wire: WireFormat,
+    /// Graph storage backend for the pinned scenario
+    /// (`--store plain|compressed`).
+    pub store: StoreBackend,
+}
+
+/// Which [`aaa_store::GraphStore`] backend the pinned scenario routes the
+/// graph through before the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// In-memory adjacency lists (the engine's native representation).
+    #[default]
+    Plain,
+    /// Compressed gap-coded store built via external-memory ingest; domain
+    /// decomposition runs directly on it.
+    Compressed,
+}
+
+impl std::str::FromStr for StoreBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "plain" => Ok(StoreBackend::Plain),
+            "compressed" => Ok(StoreBackend::Compressed),
+            other => Err(format!("--store wants plain|compressed, got {other}")),
+        }
+    }
 }
 
 impl Default for CommonArgs {
@@ -75,6 +109,7 @@ impl Default for CommonArgs {
             report: None,
             trace: None,
             wire: WireFormat::Full,
+            store: StoreBackend::Plain,
         }
     }
 }
@@ -125,11 +160,18 @@ impl CommonArgs {
                         std::process::exit(2);
                     })
                 }
+                "--store" => {
+                    out.store = take("--store").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
                          [--checkpoint-every N] [--fault R@S] [--chaos seed:rate] \
-                         [--report path] [--trace path] [--wire full|delta]"
+                         [--report path] [--trace path] [--wire full|delta] \
+                         [--store plain|compressed]"
                     );
                     std::process::exit(0);
                 }

@@ -12,7 +12,7 @@
 //! real behavioral change.
 
 use crate::experiments::{addition_batch, base_graph};
-use crate::CommonArgs;
+use crate::{CommonArgs, StoreBackend};
 use aaa_core::quality::QualityTracker;
 use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, WireFormat};
 use aaa_observe::{
@@ -44,13 +44,47 @@ pub fn maybe_observe(scenario: &str, args: &CommonArgs) {
 /// Runs the pinned scenario and returns its report plus the rendered
 /// Chrome trace. Fully deterministic in everything the perf gate checks:
 /// sequential execution, seeded graph and batch, fixed step structure.
+///
+/// With `--store compressed` the graph first round-trips through the
+/// compressed store (external-memory ingest with a deliberately tiny spill
+/// budget) and domain decomposition runs on the compressed backend; the
+/// scenario name gains a `:store=compressed` suffix so it gates against
+/// its own committed baseline.
 pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     let sink = Arc::new(MemorySink::new());
     let mut config = EngineConfig::deterministic(args.procs);
     config.wire = args.wire;
     let g = base_graph(args);
-    let mut engine =
-        AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
+    let mut engine = match args.store {
+        StoreBackend::Plain => {
+            AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction")
+        }
+        StoreBackend::Compressed => {
+            use aaa_partition::{MultilevelPartitioner, Partitioner};
+            // External ingest: edges spill through a small budget, the
+            // merged arc stream builds the compressed store, and the
+            // multilevel partitioner runs directly on it. The partitioners
+            // are backend-independent, so the assignment — and with it
+            // every gated metric — is an exact function of the scenario.
+            let dir = std::env::temp_dir().join(format!(
+                "aaa-store-pinned-{}-{}",
+                std::process::id(),
+                args.seed
+            ));
+            let arcs = aaa_store::sort_edges(&dir, 1 << 16, g.edges()).expect("external ingest");
+            let compressed =
+                aaa_store::CompressedGraph::from_sorted_arcs(g.num_vertices(), false, arcs)
+                    .expect("compressed build");
+            let _ = std::fs::remove_dir_all(&dir);
+            let part = MultilevelPartitioner::seeded(0)
+                .partition(&compressed, args.procs)
+                .expect("partition on compressed backend");
+            let mut e = AnytimeEngine::with_partition(g.clone(), part, config)
+                .expect("engine construction");
+            e.set_sink(sink.clone());
+            e
+        }
+    };
 
     // Phase 1: partial static convergence (the anytime prefix).
     for _ in 0..STEPS_BEFORE_BATCH {
@@ -87,13 +121,16 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     }
 
     let events = sink.drain();
-    // Per-wire scenario names: `perfgate` refuses to compare reports from
-    // different scenarios, so each wire format gates against its own
-    // committed baseline.
-    let name = match args.wire {
+    // Per-wire (and per-backend) scenario names: `perfgate` refuses to
+    // compare reports from different scenarios, so each wire format and
+    // storage backend gates against its own committed baseline.
+    let mut name = match args.wire {
         WireFormat::Full => format!("{scenario}:pinned"),
         WireFormat::Delta => format!("{scenario}:pinned:wire=delta"),
     };
+    if args.store == StoreBackend::Compressed {
+        name.push_str(":store=compressed");
+    }
     let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
@@ -297,6 +334,26 @@ mod tests {
         assert!(tally.epochs > a.rc_steps, "construction + per-step + per-drain epochs");
         let last = a.final_quality().expect("quality sampled");
         assert!(last.error < 1e-6, "converged run matches exact closeness");
+    }
+
+    /// Routing the graph through the compressed store (external ingest +
+    /// DD on the compressed backend) must not change a single gated
+    /// metric: the backends yield identical sorted successor lists, so the
+    /// partition — and everything downstream — is the same.
+    #[test]
+    fn compressed_store_scenario_matches_plain_gated_metrics() {
+        let plain = small_args();
+        let store = CommonArgs { store: crate::StoreBackend::Compressed, ..small_args() };
+        let (a, _) = observed_run("unit", &plain);
+        let (b, _) = observed_run("unit", &store);
+        assert_eq!(b.scenario, "unit:pinned:store=compressed");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.collectives, b.collectives);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.quality, b.quality);
     }
 
     /// The pinned scenario includes a vertex-addition batch, so it is the

@@ -223,11 +223,54 @@ impl AnytimeEngine {
         config: EngineConfig,
         sink: Arc<dyn EventSink>,
     ) -> Result<Self, CoreError> {
+        Self::build(graph, None, config, sink)
+    }
+
+    /// [`AnytimeEngine::new`] with an externally computed partition: the
+    /// domain-decomposition phase ran out-of-band — typically directly on a
+    /// compressed on-disk [`aaa_store::GraphStore`] backend, where the
+    /// partitioners operate without materializing an in-memory adjacency —
+    /// and the engine adopts its assignment instead of running
+    /// [`EngineConfig::dd`]. The partition must cover exactly the graph's
+    /// vertices with `k == config.procs`.
+    pub fn with_partition(
+        graph: AdjGraph,
+        partition: Partition,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        Self::build(graph, Some(partition), config, Arc::new(NoopSink))
+    }
+
+    fn build(
+        graph: AdjGraph,
+        external: Option<Partition>,
+        config: EngineConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<Self, CoreError> {
         if config.procs == 0 {
             return Err(CoreError::Config("procs must be ≥ 1".into()));
         }
         let dd_started = std::time::Instant::now();
-        let partition = config.dd.partition(&graph, config.procs)?;
+        let partition = match external {
+            Some(p) => {
+                if p.len() != graph.num_vertices() {
+                    return Err(CoreError::Config(format!(
+                        "external partition covers {} vertices, graph has {}",
+                        p.len(),
+                        graph.num_vertices()
+                    )));
+                }
+                if p.k() != config.procs {
+                    return Err(CoreError::Config(format!(
+                        "external partition has k = {}, config.procs = {}",
+                        p.k(),
+                        config.procs
+                    )));
+                }
+                p
+            }
+            None => config.dd.partition(&graph, config.procs)?,
+        };
         let dd_us = dd_started.elapsed().as_secs_f64() * 1e6;
         let owner: Vec<PartId> = partition.assignment().to_vec();
         let states: Vec<RankState> = (0..config.procs)

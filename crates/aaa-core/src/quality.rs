@@ -6,10 +6,10 @@
 //! the exact values for the current graph and records the error per RC step.
 
 use aaa_graph::apsp::DistMatrix;
-use aaa_graph::closeness::{closeness_exact, closeness_from_row, mean_relative_error, top_k};
-use aaa_graph::{AdjGraph, Csr, Dist, INF};
+use aaa_graph::closeness::{closeness_from_row, mean_relative_error, top_k};
+use aaa_graph::{Dist, INF};
 use aaa_runtime::{ClusterError, FaultCounters};
-use std::collections::VecDeque;
+use aaa_store::{algo, GraphStore};
 use std::fmt;
 
 /// One quality sample.
@@ -35,9 +35,10 @@ pub struct QualityTracker {
 impl QualityTracker {
     /// Computes the exact reference for `graph` (Θ(n·(m+n log n)) — meant
     /// for evaluation harnesses, not production paths). `k` sets the
-    /// top-k recall metric (clamped to `n`).
-    pub fn new(graph: &AdjGraph, k: usize) -> Self {
-        let exact = closeness_exact(&Csr::from_adj(graph));
+    /// top-k recall metric (clamped to `n`). Works on any storage backend;
+    /// the reference values are bit-identical across backends.
+    pub fn new<G: GraphStore + Sync>(graph: &G, k: usize) -> Self {
+        let exact = algo::closeness_exact(graph);
         let k = k.min(exact.len()).max(1.min(exact.len()));
         let exact_top = top_k(&exact, k);
         Self { exact, exact_top, k, samples: Vec::new() }
@@ -150,23 +151,6 @@ impl DegradedReport {
     }
 }
 
-/// Unit-weight BFS hop counts from `src` (`u32::MAX` = unreachable).
-fn hops_from(graph: &AdjGraph, src: u32) -> Vec<u32> {
-    let mut hops = vec![u32::MAX; graph.num_vertices()];
-    hops[src as usize] = 0;
-    let mut q = VecDeque::from([src]);
-    while let Some(v) = q.pop_front() {
-        let h = hops[v as usize] + 1;
-        for &(t, _) in graph.neighbors(v) {
-            if hops[t as usize] == u32::MAX {
-                hops[t as usize] = h;
-                q.push_back(t);
-            }
-        }
-    }
-    hops
-}
-
 /// Per-vertex certified bounds on `|exact − estimate|` closeness, from the
 /// engine's current DV matrix and the (driver-known) graph structure.
 ///
@@ -183,13 +167,13 @@ fn hops_from(graph: &AdjGraph, src: u32) -> Vec<u32> {
 /// The bound is `max(c_est − c_lo, c_hi − c_est)`, clamped at 0. Rows that
 /// miss a reachable vertex (or carry an entry BFS says is unreachable —
 /// impossible unless state was corrupted) get the conservative `c_lo = 0`.
-pub fn degraded_closeness_bounds(graph: &AdjGraph, rows: &DistMatrix) -> Vec<f64> {
+pub fn degraded_closeness_bounds<G: GraphStore>(graph: &G, rows: &DistMatrix) -> Vec<f64> {
     let n = graph.num_vertices();
     assert_eq!(rows.n(), n, "distance matrix does not match the graph");
-    let w_min = graph.edges().map(|(_, _, w)| w).min().unwrap_or(1).max(1) as u64;
+    let w_min = aaa_store::edges(graph).map(|(_, _, w)| w).min().unwrap_or(1).max(1) as u64;
     (0..n as u32)
         .map(|v| {
-            let hops = hops_from(graph, v);
+            let hops = algo::bfs_hops(graph, v);
             let row = rows.row(v);
             let mut lower_sum = 0u64;
             let mut covered = true;
@@ -254,12 +238,13 @@ pub struct CertifiedBoundsCache {
 }
 
 impl CertifiedBoundsCache {
-    /// Builds the cache for the current graph (n BFS traversals).
-    pub fn new(graph: &AdjGraph) -> Self {
+    /// Builds the cache for the current graph (n BFS traversals). Works on
+    /// any storage backend.
+    pub fn new<G: GraphStore>(graph: &G) -> Self {
         let n = graph.num_vertices();
         let mut w_min = u64::MAX;
         let mut w_max = 1u64;
-        for (_, _, w) in graph.edges() {
+        for (_, _, w) in aaa_store::edges(graph) {
             w_min = w_min.min(w as u64);
             w_max = w_max.max(w as u64);
         }
@@ -268,7 +253,7 @@ impl CertifiedBoundsCache {
         }
         let mut hops = Vec::with_capacity(n * n);
         for v in 0..n as u32 {
-            hops.extend(hops_from(graph, v));
+            hops.extend(algo::bfs_hops(graph, v));
         }
         Self { n, w_min, w_max, hops }
     }
@@ -306,7 +291,9 @@ impl CertifiedBoundsCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aaa_graph::closeness::closeness_exact;
     use aaa_graph::generators::{barabasi_albert, WeightModel};
+    use aaa_graph::{AdjGraph, Csr};
 
     #[test]
     fn tracker_records_and_checks_monotonicity() {

@@ -13,7 +13,9 @@ use crate::{GraphError, VertexId, Weight};
 /// * no self-loops,
 /// * no parallel edges (at most one `(u, v)` entry),
 /// * symmetric adjacency: `v ∈ adj(u)` iff `u ∈ adj(v)` with equal weight,
-/// * all edge weights are strictly positive.
+/// * all edge weights are strictly positive,
+/// * each neighbor list is sorted by target id, so every backend
+///   (adjacency, CSR, compressed) yields the same successor order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AdjGraph {
     adj: Vec<Vec<(VertexId, Weight)>>,
@@ -71,6 +73,13 @@ impl AdjGraph {
         }
     }
 
+    /// Position of `t` in the sorted neighbor list of `v`: `Ok(i)` if
+    /// present at `i`, `Err(i)` with the insertion point otherwise.
+    #[inline]
+    fn neighbor_pos(&self, v: VertexId, t: VertexId) -> Result<usize, usize> {
+        self.adj[v as usize].binary_search_by_key(&t, |&(n, _)| n)
+    }
+
     /// Adds the undirected edge `(u, v)` with weight `w`.
     ///
     /// Rejects self-loops, duplicates, zero weights and out-of-range ids.
@@ -83,11 +92,14 @@ impl AdjGraph {
         if w == 0 {
             return Err(GraphError::ZeroWeight { u, v });
         }
-        if self.has_edge(u, v) {
+        let Err(i) = self.neighbor_pos(u, v) else {
             return Err(GraphError::DuplicateEdge { u, v });
-        }
-        self.adj[u as usize].push((v, w));
-        self.adj[v as usize].push((u, w));
+        };
+        let Err(j) = self.neighbor_pos(v, u) else {
+            return Err(GraphError::DuplicateEdge { u, v });
+        };
+        self.adj[u as usize].insert(i, (v, w));
+        self.adj[v as usize].insert(j, (u, w));
         self.num_edges += 1;
         Ok(())
     }
@@ -111,9 +123,7 @@ impl AdjGraph {
         }
         match self.edge_weight(u, v) {
             None => {
-                self.adj[u as usize].push((v, w));
-                self.adj[v as usize].push((u, w));
-                self.num_edges += 1;
+                self.add_edge(u, v, w)?;
                 Ok(true)
             }
             Some(old) if w < old => {
@@ -128,12 +138,10 @@ impl AdjGraph {
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
-        let pos_u = self.adj[u as usize].iter().position(|&(t, _)| t == v);
-        let pos_v = self.adj[v as usize].iter().position(|&(t, _)| t == u);
-        match (pos_u, pos_v) {
-            (Some(i), Some(j)) => {
-                self.adj[u as usize].swap_remove(i);
-                self.adj[v as usize].swap_remove(j);
+        match (self.neighbor_pos(u, v), self.neighbor_pos(v, u)) {
+            (Ok(i), Ok(j)) => {
+                self.adj[u as usize].remove(i);
+                self.adj[v as usize].remove(j);
                 self.num_edges -= 1;
                 Ok(())
             }
@@ -148,10 +156,8 @@ impl AdjGraph {
         if w == 0 {
             return Err(GraphError::ZeroWeight { u, v });
         }
-        let pos_u = self.adj[u as usize].iter().position(|&(t, _)| t == v);
-        let pos_v = self.adj[v as usize].iter().position(|&(t, _)| t == u);
-        match (pos_u, pos_v) {
-            (Some(i), Some(j)) => {
+        match (self.neighbor_pos(u, v), self.neighbor_pos(v, u)) {
+            (Ok(i), Ok(j)) => {
                 self.adj[u as usize][i].1 = w;
                 self.adj[v as usize][j].1 = w;
                 Ok(())
@@ -160,20 +166,31 @@ impl AdjGraph {
         }
     }
 
-    /// True if the edge `(u, v)` exists. O(deg(u)).
+    /// True if the edge `(u, v)` exists. O(log deg(u)).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adj.get(u as usize).is_some_and(|l| l.iter().any(|&(t, _)| t == v))
+        self.adj.get(u as usize).is_some_and(|l| l.binary_search_by_key(&v, |&(n, _)| n).is_ok())
     }
 
-    /// Weight of edge `(u, v)` if present.
+    /// Weight of edge `(u, v)` if present. O(log deg(u)).
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.adj.get(u as usize).and_then(|l| l.iter().find(|&&(t, _)| t == v).map(|&(_, w)| w))
+        let l = self.adj.get(u as usize)?;
+        l.binary_search_by_key(&v, |&(n, _)| n).ok().map(|i| l[i].1)
     }
 
-    /// Neighbors of `v` with weights. Panics on out-of-range `v`.
+    /// Neighbors of `v` with weights, sorted by neighbor id. Panics on
+    /// out-of-range `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[(VertexId, Weight)] {
         &self.adj[v as usize]
+    }
+
+    /// Heap bytes held by the adjacency structure (capacity, not length, so
+    /// over-allocation is visible). Used for the bytes/edge comparison
+    /// across graph backends.
+    pub fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(VertexId, Weight)>();
+        let header = std::mem::size_of::<Vec<(VertexId, Weight)>>();
+        self.adj.capacity() * header + self.adj.iter().map(|l| l.capacity() * entry).sum::<usize>()
     }
 
     /// Degree of `v`.
@@ -233,6 +250,9 @@ impl AdjGraph {
         let n = self.adj.len();
         let mut directed = 0usize;
         for (u, l) in self.adj.iter().enumerate() {
+            if !l.windows(2).all(|p| p[0].0 < p[1].0) {
+                return Err(format!("neighbor list of {u} is not sorted by id"));
+            }
             let mut seen = Vec::with_capacity(l.len());
             for &(v, w) in l {
                 if v as usize >= n {
@@ -360,6 +380,31 @@ mod tests {
         assert_eq!(sub.edge_weight(0, 1), Some(3));
         assert_eq!(map, vec![2, 0]);
         sub.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted() {
+        let mut g = AdjGraph::with_vertices(6);
+        // Insert around vertex 0 in scrambled order; list must come out sorted.
+        for v in [4, 1, 5, 2, 3] {
+            g.add_edge(0, v, v).unwrap();
+        }
+        assert_eq!(g.neighbors(0), &[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
+        // Order-preserving removal keeps the invariant.
+        g.remove_edge(0, 3).unwrap();
+        assert_eq!(g.neighbors(0), &[(1, 1), (2, 2), (4, 4), (5, 5)]);
+        g.add_or_min_edge(0, 3, 7).unwrap();
+        assert_eq!(g.neighbors(0).iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_bytes_tracks_entries() {
+        let g = triangle();
+        // At least 6 directed entries of 8 bytes plus 3 Vec headers.
+        assert!(g.memory_bytes() >= 6 * 8);
+        let empty = AdjGraph::new();
+        assert_eq!(empty.memory_bytes(), 0);
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub mod simple;
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 pub use quality::{boundary_vertices, cut_edges, cut_weight, edge_balance, vertex_balance};
 
-use aaa_graph::{AdjGraph, PartId, VertexId};
+use aaa_graph::{PartId, VertexId};
+use aaa_store::GraphStore;
 use std::fmt;
 
 /// A k-way assignment of vertices to parts (processors).
@@ -140,11 +141,12 @@ impl fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
-/// A graph partitioner.
+/// A graph partitioner. Generic over the storage backend so domain
+/// decomposition can run directly on a compressed on-disk graph.
 pub trait Partitioner {
     /// Partitions `g` into `k` parts. Parts may be empty when
     /// `k > |V|`; implementations must still return a valid assignment.
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError>;
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError>;
 }
 
 #[cfg(test)]

@@ -100,7 +100,7 @@ mod tests {
             }
         }
         g.add_edge(0, 6, 1).unwrap();
-        WGraph::from_adj(&g)
+        WGraph::from_store(&g)
     }
 
     #[test]
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn handles_isolated_vertices() {
-        let g = WGraph::from_adj(&AdjGraph::with_vertices(10));
+        let g = WGraph::from_store(&AdjGraph::with_vertices(10));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let label = greedy_graph_growing(&g, 4, &mut rng);
         assert!(label.iter().all(|&l| (l as usize) < 4));

@@ -53,7 +53,7 @@ mod tests {
         for &(u, v, w) in edges {
             g.add_edge(u, v, w).unwrap();
         }
-        WGraph::from_adj(&g)
+        WGraph::from_store(&g)
     }
 
     #[test]

@@ -21,7 +21,8 @@ mod wgraph;
 pub(crate) use wgraph::WGraph;
 
 use crate::{Partition, PartitionError, Partitioner};
-use aaa_graph::{AdjGraph, PartId};
+use aaa_graph::PartId;
+use aaa_store::GraphStore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -60,7 +61,7 @@ impl MultilevelPartitioner {
 }
 
 impl Partitioner for MultilevelPartitioner {
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError> {
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError> {
         if k == 0 {
             return Err(PartitionError::ZeroParts);
         }
@@ -77,7 +78,7 @@ impl Partitioner for MultilevelPartitioner {
 
         // --- Coarsening ---------------------------------------------------
         let mut levels: Vec<(WGraph, Vec<u32>)> = Vec::new(); // (finer graph, fine->coarse map)
-        let mut current = WGraph::from_adj(g);
+        let mut current = WGraph::from_store(g);
         let stop_at = (cfg.coarsen_to_per_part * k).max(64);
         while current.n() > stop_at {
             let map = matching::heavy_edge_matching(&current, &mut rng);
@@ -115,6 +116,7 @@ mod tests {
     use aaa_graph::generators::{
         barabasi_albert, planted_partition, PlantedPartition, WeightModel,
     };
+    use aaa_graph::AdjGraph;
 
     #[test]
     fn trivial_cases() {

@@ -121,7 +121,7 @@ mod tests {
             }
         }
         g.add_edge(0, 6, 1).unwrap();
-        let wg = WGraph::from_adj(&g);
+        let wg = WGraph::from_store(&g);
         // Swap two vertices across the natural split.
         let mut label: Vec<PartId> = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 0];
         let before = cut_of(&wg, &label);
@@ -140,7 +140,7 @@ mod tests {
         for leaf in 1..9 {
             g.add_edge(0, leaf, 10).unwrap();
         }
-        let wg = WGraph::from_adj(&g);
+        let wg = WGraph::from_store(&g);
         let mut label: Vec<PartId> = (0..9).map(|v| (v % 2) as PartId).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         refine(&wg, &mut label, 2, 5, 8, &mut rng);
@@ -151,12 +151,12 @@ mod tests {
 
     #[test]
     fn noop_on_single_part_or_empty() {
-        let wg = WGraph::from_adj(&AdjGraph::with_vertices(3));
+        let wg = WGraph::from_store(&AdjGraph::with_vertices(3));
         let mut label = vec![0 as PartId; 3];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         refine(&wg, &mut label, 1, 10, 4, &mut rng);
         assert_eq!(label, vec![0, 0, 0]);
-        let empty = WGraph::from_adj(&AdjGraph::new());
+        let empty = WGraph::from_store(&AdjGraph::new());
         let mut none: Vec<PartId> = vec![];
         refine(&empty, &mut none, 2, 10, 4, &mut rng);
     }
@@ -168,7 +168,7 @@ mod tests {
         let mut g = AdjGraph::with_vertices(3);
         g.add_edge(0, 1, 1).unwrap();
         g.add_edge(1, 2, 1).unwrap();
-        let wg = WGraph::from_adj(&g);
+        let wg = WGraph::from_store(&g);
         let mut label: Vec<PartId> = vec![0, 0, 1];
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         refine(&wg, &mut label, 2, 2, 16, &mut rng);

@@ -1,7 +1,7 @@
 //! Working representation for the multilevel hierarchy: a weighted graph
 //! with vertex weights (collapsed fine vertices) and combined edge weights.
 
-use aaa_graph::AdjGraph;
+use aaa_store::GraphStore;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
@@ -15,11 +15,11 @@ pub(crate) struct WGraph {
 }
 
 impl WGraph {
-    pub(crate) fn from_adj(g: &AdjGraph) -> Self {
+    pub(crate) fn from_store<G: GraphStore>(g: &G) -> Self {
         let n = g.num_vertices();
         let mut adj = vec![Vec::new(); n];
         for v in g.vertices() {
-            adj[v as usize] = g.neighbors(v).iter().map(|&(t, w)| (t, w as u64)).collect();
+            adj[v as usize] = g.successors(v).map(|(t, w)| (t, w as u64)).collect();
         }
         Self { vwgt: vec![1; n], adj }
     }
@@ -79,6 +79,7 @@ pub(crate) fn coarsen(fine: &WGraph, map: &[u32], parallel: bool) -> WGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aaa_graph::AdjGraph;
 
     fn path4() -> WGraph {
         // 0-1-2-3 path, unit weights.
@@ -86,11 +87,11 @@ mod tests {
         for i in 0..3 {
             g.add_edge(i, i + 1, 1).unwrap();
         }
-        WGraph::from_adj(&g)
+        WGraph::from_store(&g)
     }
 
     #[test]
-    fn from_adj_mirrors_structure() {
+    fn from_store_mirrors_structure() {
         let wg = path4();
         assert_eq!(wg.n(), 4);
         assert_eq!(wg.total_vwgt(), 4);
@@ -117,7 +118,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
             g.add_edge(u, v, 1).unwrap();
         }
-        let coarse = coarsen(&WGraph::from_adj(&g), &[0, 0, 1, 1], false);
+        let coarse = coarsen(&WGraph::from_store(&g), &[0, 0, 1, 1], false);
         assert_eq!(coarse.adj[0], vec![(1, 2)]);
     }
 
@@ -127,7 +128,7 @@ mod tests {
         for i in 0..99 {
             g.add_edge(i, i + 1, i % 5 + 1).unwrap();
         }
-        let wg = WGraph::from_adj(&g);
+        let wg = WGraph::from_store(&g);
         let map: Vec<u32> = (0..100).map(|v| v / 2).collect();
         let a = coarsen(&wg, &map, false);
         let b = coarsen(&wg, &map, true);

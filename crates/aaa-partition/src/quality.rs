@@ -6,23 +6,24 @@
 //! these functions.
 
 use crate::Partition;
-use aaa_graph::{AdjGraph, VertexId};
+use aaa_graph::VertexId;
+use aaa_store::{edges, GraphStore};
 
 /// Number of cut edges (edges whose endpoints lie in different parts).
-pub fn cut_edges(g: &AdjGraph, p: &Partition) -> usize {
-    g.edges().filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).count()
+pub fn cut_edges<G: GraphStore>(g: &G, p: &Partition) -> usize {
+    edges(g).filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).count()
 }
 
 /// Total weight of cut edges.
-pub fn cut_weight(g: &AdjGraph, p: &Partition) -> u64 {
-    g.edges().filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).map(|(_, _, w)| w as u64).sum()
+pub fn cut_weight<G: GraphStore>(g: &G, p: &Partition) -> u64 {
+    edges(g).filter(|&(u, v, _)| p.part_of(u) != p.part_of(v)).map(|(_, _, w)| w as u64).sum()
 }
 
 /// Per-part cut size: number of cut edges incident to each part.
 /// (The paper calls this the "cut-size of a sub-graph".)
-pub fn per_part_cut(g: &AdjGraph, p: &Partition) -> Vec<usize> {
+pub fn per_part_cut<G: GraphStore>(g: &G, p: &Partition) -> Vec<usize> {
     let mut cut = vec![0usize; p.k()];
-    for (u, v, _) in g.edges() {
+    for (u, v, _) in edges(g) {
         let (pu, pv) = (p.part_of(u), p.part_of(v));
         if pu != pv {
             cut[pu as usize] += 1;
@@ -51,12 +52,12 @@ pub fn vertex_balance(p: &Partition) -> f64 {
 /// Edge balance: `max part edge-endpoints / ideal`. Edges internal to a part
 /// count twice for that part; cut edges count once for each side. Gauges
 /// communication/computation skew from edge distribution.
-pub fn edge_balance(g: &AdjGraph, p: &Partition) -> f64 {
+pub fn edge_balance<G: GraphStore>(g: &G, p: &Partition) -> f64 {
     if g.num_edges() == 0 || p.k() == 0 {
         return 1.0;
     }
     let mut load = vec![0usize; p.k()];
-    for (u, v, _) in g.edges() {
+    for (u, v, _) in edges(g) {
         load[p.part_of(u) as usize] += 1;
         load[p.part_of(v) as usize] += 1;
     }
@@ -68,11 +69,11 @@ pub fn edge_balance(g: &AdjGraph, p: &Partition) -> f64 {
 /// Boundary vertices of each part: vertices with at least one neighbor in a
 /// different part. These are the vertices whose distance vectors are
 /// exchanged each recombination step.
-pub fn boundary_vertices(g: &AdjGraph, p: &Partition) -> Vec<Vec<VertexId>> {
+pub fn boundary_vertices<G: GraphStore>(g: &G, p: &Partition) -> Vec<Vec<VertexId>> {
     let mut out = vec![Vec::new(); p.k()];
     for v in g.vertices() {
         let pv = p.part_of(v);
-        if g.neighbors(v).iter().any(|&(t, _)| p.part_of(t) != pv) {
+        if g.successors(v).any(|(t, _)| p.part_of(t) != pv) {
             out[pv as usize].push(v);
         }
     }
@@ -95,6 +96,7 @@ pub fn new_cut_edges(p: &Partition, edges: &[(VertexId, VertexId)]) -> usize {
 mod tests {
     use super::*;
     use crate::Partition;
+    use aaa_graph::AdjGraph;
 
     fn square() -> AdjGraph {
         // 0-1, 1-2, 2-3, 3-0 (cycle)

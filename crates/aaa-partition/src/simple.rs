@@ -4,7 +4,8 @@
 //! assignment discipline behind the paper's RoundRobin-PS strategy.
 
 use crate::{Partition, PartitionError, Partitioner};
-use aaa_graph::{AdjGraph, PartId};
+use aaa_graph::PartId;
+use aaa_store::GraphStore;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -13,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 pub struct BlockPartitioner;
 
 impl Partitioner for BlockPartitioner {
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError> {
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError> {
         if k == 0 {
             return Err(PartitionError::ZeroParts);
         }
@@ -29,7 +30,7 @@ impl Partitioner for BlockPartitioner {
 pub struct RoundRobinPartitioner;
 
 impl Partitioner for RoundRobinPartitioner {
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError> {
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError> {
         if k == 0 {
             return Err(PartitionError::ZeroParts);
         }
@@ -43,7 +44,7 @@ impl Partitioner for RoundRobinPartitioner {
 pub struct HashPartitioner;
 
 impl Partitioner for HashPartitioner {
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError> {
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError> {
         if k == 0 {
             return Err(PartitionError::ZeroParts);
         }
@@ -67,7 +68,7 @@ pub struct RandomPartitioner {
 }
 
 impl Partitioner for RandomPartitioner {
-    fn partition(&self, g: &AdjGraph, k: usize) -> Result<Partition, PartitionError> {
+    fn partition<G: GraphStore>(&self, g: &G, k: usize) -> Result<Partition, PartitionError> {
         if k == 0 {
             return Err(PartitionError::ZeroParts);
         }
@@ -82,8 +83,8 @@ mod tests {
     use super::*;
     use crate::vertex_balance;
 
-    fn graph(n: usize) -> AdjGraph {
-        AdjGraph::with_vertices(n)
+    fn graph(n: usize) -> aaa_graph::AdjGraph {
+        aaa_graph::AdjGraph::with_vertices(n)
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Graph algorithms generic over any [`GraphStore`] backend.
+//!
+//! These mirror the CSR reference kernels in `aaa-graph::sssp` /
+//! `aaa-graph::closeness` exactly — distances are integers and closeness
+//! reuses [`aaa_graph::closeness::closeness_from_row`], so every backend
+//! produces bit-identical results (the equivalence suite relies on this).
+
+use crate::GraphStore;
+use aaa_graph::closeness::closeness_from_row;
+use aaa_graph::{dist_add, Dist, VertexId, INF};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// BFS hop counts from `source` (`INF` when unreachable).
+pub fn bfs_hops<G: GraphStore>(g: &G, source: VertexId) -> Vec<Dist> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for (t, _) in g.successors(v) {
+            if dist[t as usize] == INF {
+                dist[t as usize] = d + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra from `source`, writing into a caller-provided buffer (reset to
+/// `INF`); the hot loop for closeness over any backend.
+pub fn dijkstra_into<G: GraphStore>(g: &G, source: VertexId, dist: &mut [Dist]) {
+    debug_assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(INF);
+    if g.num_vertices() == 0 {
+        return;
+    }
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (t, w) in g.successors(v) {
+            let nd = dist_add(d, w as Dist);
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse((nd, t)));
+            }
+        }
+    }
+}
+
+/// Dijkstra from `source` over any backend.
+pub fn dijkstra<G: GraphStore>(g: &G, source: VertexId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_vertices()];
+    dijkstra_into(g, source, &mut dist);
+    dist
+}
+
+/// Exact closeness of every vertex via parallel per-source Dijkstra.
+/// Matches `aaa_graph::closeness::closeness_exact` value-for-value.
+pub fn closeness_exact<G: GraphStore + Sync>(g: &G) -> Vec<f64> {
+    let n = g.num_vertices();
+    (0..n)
+        .into_par_iter()
+        .map_init(
+            || vec![INF; n],
+            |buf, s| {
+                dijkstra_into(g, s as VertexId, buf);
+                closeness_from_row(buf)
+            },
+        )
+        .collect()
+}
+
+/// Worklist (Bellman-Ford-style) single-source relaxation to a fixed point.
+///
+/// This is the anytime-convergence kernel used on graphs too large for the
+/// engine's dense distance-vector state: each round relaxes the frontier of
+/// vertices whose distance improved, and the fixed point equals the
+/// Dijkstra distances. Returns `(distances, rounds)`.
+pub fn sssp_fixed_point<G: GraphStore>(g: &G, source: VertexId) -> (Vec<Dist>, usize) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if n == 0 {
+        return (dist, 0);
+    }
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut queued = vec![false; n];
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            queued[v as usize] = false;
+            let d = dist[v as usize];
+            for (t, w) in g.successors(v) {
+                let nd = dist_add(d, w as Dist);
+                if nd < dist[t as usize] {
+                    dist[t as usize] = nd;
+                    if !queued[t as usize] {
+                        queued[t as usize] = true;
+                        next.push(t);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    (dist, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressedGraph;
+    use aaa_graph::AdjGraph;
+
+    fn weighted_sample() -> AdjGraph {
+        let mut g = AdjGraph::with_vertices(6);
+        for (u, v, w) in [(0, 1, 1), (1, 2, 1), (0, 2, 5), (2, 3, 2), (4, 5, 1)] {
+            g.add_edge(u, v, w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn matches_csr_reference_kernels() {
+        let g = weighted_sample();
+        let csr = aaa_graph::Csr::from_adj(&g);
+        for s in 0..6 {
+            assert_eq!(dijkstra(&g, s), aaa_graph::sssp::dijkstra(&csr, s));
+            assert_eq!(bfs_hops(&g, s), aaa_graph::sssp::bfs(&csr, s));
+        }
+        assert_eq!(closeness_exact(&g), aaa_graph::closeness::closeness_exact(&csr));
+    }
+
+    #[test]
+    fn fixed_point_equals_dijkstra_on_all_backends() {
+        let g = weighted_sample();
+        let c = CompressedGraph::from_store(&g).unwrap();
+        for s in 0..6 {
+            let exact = dijkstra(&g, s);
+            let (fp, rounds) = sssp_fixed_point(&c, s);
+            assert_eq!(fp, exact, "source {s}");
+            assert!(rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjGraph::new();
+        assert!(dijkstra(&g, 0).is_empty());
+        assert!(bfs_hops(&g, 0).is_empty());
+        assert_eq!(sssp_fixed_point(&g, 0).1, 0);
+    }
+}

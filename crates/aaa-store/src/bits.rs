@@ -1,0 +1,259 @@
+//! MSB-first bitstream with instantaneous codes (unary, Elias γ, Elias δ).
+//!
+//! These are the classic WebGraph successor-list codes: γ for small values
+//! (degrees, weights), δ for gaps whose distribution has a heavier tail.
+//! Both are prefix-free, so rows decode with no length framing beyond the
+//! bit offset of the row start.
+
+/// Appends bits MSB-first into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    cur: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        self.buf.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first. `n ≤ 56`.
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 56, "write_bits supports at most 56 bits per call");
+        debug_assert!(n == 64 || v < (1u64 << n));
+        self.cur = (self.cur << n) | v;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.buf.push((self.cur >> self.nbits) as u8);
+        }
+    }
+
+    /// Writes `k` zero bits followed by a one bit (unary code for `k`).
+    pub fn write_unary(&mut self, mut k: u32) {
+        while k >= 32 {
+            self.write_bits(0, 32);
+            k -= 32;
+        }
+        self.write_bits(1, k + 1);
+    }
+
+    /// Elias γ code for `x ≥ 1`: `L-1` zeros then the `L` bits of `x`.
+    pub fn write_gamma(&mut self, x: u64) {
+        debug_assert!(x >= 1);
+        let len = 64 - x.leading_zeros();
+        self.write_unary(len - 1);
+        if len > 1 {
+            self.write_bits(x & !(1u64 << (len - 1)), len - 1);
+        }
+    }
+
+    /// Elias δ code for `x ≥ 1`: γ code of the bit length, then the
+    /// remaining `L-1` bits of `x`.
+    pub fn write_delta(&mut self, x: u64) {
+        debug_assert!(x >= 1);
+        let len = 64 - x.leading_zeros();
+        self.write_gamma(len as u64);
+        if len > 1 {
+            self.write_bits(x & !(1u64 << (len - 1)), len - 1);
+        }
+    }
+
+    /// Flushes the final partial byte (zero-padded) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.cur <<= pad;
+            self.buf.push(self.cur as u8);
+            self.nbits = 0;
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice. All reads return `None` past the
+/// end of the slice instead of panicking, so corrupt streams surface as
+/// typed errors in the callers.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    cur: u64,
+    avail: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader positioned at `bit_offset` bits into `data`.
+    pub fn new_at(data: &'a [u8], bit_offset: u64) -> Self {
+        let mut r = Self { data, pos: (bit_offset / 8) as usize, cur: 0, avail: 0 };
+        let skip = (bit_offset % 8) as u32;
+        if skip > 0 {
+            r.read_bits(skip);
+        }
+        r
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.avail <= 56 && self.pos < self.data.len() {
+            self.cur = (self.cur << 8) | self.data[self.pos] as u64;
+            self.pos += 1;
+            self.avail += 8;
+        }
+    }
+
+    /// Reads `n ≤ 56` bits; `None` if the stream is exhausted.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        self.refill();
+        if self.avail < n {
+            return None;
+        }
+        self.avail -= n;
+        Some((self.cur >> self.avail) & ((1u64 << n) - 1))
+    }
+
+    /// Reads a unary code: the number of zeros before the next one bit.
+    pub fn read_unary(&mut self) -> Option<u32> {
+        let mut count = 0u32;
+        loop {
+            self.refill();
+            if self.avail == 0 {
+                return None;
+            }
+            let window = self.cur << (64 - self.avail);
+            let lz = window.leading_zeros().min(self.avail);
+            if lz < self.avail {
+                self.avail -= lz + 1;
+                return Some(count + lz);
+            }
+            count += lz;
+            self.avail = 0;
+        }
+    }
+
+    /// Reads an Elias γ code.
+    pub fn read_gamma(&mut self) -> Option<u64> {
+        let z = self.read_unary()?;
+        if z == 0 {
+            return Some(1);
+        }
+        Some((1u64 << z) | self.read_bits(z)?)
+    }
+
+    /// Reads an Elias δ code.
+    pub fn read_delta(&mut self) -> Option<u64> {
+        let len = self.read_gamma()?;
+        if len == 0 || len > 57 {
+            return None;
+        }
+        if len == 1 {
+            return Some(1);
+        }
+        Some((1u64 << (len - 1)) | self.read_bits(len as u32 - 1)?)
+    }
+}
+
+/// Maps a signed value onto the non-negatives: 0, -1, 1, -2, … → 0, 1, 2, 3…
+#[inline]
+pub fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0x3FFF, 14);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new_at(&bytes, 0);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(14), Some(0x3FFF));
+        assert_eq!(r.read_bits(1), Some(1));
+    }
+
+    #[test]
+    fn gamma_delta_round_trip() {
+        let values: Vec<u64> =
+            (1..100).chain([127, 128, 255, 1024, 1 << 20, (1 << 33) + 12345]).collect();
+        let mut w = BitWriter::new();
+        for &x in &values {
+            w.write_gamma(x);
+            w.write_delta(x);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new_at(&bytes, 0);
+        for &x in &values {
+            assert_eq!(r.read_gamma(), Some(x), "gamma {x}");
+            assert_eq!(r.read_delta(), Some(x), "delta {x}");
+        }
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        let mut w = BitWriter::new();
+        for k in [0u32, 1, 7, 31, 32, 33, 100] {
+            w.write_unary(k);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new_at(&bytes, 0);
+        for k in [0u32, 1, 7, 31, 32, 33, 100] {
+            assert_eq!(r.read_unary(), Some(k));
+        }
+    }
+
+    #[test]
+    fn reads_at_offset() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 5);
+        w.write_gamma(42);
+        let bytes = w.finish();
+        let mut r = BitReader::new_at(&bytes, 5);
+        assert_eq!(r.read_gamma(), Some(42));
+    }
+
+    #[test]
+    fn exhausted_stream_returns_none() {
+        let bytes = BitWriter::new().finish();
+        let mut r = BitReader::new_at(&bytes, 0);
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.read_unary(), None);
+        assert_eq!(r.read_gamma(), None);
+        assert_eq!(r.read_delta(), None);
+        // A lone byte can't satisfy a 9-bit read.
+        let mut r = BitReader::new_at(&[0xAB], 0);
+        assert_eq!(r.read_bits(9), None);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for n in [-1_000_000i64, -2, -1, 0, 1, 2, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

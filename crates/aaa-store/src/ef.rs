@@ -1,0 +1,252 @@
+//! Elias-Fano encoding of monotone sequences, used for the per-vertex bit
+//! offsets of the compressed successor data.
+//!
+//! A sequence of `n` values bounded by `u` takes `n·(2 + ⌈log₂(u/n)⌉)` bits:
+//! the low `l` bits of each value are stored packed, the high parts as a
+//! unary-coded bitvector. Random access (`get(i)`) needs `select₁(i)` on the
+//! high bits, answered through a sampled select directory.
+
+use crate::error::StoreError;
+
+/// Distance between sampled ones in the select directory.
+const SELECT_SAMPLE: usize = 64;
+
+/// An immutable Elias-Fano–coded monotone sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliasFano {
+    n: usize,
+    universe: u64,
+    low_bits: u32,
+    lower: Vec<u64>,
+    upper: Vec<u64>,
+    /// Bit position in `upper` of every `SELECT_SAMPLE`-th one.
+    samples: Vec<u64>,
+}
+
+impl EliasFano {
+    /// Encodes a non-decreasing sequence. `universe` must be ≥ the last
+    /// value (and is stored so `from_bytes` can rebuild identically).
+    pub fn encode(values: &[u64], universe: u64) -> Self {
+        let n = values.len();
+        let low_bits = if n == 0 {
+            0
+        } else {
+            let ratio = (universe + 1) / n as u64;
+            if ratio <= 1 {
+                0
+            } else {
+                63 - ratio.leading_zeros()
+            }
+        };
+        let mut lower = vec![0u64; (n as u64 * low_bits as u64).div_ceil(64) as usize];
+        let upper_bits = n as u64 + (universe >> low_bits) + 1;
+        let mut upper = vec![0u64; upper_bits.div_ceil(64) as usize];
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v >= prev, "sequence must be non-decreasing");
+            debug_assert!(v <= universe);
+            prev = v;
+            if low_bits > 0 {
+                let low = v & ((1u64 << low_bits) - 1);
+                let bit = i as u64 * low_bits as u64;
+                let (word, off) = ((bit / 64) as usize, bit % 64);
+                lower[word] |= low << off;
+                if off + low_bits as u64 > 64 {
+                    lower[word + 1] |= low >> (64 - off);
+                }
+            }
+            let pos = (v >> low_bits) + i as u64;
+            upper[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+        let samples = build_samples(&upper, n);
+        Self { n, universe, low_bits, lower, upper, samples }
+    }
+
+    /// Number of encoded values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no values are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The `i`-th value. Panics if `i ≥ len()`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.n, "index {i} out of range ({} values)", self.n);
+        let high = self.select(i) - i as u64;
+        (high << self.low_bits) | self.low(i)
+    }
+
+    #[inline]
+    fn low(&self, i: usize) -> u64 {
+        if self.low_bits == 0 {
+            return 0;
+        }
+        let bit = i as u64 * self.low_bits as u64;
+        let (word, off) = ((bit / 64) as usize, bit % 64);
+        let mut v = self.lower[word] >> off;
+        if off + self.low_bits as u64 > 64 {
+            v |= self.lower[word + 1] << (64 - off);
+        }
+        v & ((1u64 << self.low_bits) - 1)
+    }
+
+    /// Bit position of the `i`-th one in `upper`.
+    fn select(&self, i: usize) -> u64 {
+        let sample = i / SELECT_SAMPLE;
+        let mut pos = self.samples[sample];
+        let mut remaining = (i - sample * SELECT_SAMPLE) as u32;
+        // Skip the sampled one itself, then scan word by word.
+        let mut word_idx = (pos / 64) as usize;
+        let mut word = self.upper[word_idx] & !((1u64 << (pos % 64)) - 1);
+        loop {
+            let ones = word.count_ones();
+            if ones > remaining {
+                // The target one is in this word.
+                let mut w = word;
+                for _ in 0..remaining {
+                    w &= w - 1; // clear lowest set bit
+                }
+                pos = word_idx as u64 * 64 + w.trailing_zeros() as u64;
+                return pos;
+            }
+            remaining -= ones;
+            word_idx += 1;
+            word = self.upper[word_idx];
+        }
+    }
+
+    /// Heap bytes held by the index.
+    pub fn memory_bytes(&self) -> usize {
+        (self.lower.capacity() + self.upper.capacity() + self.samples.capacity()) * 8
+    }
+
+    /// Serializes to a self-describing little-endian byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + (self.lower.len() + self.upper.len()) * 8);
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&self.universe.to_le_bytes());
+        out.extend_from_slice(&(self.low_bits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.lower.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.upper.len() as u64).to_le_bytes());
+        for w in self.lower.iter().chain(&self.upper) {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a [`EliasFano::to_bytes`] layout. The select directory
+    /// is rebuilt, not stored.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let word = |i: usize| -> Result<u64, StoreError> {
+            let s = bytes.get(i * 8..i * 8 + 8).ok_or(StoreError::Truncated {
+                expected: (i as u64 + 1) * 8,
+                found: bytes.len() as u64,
+            })?;
+            Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+        };
+        let n = word(0)? as usize;
+        let universe = word(1)?;
+        let low_bits = word(2)? as u32;
+        let lower_len = word(3)? as usize;
+        let upper_len = word(4)? as usize;
+        if low_bits > 63 {
+            return Err(StoreError::CrcMismatch { section: "offsets" });
+        }
+        let need = 5usize
+            .checked_add(lower_len)
+            .and_then(|x| x.checked_add(upper_len))
+            .and_then(|x| x.checked_mul(8))
+            .ok_or(StoreError::Truncated { expected: u64::MAX, found: bytes.len() as u64 })?;
+        if bytes.len() < need {
+            return Err(StoreError::Truncated { expected: need as u64, found: bytes.len() as u64 });
+        }
+        let mut lower = Vec::with_capacity(lower_len);
+        let mut upper = Vec::with_capacity(upper_len);
+        for i in 0..lower_len {
+            lower.push(word(5 + i)?);
+        }
+        for i in 0..upper_len {
+            upper.push(word(5 + lower_len + i)?);
+        }
+        let ones: u64 = upper.iter().map(|w| w.count_ones() as u64).sum();
+        if ones < n as u64 {
+            return Err(StoreError::CrcMismatch { section: "offsets" });
+        }
+        let samples = build_samples(&upper, n);
+        Ok(Self { n, universe, low_bits, lower, upper, samples })
+    }
+}
+
+fn build_samples(upper: &[u64], n: usize) -> Vec<u64> {
+    let mut samples = Vec::with_capacity(n / SELECT_SAMPLE + 1);
+    let mut seen = 0usize;
+    for (wi, &w) in upper.iter().enumerate() {
+        let mut word = w;
+        while word != 0 {
+            if seen % SELECT_SAMPLE == 0 {
+                samples.push(wi as u64 * 64 + word.trailing_zeros() as u64);
+            }
+            word &= word - 1;
+            seen += 1;
+            if seen >= n {
+                return samples;
+            }
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(values: &[u64], universe: u64) {
+        let ef = EliasFano::encode(values, universe);
+        assert_eq!(ef.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "index {i}");
+        }
+        let round = EliasFano::from_bytes(&ef.to_bytes()).unwrap();
+        assert_eq!(round, ef);
+    }
+
+    #[test]
+    fn small_sequences() {
+        check(&[], 0);
+        check(&[0], 0);
+        check(&[0, 0, 0], 0);
+        check(&[1, 2, 3], 3);
+        check(&[0, 0, 5, 5, 9], 9);
+    }
+
+    #[test]
+    fn large_sparse_and_dense() {
+        let sparse: Vec<u64> = (0..1000).map(|i| i * 1_000_003).collect();
+        check(&sparse, *sparse.last().unwrap());
+        let dense: Vec<u64> = (0..10_000).map(|i| i + (i / 7)).collect();
+        check(&dense, *dense.last().unwrap());
+        // Long runs of equal values stress select within a crowded word.
+        let runs: Vec<u64> = (0..5000).map(|i| (i / 100) * 17).collect();
+        check(&runs, *runs.last().unwrap());
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let ef = EliasFano::encode(&[1, 5, 9, 200], 200);
+        let bytes = ef.to_bytes();
+        for cut in [0, 7, 16, 39, bytes.len() - 1] {
+            let err = EliasFano::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let ef = EliasFano::encode(&(0..100u64).collect::<Vec<_>>(), 99);
+        assert!(ef.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Typed errors for compressed-store construction, ingest, and loading.
+//!
+//! Corrupt or truncated on-disk graphs must surface as values, never
+//! panics — the corruption suite in `tests/store_equivalence.rs` bit-flips
+//! and truncates files and asserts every failure is one of these variants.
+
+use aaa_graph::VertexId;
+use std::fmt;
+
+/// Errors produced by the compressed store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying I/O failure (spill files, on-disk graph, mmap).
+    Io(String),
+    /// The file does not start with the `AAST` magic bytes.
+    BadMagic { found: [u8; 4] },
+    /// The format version is not one this build can read.
+    BadVersion { found: u32 },
+    /// The file length disagrees with its header or declared section
+    /// lengths (shorter, or carrying trailing bytes the header does not
+    /// describe).
+    Truncated { expected: u64, found: u64 },
+    /// A CRC32 over a section does not match the stored checksum.
+    CrcMismatch { section: &'static str },
+    /// A decoded successor id is outside the declared vertex range.
+    VertexOutOfRange { vertex: u64, len: usize },
+    /// Rows must be appended in strictly increasing vertex order and each
+    /// row's successors must be strictly increasing.
+    NotSorted { vertex: VertexId, prev: VertexId, next: VertexId },
+    /// A row arrived for a vertex at or before the last one appended.
+    RowOrder { last: VertexId, next: VertexId },
+    /// A symmetric graph must contain an even number of arcs.
+    OddArcCount { arcs: u64 },
+    /// An arc with zero weight or a self-loop reached the builder.
+    InvalidArc { u: VertexId, v: VertexId, w: u32 },
+    /// The sorted arc stream is not symmetric: `(u, v)` present without a
+    /// matching `(v, u)` of equal weight.
+    Asymmetric { u: VertexId, v: VertexId },
+    /// A bitstream read ran past the end of a row's data.
+    CodeOverrun { vertex: VertexId },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad magic {found:?}, expected \"AAST\"")
+            }
+            StoreError::BadVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            StoreError::Truncated { expected, found } => {
+                write!(f, "file truncated: need {expected} bytes, have {found}")
+            }
+            StoreError::CrcMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            StoreError::VertexOutOfRange { vertex, len } => {
+                write!(f, "decoded vertex {vertex} out of range (graph has {len} vertices)")
+            }
+            StoreError::NotSorted { vertex, prev, next } => {
+                write!(f, "row {vertex}: successors not strictly increasing ({prev} then {next})")
+            }
+            StoreError::RowOrder { last, next } => {
+                write!(f, "row {next} appended after row {last}; rows must strictly increase")
+            }
+            StoreError::OddArcCount { arcs } => {
+                write!(f, "{arcs} arcs cannot form a symmetric (undirected) graph")
+            }
+            StoreError::InvalidArc { u, v, w } => {
+                write!(f, "invalid arc ({u}, {v}, weight {w})")
+            }
+            StoreError::Asymmetric { u, v } => {
+                write!(f, "arc ({u}, {v}) has no symmetric counterpart")
+            }
+            StoreError::CodeOverrun { vertex } => {
+                write!(f, "bitstream overrun while decoding row {vertex}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::BadVersion { found: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Truncated { expected: 100, found: 3 };
+        assert!(e.to_string().contains("100"));
+        let e = StoreError::CrcMismatch { section: "data" };
+        assert!(e.to_string().contains("data"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Byte storage for on-disk graphs: a read-only memory map on unix, a heap
+//! buffer everywhere else (and as an explicit fallback).
+//!
+//! The mapping is done with a hand-declared `mmap(2)` binding — the build
+//! environment has no `libc`/`memmap` crates, but every unix target links
+//! the C runtime, so the raw syscall wrappers are always present.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// How to load an on-disk graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Map the file read-only; pages fault in on demand, so loading is O(1)
+    /// in graph size and cold successors cost page faults, not resident RAM.
+    #[default]
+    Mmap,
+    /// Read the whole file into a heap buffer.
+    Heap,
+}
+
+/// Owned bytes backing a loaded graph.
+#[derive(Debug)]
+pub(crate) enum StoreBytes {
+    Heap(Vec<u8>),
+    #[cfg(unix)]
+    Mmap(MmapFile),
+}
+
+impl StoreBytes {
+    /// Loads `path` according to `mode`. `Mmap` silently degrades to `Heap`
+    /// on non-unix targets and for empty files (zero-length maps are
+    /// invalid).
+    pub(crate) fn load(path: &Path, mode: LoadMode) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        if mode == LoadMode::Mmap && len > 0 {
+            return Ok(StoreBytes::Mmap(MmapFile::map(&file, len)?));
+        }
+        let _ = mode;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(StoreBytes::Heap(buf))
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            StoreBytes::Heap(v) => v,
+            #[cfg(unix)]
+            StoreBytes::Mmap(m) => m.as_slice(),
+        }
+    }
+
+    /// Resident heap bytes (a map's pages are owned by the page cache and
+    /// count as zero here — that is the point of mapping).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            StoreBytes::Heap(v) => v.capacity(),
+            #[cfg(unix)]
+            StoreBytes::Mmap(_) => 0,
+        }
+    }
+}
+
+#[cfg(unix)]
+pub(crate) use unix::MmapFile;
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A read-only private mapping of a whole file.
+    #[derive(Debug)]
+    pub(crate) struct MmapFile {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is immutable and never aliased mutably.
+    unsafe impl Send for MmapFile {}
+    unsafe impl Sync for MmapFile {}
+
+    impl MmapFile {
+        pub(crate) fn map(file: &File, len: usize) -> io::Result<Self> {
+            debug_assert!(len > 0, "zero-length maps are invalid");
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as usize == usize::MAX {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr: ptr as *const u8, len })
+        }
+
+        #[inline]
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for MmapFile {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), used to checksum every file section.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn heap_and_mmap_agree() {
+        let path = std::env::temp_dir().join(format!("aaa-store-mmap-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let heap = StoreBytes::load(&path, LoadMode::Heap).unwrap();
+        let mapped = StoreBytes::load(&path, LoadMode::Mmap).unwrap();
+        assert_eq!(heap.as_slice(), payload.as_slice());
+        assert_eq!(mapped.as_slice(), payload.as_slice());
+        assert!(heap.heap_bytes() >= payload.len());
+        #[cfg(unix)]
+        assert_eq!(mapped.heap_bytes(), 0);
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_loads_as_heap() {
+        let path = std::env::temp_dir().join(format!("aaa-store-empty-{}.bin", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let b = StoreBytes::load(&path, LoadMode::Mmap).unwrap();
+        assert!(b.as_slice().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! [`GraphStore`] implementations for the plain in-memory backends of
+//! `aaa-graph`: the mutable adjacency graph and its CSR snapshot. Both keep
+//! neighbor lists sorted by id, so the trait contract holds for free.
+
+use crate::GraphStore;
+use aaa_graph::{AdjGraph, Csr, VertexId, Weight};
+
+impl GraphStore for AdjGraph {
+    type Succ<'a> = std::iter::Copied<std::slice::Iter<'a, (VertexId, Weight)>>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        AdjGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        AdjGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        AdjGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> Self::Succ<'_> {
+        self.neighbors(v).iter().copied()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        AdjGraph::memory_bytes(self)
+    }
+}
+
+impl GraphStore for Csr {
+    type Succ<'a> = std::iter::Zip<
+        std::iter::Copied<std::slice::Iter<'a, VertexId>>,
+        std::iter::Copied<std::slice::Iter<'a, Weight>>,
+    >;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Csr::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Csr::degree(self, v)
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> Self::Succ<'_> {
+        self.targets(v).iter().copied().zip(self.weights(v).iter().copied())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Csr::memory_bytes(self)
+    }
+}
+
+impl GraphStore for crate::CompressedGraph {
+    type Succ<'a> = crate::CompressedSucc<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        crate::CompressedGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        crate::CompressedGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        crate::CompressedGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> Self::Succ<'_> {
+        crate::CompressedGraph::successors(self, v)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        crate::CompressedGraph::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressedGraph;
+
+    fn sample() -> AdjGraph {
+        let mut g = AdjGraph::with_vertices(6);
+        for (u, v, w) in [(0, 3, 2), (0, 1, 1), (1, 4, 5), (2, 5, 1), (3, 4, 7)] {
+            g.add_edge(u, v, w).unwrap();
+        }
+        g
+    }
+
+    fn rows<G: GraphStore>(g: &G) -> Vec<Vec<(VertexId, Weight)>> {
+        g.vertices().map(|v| g.successors(v).collect()).collect()
+    }
+
+    #[test]
+    fn all_backends_agree_on_successors() {
+        let g = sample();
+        let csr = Csr::from_adj(&g);
+        let comp = CompressedGraph::from_store(&g).unwrap();
+        assert_eq!(rows(&g), rows(&csr));
+        assert_eq!(rows(&g), rows(&comp));
+        for v in GraphStore::vertices(&g) {
+            assert_eq!(GraphStore::degree(&g, v), GraphStore::degree(&csr, v));
+            assert_eq!(GraphStore::degree(&g, v), GraphStore::degree(&comp, v));
+        }
+        assert_eq!(GraphStore::num_edges(&g), GraphStore::num_edges(&comp));
+    }
+
+    #[test]
+    fn memory_accounting_orders_sensibly() {
+        // Compressed successor data should be far smaller than adjacency.
+        let mut g = AdjGraph::with_vertices(3000);
+        for v in 0..2999 {
+            g.add_edge(v, v + 1, 1).unwrap();
+        }
+        let comp = CompressedGraph::from_store(&g).unwrap();
+        assert!(comp.data_bytes() * 4 < GraphStore::memory_bytes(&g));
+        assert!(GraphStore::memory_bytes(&g) > 0);
+        assert!(GraphStore::memory_bytes(&Csr::from_adj(&g)) > 0);
+    }
+}

@@ -14,23 +14,27 @@ use anytime_anywhere::partition::simple::{
     BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
 };
 use anytime_anywhere::partition::{
-    boundary_vertices, cut_edges, vertex_balance, MultilevelPartitioner, Partitioner,
+    boundary_vertices, cut_edges, vertex_balance, MultilevelPartitioner, Partition, Partitioner,
 };
 
 const K: usize = 8;
 
 fn report(name: &str, g: &AdjGraph) {
     println!("\n=== {name}: {} vertices, {} edges ===", g.num_vertices(), g.num_edges());
-    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
-        ("multilevel", Box::new(MultilevelPartitioner::seeded(1))),
-        ("block", Box::new(BlockPartitioner)),
-        ("round-robin", Box::new(RoundRobinPartitioner)),
-        ("hash", Box::new(HashPartitioner)),
-        ("random", Box::new(RandomPartitioner { seed: 1 })),
-    ];
+    // `Partitioner::partition` is generic over the storage backend, so the
+    // trait is not dyn-compatible — monomorphize per partitioner instead.
+    let partitioners: Vec<(&str, Partition)> = vec![
+        ("multilevel", MultilevelPartitioner::seeded(1).partition(g, K)),
+        ("block", BlockPartitioner.partition(g, K)),
+        ("round-robin", RoundRobinPartitioner.partition(g, K)),
+        ("hash", HashPartitioner.partition(g, K)),
+        ("random", RandomPartitioner { seed: 1 }.partition(g, K)),
+    ]
+    .into_iter()
+    .map(|(pname, p)| (pname, p.expect("partitioning succeeds")))
+    .collect();
     println!("{:>12}  {:>9}  {:>8}  {:>10}", "partitioner", "cut-edges", "balance", "boundary");
-    for (pname, p) in partitioners {
-        let part = p.partition(g, K).expect("partitioning succeeds");
+    for (pname, part) in partitioners {
         let boundary: usize = boundary_vertices(g, &part).iter().map(|b| b.len()).sum();
         println!(
             "{:>12}  {:>9}  {:>8.3}  {:>10}",

@@ -20,6 +20,9 @@
 //!   export, machine-readable run reports, and the perf-gate comparator.
 //! * [`serve`] — snapshot-isolated concurrent query serving over the
 //!   engine's published epoch views.
+//! * [`store`] — the [`store::GraphStore`] backend trait with plain and
+//!   compressed (gap-coded, Elias-Fano–indexed, mmap-able) graph storage
+//!   plus external-memory ingest for graphs beyond RAM.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +46,4 @@ pub use aaa_observe as observe;
 pub use aaa_partition as partition;
 pub use aaa_runtime as runtime;
 pub use aaa_serve as serve;
+pub use aaa_store as store;

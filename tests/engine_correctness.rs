@@ -138,3 +138,44 @@ fn zero_procs_is_rejected() {
     let g = AdjGraph::with_vertices(3);
     assert!(AnytimeEngine::new(g, EngineConfig::deterministic(0)).is_err());
 }
+
+#[test]
+fn external_partition_from_compressed_store() {
+    // The compressed-backend path: DD runs on a CompressedGraph (the way a
+    // graph too large for adjacency lists would be partitioned), and the
+    // engine adopts the externally computed assignment. The converged
+    // answer must match the reference exactly, and the same partition fed
+    // through `DdPartitioner::Multilevel` must yield the identical engine
+    // behaviour (the partitioners are backend-independent).
+    use anytime_anywhere::partition::{MultilevelPartitioner, Partitioner};
+    use anytime_anywhere::store::CompressedGraph;
+
+    let g = barabasi_albert(150, 2, WeightModel::UniformRange { lo: 1, hi: 5 }, 13).unwrap();
+    let c = CompressedGraph::from_store(&g).unwrap();
+    let part = MultilevelPartitioner::seeded(0).partition(&c, 4).unwrap();
+    let via_plain = MultilevelPartitioner::seeded(0).partition(&g, 4).unwrap();
+    assert_eq!(part, via_plain, "partition must not depend on the backend");
+
+    let mut engine =
+        AnytimeEngine::with_partition(g.clone(), part, EngineConfig::deterministic(4)).unwrap();
+    let summary = engine.run_to_convergence();
+    assert!(summary.converged);
+    let exact_c = closeness_exact(&Csr::from_adj(&g));
+    for (a, b) in engine.closeness().iter().zip(&exact_c) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn external_partition_must_match_graph_and_procs() {
+    use anytime_anywhere::partition::Partition;
+    let g = barabasi_albert(20, 2, WeightModel::Unit, 1).unwrap();
+    // Wrong vertex count.
+    let short = Partition::new(vec![0; 10], 2).unwrap();
+    assert!(
+        AnytimeEngine::with_partition(g.clone(), short, EngineConfig::deterministic(2)).is_err()
+    );
+    // Wrong k.
+    let wrong_k = Partition::new(vec![0; 20], 3).unwrap();
+    assert!(AnytimeEngine::with_partition(g, wrong_k, EngineConfig::deterministic(2)).is_err());
+}
