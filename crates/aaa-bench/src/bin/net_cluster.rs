@@ -1,0 +1,282 @@
+//! Real multi-process cluster: coordinator + worker OS processes over
+//! TCP, with fault injection, failure detection, and supervised recovery.
+//!
+//! The binary re-enters itself: the coordinator spawns `--procs` copies
+//! of this executable with `--role worker`, each of which dials back in
+//! and follows the `NetMsg` protocol until told to shut down.
+//!
+//! ```text
+//! net_cluster --role coordinator [--scale N] [--procs P] [--seed S]
+//!             [--wire full|delta] [--chaos seed:rate[:horizon]]
+//!             [--kill R@ROUND] [--max-revivals N] [--checkpoint-every N]
+//! ```
+//!
+//! `--kill R@ROUND` arms rank R's first process with `DieAtRound`: it
+//! hard-exits (code 137) on the coordinator's `Produce` for that round.
+//! The supervisor detects the death, respawns the rank with a fresh
+//! session, re-initializes it, seeds it from the latest checkpoint, and
+//! the cluster resumes — converging to the *same bits* the in-process
+//! engine computes, which this binary verifies against its own oracle.
+//!
+//! Exit codes: 0 = converged and bit-identical to the oracle;
+//! 2 = degraded but the certified bounds cover the exact answer;
+//! 1 = anything worse. Output is one machine-readable line:
+//! `CONVERGED match=true ...` or `DEGRADED certified=true ...`.
+
+use aaa_bench::net::{DieAtRound, ProcessSupervisor, WorkerSpec};
+use aaa_core::{
+    run_worker, AnytimeEngine, EngineConfig, NetConfig, NetOutcome, NetRunner, WireFormat,
+};
+use aaa_graph::generators::{barabasi_albert, WeightModel};
+use aaa_runtime::{read_hello, Backoff, Hello, NetChaos, SocketTransport};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Args {
+    role: String,
+    scale: usize,
+    procs: usize,
+    seed: u64,
+    wire: WireFormat,
+    chaos: Option<String>,
+    kill: Option<(usize, u64)>,
+    max_revivals: u32,
+    checkpoint_every: u64,
+    // Worker-only.
+    addr: String,
+    rank: u32,
+    session: u64,
+    die_at_round: Option<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            role: "coordinator".to_string(),
+            scale: 180,
+            procs: 4,
+            seed: 42,
+            wire: WireFormat::Full,
+            chaos: None,
+            kill: None,
+            max_revivals: 3,
+            checkpoint_every: 2,
+            addr: String::new(),
+            rank: 0,
+            session: 0,
+            die_at_round: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--role" => args.role = val()?,
+            "--scale" => args.scale = val()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--procs" => args.procs = val()?.parse().map_err(|e| format!("--procs: {e}"))?,
+            "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--wire" => {
+                args.wire = match val()?.as_str() {
+                    "full" => WireFormat::Full,
+                    "delta" => WireFormat::Delta,
+                    other => return Err(format!("--wire: unknown format {other}")),
+                }
+            }
+            "--chaos" => args.chaos = Some(val()?),
+            "--kill" => {
+                let spec = val()?;
+                let (rank, round) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("--kill: want R@ROUND, got {spec}"))?;
+                args.kill = Some((
+                    rank.parse().map_err(|e| format!("--kill rank: {e}"))?,
+                    round.parse().map_err(|e| format!("--kill round: {e}"))?,
+                ));
+            }
+            "--max-revivals" => {
+                args.max_revivals = val()?.parse().map_err(|e| format!("--max-revivals: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every =
+                    val()?.parse().map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--addr" => args.addr = val()?,
+            "--rank" => args.rank = val()?.parse().map_err(|e| format!("--rank: {e}"))?,
+            "--session" => args.session = val()?.parse().map_err(|e| format!("--session: {e}"))?,
+            "--die-at-round" => {
+                args.die_at_round =
+                    Some(val()?.parse().map_err(|e| format!("--die-at-round: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// `seed:rate[:horizon]` → a seeded [`NetChaos`] (horizon defaults to 200
+/// frames per lane).
+fn parse_chaos(spec: &str) -> Result<NetChaos, String> {
+    let mut parts = spec.split(':');
+    let seed: u64 =
+        parts.next().unwrap_or_default().parse().map_err(|e| format!("chaos seed: {e}"))?;
+    let rate: f64 = parts
+        .next()
+        .ok_or("chaos: want seed:rate")?
+        .parse()
+        .map_err(|e| format!("chaos rate: {e}"))?;
+    let horizon: u64 = match parts.next() {
+        Some(h) => h.parse().map_err(|e| format!("chaos horizon: {e}"))?,
+        None => 200,
+    };
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("chaos rate {rate} outside [0, 1]"));
+    }
+    Ok(NetChaos::seeded(seed, rate, horizon))
+}
+
+fn worker_main(args: &Args) -> Result<(), String> {
+    let chaos = match &args.chaos {
+        Some(spec) => parse_chaos(spec)?,
+        None => NetChaos::none(),
+    };
+    let hello = Hello { rank: args.rank, session: args.session, last_recv: 0 };
+    let link = SocketTransport::dial(
+        &args.addr,
+        hello,
+        chaos,
+        Backoff { seed: args.seed ^ args.session, ..Backoff::default() },
+        40,
+        Duration::from_secs(10),
+    )
+    .map_err(|e| format!("dial: {e}"))?;
+    let idle = Duration::from_secs(60);
+    let outcome = match args.die_at_round {
+        Some(round) => run_worker(&mut DieAtRound { inner: link, round }, idle),
+        None => {
+            let mut link = link;
+            run_worker(&mut link, idle)
+        }
+    };
+    outcome.map_err(|e| format!("worker rank {}: {e}", args.rank))
+}
+
+fn coordinator_main(args: &Args) -> Result<ExitCode, String> {
+    let chaos = match &args.chaos {
+        Some(spec) => parse_chaos(spec)?,
+        None => NetChaos::none(),
+    };
+    // The oracle: the in-process engine's fixed point. Also yields the
+    // partition the workers will mirror.
+    let graph =
+        barabasi_albert(args.scale, 2, WeightModel::UniformRange { lo: 1, hi: 4 }, args.seed)
+            .map_err(|e| format!("graph: {e}"))?;
+    let mut engine = AnytimeEngine::new(graph.clone(), EngineConfig::deterministic(args.procs))
+        .map_err(|e| format!("engine: {e}"))?;
+    let owner = engine.partition().assignment().to_vec();
+    engine.run_to_convergence();
+    let oracle = engine.closeness();
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?.to_string();
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let spec = WorkerSpec { exe, addr, chaos_arg: args.chaos.clone() };
+
+    // First generation: session = rank + 1; the doomed rank (if any) gets
+    // its DieAtRound fuse.
+    let mut children = Vec::with_capacity(args.procs);
+    let mut sessions = Vec::with_capacity(args.procs);
+    for rank in 0..args.procs {
+        let session = rank as u64 + 1;
+        let die = args.kill.and_then(|(r, round)| (r == rank).then_some(round));
+        children.push(spec.spawn(rank, session, die).map_err(|e| format!("spawn: {e}"))?);
+        sessions.push(session);
+    }
+
+    // Accept the first dial from every rank.
+    let mut slots: Vec<Option<SocketTransport>> = (0..args.procs).map(|_| None).collect();
+    while slots.iter().any(Option::is_none) {
+        let (mut stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+        let hello =
+            read_hello(&mut stream, Duration::from_secs(10)).map_err(|e| format!("hello: {e}"))?;
+        let rank = hello.rank as usize;
+        if rank >= args.procs || hello.session != sessions[rank] {
+            continue;
+        }
+        slots[rank] = Some(
+            SocketTransport::accept(stream, hello, chaos).map_err(|e| format!("handshake: {e}"))?,
+        );
+    }
+    let links: Vec<SocketTransport> = slots.into_iter().map(Option::unwrap).collect();
+
+    let config = NetConfig {
+        wire: args.wire,
+        max_revivals: args.max_revivals,
+        checkpoint_every: args.checkpoint_every,
+        probe_deadline: Duration::from_millis(500),
+        ..NetConfig::default()
+    };
+
+    let mut supervisor = ProcessSupervisor::new(listener, spec, chaos, children, sessions);
+    let mut runner = NetRunner::new(&graph, owner, links, config);
+    let outcome = match runner.init(&mut supervisor) {
+        Ok(()) => runner.run(&mut supervisor),
+        Err(out) => out,
+    };
+    runner.shutdown();
+
+    match outcome {
+        NetOutcome::Converged(summary) => {
+            let matches = summary.closeness.len() == oracle.len()
+                && summary.closeness.iter().zip(&oracle).all(|(a, b)| a.to_bits() == b.to_bits());
+            println!(
+                "CONVERGED match={matches} rounds={} recoveries={} probes_survived={}",
+                summary.rounds, summary.recoveries, summary.probes_survived
+            );
+            Ok(if matches { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        NetOutcome::Degraded(report) => {
+            let certified = report.certifies(&oracle);
+            println!(
+                "DEGRADED certified={certified} reason={:?} rc_steps={}",
+                report.reason, report.rc_steps
+            );
+            Ok(if certified { ExitCode::from(2) } else { ExitCode::from(1) })
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("net_cluster: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match args.role.as_str() {
+        "worker" => match worker_main(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("net_cluster worker: {e}");
+                ExitCode::from(1)
+            }
+        },
+        "coordinator" => match coordinator_main(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("net_cluster: {e}");
+                ExitCode::from(1)
+            }
+        },
+        other => {
+            eprintln!("net_cluster: unknown role {other}");
+            ExitCode::from(1)
+        }
+    }
+}

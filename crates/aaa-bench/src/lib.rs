@@ -340,4 +340,5 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod net;
 pub mod observe;

@@ -1,0 +1,88 @@
+//! End-to-end supervised recovery across real OS processes.
+//!
+//! These tests run the `net_cluster` binary, whose coordinator spawns
+//! worker *processes* over TCP and verifies its own outcome against the
+//! in-process engine's fixed point (the oracle):
+//!
+//! * a worker hard-killed mid-convergence (`--kill R@ROUND`, exit 137 on
+//!   that round's `Produce`) must be detected, respawned with a fresh
+//!   session, re-seeded from the checkpoint, and the cluster must still
+//!   reach the oracle's bits — exit 0, `CONVERGED match=true`;
+//! * with the revival budget exhausted (`--max-revivals 0`) the same
+//!   kill must degrade the run into the certified-bounds answer — exit
+//!   2, `DEGRADED certified=true` (the bound covers the exact oracle);
+//! * under seeded socket chaos *plus* a kill, any run must end in one of
+//!   those two certified states, never a wrong answer.
+
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_net_cluster");
+
+fn cluster(extra: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(["--role", "coordinator", "--scale", "120", "--procs", "3", "--seed", "42"])
+        .args(extra)
+        .output()
+        .expect("net_cluster spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn clean_cluster_converges_bit_identically() {
+    let out = cluster(&[]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit {:?}: {text}", out.status.code());
+    assert!(text.contains("CONVERGED match=true"), "unexpected outcome: {text}");
+    assert!(text.contains("recoveries=0"), "clean run should need no recoveries: {text}");
+}
+
+#[test]
+fn process_kill_recovers_to_the_same_fixed_point() {
+    // Rank 1's process exits with code 137 when it sees Produce for
+    // round 2 — after the round-2 checkpoint policy has state to restore.
+    let out = cluster(&["--kill", "1@2", "--checkpoint-every", "1"]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit {:?}: {text}", out.status.code());
+    assert!(text.contains("CONVERGED match=true"), "kill must not change the bits: {text}");
+    let recoveries: u32 = text
+        .split("recoveries=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("recoveries field");
+    assert!(recoveries >= 1, "the killed worker must have been revived: {text}");
+}
+
+#[test]
+fn exhausted_budget_degrades_with_certified_bounds() {
+    let out = cluster(&["--kill", "1@2", "--max-revivals", "0"]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(2), "want the degraded-but-certified exit: {text}");
+    assert!(
+        text.contains("DEGRADED certified=true"),
+        "degraded bounds must cover the exact oracle: {text}"
+    );
+}
+
+#[test]
+fn chaos_plus_kill_always_ends_certified() {
+    for seed in ["5", "23"] {
+        let chaos = format!("{seed}:0.08:120");
+        let out = cluster(&["--chaos", &chaos, "--kill", "2@3", "--max-revivals", "64"]);
+        let text = stdout(&out);
+        match out.status.code() {
+            Some(0) => assert!(
+                text.contains("CONVERGED match=true"),
+                "seed {seed}: converged but not to the oracle's bits: {text}"
+            ),
+            Some(2) => assert!(
+                text.contains("DEGRADED certified=true"),
+                "seed {seed}: degraded without certified bounds: {text}"
+            ),
+            other => panic!("seed {seed}: exit {other:?}, output: {text}"),
+        }
+    }
+}

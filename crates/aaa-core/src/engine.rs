@@ -1317,7 +1317,8 @@ impl AnytimeEngine {
                     let retry = spec.supervised.expect("guarded by is_some");
                     attempts += 1;
                     retries += 1;
-                    let mut wait = retry.backoff_us(attempts);
+                    let seed = self.cluster.chaos_plan().map_or(0, |p| p.seed);
+                    let mut wait = retry.backoff_jittered_us(attempts, seed);
                     if matches!(incident, ClusterError::RankStalled { .. }) {
                         wait += retry.deadline_us;
                     }

@@ -49,6 +49,7 @@ pub mod dv;
 pub mod engine;
 pub mod error;
 pub mod ingest;
+pub mod net;
 pub mod policy;
 pub mod publish;
 pub mod quality;
@@ -62,6 +63,10 @@ pub use changes::{DynamicChange, NewVertex, VertexBatch};
 pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig, SupervisedRun};
 pub use error::CoreError;
 pub use ingest::{ChangeLog, IngestStats, PendingChange};
+pub use net::{
+    run_worker, NetConfig, NetMsg, NetOutcome, NetRunner, NetSummary, NoSupervisor, Revive,
+    WireError, WorkerSupervisor,
+};
 pub use policy::{RetryPolicy, StrategyPolicy};
 pub use publish::{BoundsMode, PublishedView, Publisher, ViewCell};
 pub use quality::{

@@ -1,0 +1,1298 @@
+//! The distributed protocol: ranks as OS processes over a real transport.
+//!
+//! `aaa-runtime::net` provides the plumbing (framed, sequenced, chaos-aware
+//! links); this module speaks the algorithm over it. The topology is a
+//! coordinator-relayed star: the coordinator owns the graph, the partition
+//! and the BSP clock, and every worker owns one rank's [`RankState`]. Each
+//! recombination round is the familiar produce → relay → consume exchange,
+//! driven by [`NetMsg`]s inside `Data` frames:
+//!
+//! ```text
+//!  coordinator                      worker r
+//!  ───────────                      ────────
+//!  Produce{round}        ─────▶
+//!                        ◀─────    Rows{round, dest, msg}  (×k)
+//!                        ◀─────    RowsDone{round, sent}
+//!  Rows{round, src, msg} ─────▶    (relayed from the other ranks)
+//!  Consume{round}        ─────▶
+//!                        ◀─────    StepDone{round, changed, dirty}
+//! ```
+//!
+//! The run converges when a full round moves nothing: no rank sent, no
+//! rank's merge changed anything, no rank holds dirty rows. Because the
+//! recombination merge is an idempotent, commutative min-merge and the
+//! relay preserves every message within a round, the fixed point is the
+//! same one the in-process executor reaches — closeness comes out
+//! bit-identical (the cross-transport equivalence test pins this).
+//!
+//! **Failure handling** (the supervision ladder over real faults): any
+//! transport error or deadline miss on a worker's link first triggers a
+//! heartbeat probe. A probe answered within its deadline means the fault
+//! was transient — the round is aborted and every rank re-announces
+//! ([`NetMsg::ResendAll`]), which is always safe. A dead probe escalates
+//! to the [`WorkerSupervisor`], which may heal the link (same process
+//! reconnected — state intact) or hand back a replacement for a respawned
+//! process (fresh state — re-initialized, then min-merged with the last
+//! gathered checkpoint via [`NetMsg::Absorb`]). When the supervisor gives
+//! up, the run **degrades** instead of failing: surviving workers (and
+//! checkpoints of dead ones) are gathered into a [`DegradedReport`] whose
+//! certified bounds cover the exact answer.
+
+use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
+use crate::rank::{RankState, RowMsg, RowPayload, WireFormat};
+use aaa_checkpoint::RankSnapshot;
+use aaa_graph::apsp::DistMatrix;
+use aaa_graph::closeness::closeness_from_row;
+use aaa_graph::{AdjGraph, Dist, PartId, VertexId, Weight};
+use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind};
+use aaa_runtime::net::{FrameKind, NetError, Transport};
+use aaa_runtime::{ClusterError, FaultCounters, Rank};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Wire codec for protocol messages
+// ---------------------------------------------------------------------
+
+/// Typed decode errors for [`NetMsg`] payloads. Like the frame codec, the
+/// decoder never panics: every malformed byte sequence maps here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended before the field being read.
+    Truncated { at: usize },
+    /// First byte is not a known message tag.
+    UnknownTag(u8),
+    /// Wire-format byte is neither full nor delta.
+    UnknownWire(u8),
+    /// Row-payload kind byte is neither Full nor Delta.
+    UnknownPayload(u8),
+    /// Bytes left over after a complete message.
+    TrailingBytes { extra: usize },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { at } => write!(f, "message truncated at byte {at}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::UnknownWire(w) => write!(f, "unknown wire format byte {w}"),
+            WireError::UnknownPayload(p) => write!(f, "unknown row payload kind {p}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian cursor with typed underflow errors.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let end = self.pos + 4;
+        let s = self.bytes.get(self.pos..end).ok_or(WireError::Truncated { at: self.pos })?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos + 8;
+        let s = self.bytes.get(self.pos..end).ok_or(WireError::Truncated { at: self.pos })?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// A `u32` that will be used as an element count: additionally bounded
+    /// by the bytes actually remaining (each element costs ≥ `min_elem`
+    /// bytes), so a corrupted count cannot drive a huge allocation.
+    fn count(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let left = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_elem.max(1)) > left {
+            return Err(WireError::Truncated { at: self.pos });
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            Err(WireError::TrailingBytes { extra: self.bytes.len() - self.pos })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_rowmsg(out: &mut Vec<u8>, msg: &RowMsg) {
+    put_u32(out, msg.rows.len() as u32);
+    for (v, payload) in &msg.rows {
+        put_u32(out, *v);
+        match payload {
+            RowPayload::Full(row) => {
+                out.push(0);
+                put_u32(out, row.len() as u32);
+                for &d in row {
+                    put_u32(out, d);
+                }
+            }
+            RowPayload::Delta(pairs) => {
+                out.push(1);
+                put_u32(out, pairs.len() as u32);
+                for &(c, d) in pairs {
+                    put_u32(out, c);
+                    put_u32(out, d);
+                }
+            }
+        }
+    }
+}
+
+fn decode_rowmsg(r: &mut Reader<'_>) -> Result<RowMsg, WireError> {
+    let n = r.count(9)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32()?;
+        let kind = r.u8()?;
+        let payload = match kind {
+            0 => {
+                let len = r.count(4)?;
+                let mut row = Vec::with_capacity(len);
+                for _ in 0..len {
+                    row.push(r.u32()?);
+                }
+                RowPayload::Full(row)
+            }
+            1 => {
+                let len = r.count(8)?;
+                let mut pairs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let c = r.u32()?;
+                    let d = r.u32()?;
+                    pairs.push((c, d));
+                }
+                RowPayload::Delta(pairs)
+            }
+            other => return Err(WireError::UnknownPayload(other)),
+        };
+        rows.push((v, payload));
+    }
+    Ok(RowMsg { rows })
+}
+
+fn encode_rows(out: &mut Vec<u8>, rows: &[(VertexId, Vec<Dist>)]) {
+    put_u32(out, rows.len() as u32);
+    for (v, row) in rows {
+        put_u32(out, *v);
+        put_u32(out, row.len() as u32);
+        for &d in row {
+            put_u32(out, d);
+        }
+    }
+}
+
+fn decode_rows(r: &mut Reader<'_>) -> Result<Vec<(VertexId, Vec<Dist>)>, WireError> {
+    let n = r.count(8)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32()?;
+        let len = r.count(4)?;
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            row.push(r.u32()?);
+        }
+        rows.push((v, row));
+    }
+    Ok(rows)
+}
+
+/// The protocol messages carried inside `Data` frames. Everything the
+/// coordinator and a worker say to each other is one of these; the codec
+/// is little-endian, self-delimiting, and rejects malformed input with a
+/// typed [`WireError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetMsg {
+    /// Coordinator → worker: build rank `rank` of `procs` over the global
+    /// graph (`owner` assigns every vertex; `edges` is the full undirected
+    /// edge list), run the initial approximation, answer [`NetMsg::Ready`].
+    Init {
+        rank: u32,
+        procs: u32,
+        wire: WireFormat,
+        cap_bytes: u64,
+        owner: Vec<PartId>,
+        edges: Vec<(VertexId, VertexId, Weight)>,
+    },
+    /// Worker → coordinator: generic completion ack (Init / Absorb /
+    /// ResendAll).
+    Ready { rank: u32 },
+    /// Coordinator → worker: run the produce half of round `round`.
+    Produce { round: u64 },
+    /// Both directions: a row bundle. Worker → coordinator, `peer` is the
+    /// destination rank; coordinator → worker, `peer` is the source rank.
+    Rows { round: u64, peer: u32, msg: RowMsg },
+    /// Worker → coordinator: produce finished; `sent` echoes whether
+    /// anything was emitted this round.
+    RowsDone { round: u64, sent: bool },
+    /// Coordinator → worker: all rows for this round have been relayed
+    /// (`expect` of them — a sanity check); min-merge and relax.
+    Consume { round: u64, expect: u32 },
+    /// Worker → coordinator: consume finished; `changed` is whether the
+    /// merge improved anything, `dirty` whether rows await announcement.
+    StepDone { round: u64, changed: bool, dirty: bool },
+    /// Coordinator → worker: reply with local closeness.
+    GatherClose,
+    /// Worker → coordinator: closeness of every local vertex (f64 bits).
+    CloseReply { pairs: Vec<(VertexId, u64)> },
+    /// Coordinator → worker: reply with all local DV rows (checkpoint
+    /// gather / degraded-mode salvage).
+    GatherRows,
+    /// Worker → coordinator: the local rows.
+    RowsReply { rows: Vec<(VertexId, Vec<Dist>)> },
+    /// Coordinator → worker: min-merge these rows into local state (the
+    /// checkpoint-fallback path for a respawned worker). Answer `Ready`.
+    Absorb { rows: Vec<(VertexId, Vec<Dist>)> },
+    /// Coordinator → worker: mark every local row dirty and re-announce on
+    /// the next produce (recovery kick after any disruption). Answer
+    /// `Ready`.
+    ResendAll,
+    /// Coordinator → worker: orderly end of run.
+    Bye,
+}
+
+impl NetMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            NetMsg::Init { rank, procs, wire, cap_bytes, owner, edges } => {
+                out.push(1);
+                put_u32(&mut out, *rank);
+                put_u32(&mut out, *procs);
+                out.push(match wire {
+                    WireFormat::Full => 0,
+                    WireFormat::Delta => 1,
+                });
+                put_u64(&mut out, *cap_bytes);
+                put_u32(&mut out, owner.len() as u32);
+                for &p in owner {
+                    put_u32(&mut out, p);
+                }
+                put_u32(&mut out, edges.len() as u32);
+                for &(a, b, w) in edges {
+                    put_u32(&mut out, a);
+                    put_u32(&mut out, b);
+                    put_u32(&mut out, w);
+                }
+            }
+            NetMsg::Ready { rank } => {
+                out.push(2);
+                put_u32(&mut out, *rank);
+            }
+            NetMsg::Produce { round } => {
+                out.push(3);
+                put_u64(&mut out, *round);
+            }
+            NetMsg::Rows { round, peer, msg } => {
+                out.push(4);
+                put_u64(&mut out, *round);
+                put_u32(&mut out, *peer);
+                encode_rowmsg(&mut out, msg);
+            }
+            NetMsg::RowsDone { round, sent } => {
+                out.push(5);
+                put_u64(&mut out, *round);
+                out.push(u8::from(*sent));
+            }
+            NetMsg::Consume { round, expect } => {
+                out.push(6);
+                put_u64(&mut out, *round);
+                put_u32(&mut out, *expect);
+            }
+            NetMsg::StepDone { round, changed, dirty } => {
+                out.push(7);
+                put_u64(&mut out, *round);
+                out.push(u8::from(*changed));
+                out.push(u8::from(*dirty));
+            }
+            NetMsg::GatherClose => out.push(8),
+            NetMsg::CloseReply { pairs } => {
+                out.push(9);
+                put_u32(&mut out, pairs.len() as u32);
+                for &(v, bits) in pairs {
+                    put_u32(&mut out, v);
+                    put_u64(&mut out, bits);
+                }
+            }
+            NetMsg::GatherRows => out.push(10),
+            NetMsg::RowsReply { rows } => {
+                out.push(11);
+                encode_rows(&mut out, rows);
+            }
+            NetMsg::Absorb { rows } => {
+                out.push(12);
+                encode_rows(&mut out, rows);
+            }
+            NetMsg::ResendAll => out.push(13),
+            NetMsg::Bye => out.push(14),
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            1 => {
+                let rank = r.u32()?;
+                let procs = r.u32()?;
+                let wire = match r.u8()? {
+                    0 => WireFormat::Full,
+                    1 => WireFormat::Delta,
+                    other => return Err(WireError::UnknownWire(other)),
+                };
+                let cap_bytes = r.u64()?;
+                let n = r.count(4)?;
+                let mut owner = Vec::with_capacity(n);
+                for _ in 0..n {
+                    owner.push(r.u32()?);
+                }
+                let m = r.count(12)?;
+                let mut edges = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let a = r.u32()?;
+                    let b = r.u32()?;
+                    let w = r.u32()?;
+                    edges.push((a, b, w));
+                }
+                NetMsg::Init { rank, procs, wire, cap_bytes, owner, edges }
+            }
+            2 => NetMsg::Ready { rank: r.u32()? },
+            3 => NetMsg::Produce { round: r.u64()? },
+            4 => {
+                let round = r.u64()?;
+                let peer = r.u32()?;
+                let msg = decode_rowmsg(&mut r)?;
+                NetMsg::Rows { round, peer, msg }
+            }
+            5 => NetMsg::RowsDone { round: r.u64()?, sent: r.u8()? != 0 },
+            6 => NetMsg::Consume { round: r.u64()?, expect: r.u32()? },
+            7 => {
+                let round = r.u64()?;
+                let changed = r.u8()? != 0;
+                let dirty = r.u8()? != 0;
+                NetMsg::StepDone { round, changed, dirty }
+            }
+            8 => NetMsg::GatherClose,
+            9 => {
+                let n = r.count(12)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = r.u32()?;
+                    let bits = r.u64()?;
+                    pairs.push((v, bits));
+                }
+                NetMsg::CloseReply { pairs }
+            }
+            10 => NetMsg::GatherRows,
+            11 => NetMsg::RowsReply { rows: decode_rows(&mut r)? },
+            12 => NetMsg::Absorb { rows: decode_rows(&mut r)? },
+            13 => NetMsg::ResendAll,
+            14 => NetMsg::Bye,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+fn protocol_err(peer: &str, what: impl std::fmt::Display) -> NetError {
+    NetError::Protocol { peer: peer.to_string(), what: what.to_string() }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Runs one rank as a transport-driven reactor until the coordinator says
+/// goodbye (clean `Ok`), the link dies past repair, or nothing arrives for
+/// `idle_deadline` (a dead coordinator must not leave orphan processes —
+/// the worker exits on its own).
+///
+/// The worker is a pure protocol follower: all control flow — rounds,
+/// convergence, recovery — lives in the coordinator. That is what makes
+/// blind re-execution safe: every state transition a worker performs
+/// (min-merge, relaxation, resend marking) is idempotent, so a replayed
+/// or repeated command converges to the same state.
+pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result<(), NetError> {
+    let mut state: Option<RankState> = None;
+    let mut inbox: Vec<(Rank, RowMsg)> = Vec::new();
+    let mut cap_bytes = usize::MAX;
+    loop {
+        let frame = link.recv(Some(idle_deadline))?;
+        match frame.kind {
+            FrameKind::Shutdown => return Ok(()),
+            FrameKind::Data => {}
+            _ => continue,
+        }
+        let msg = NetMsg::decode(&frame.payload).map_err(|e| protocol_err(&link.peer(), e))?;
+        match msg {
+            NetMsg::Init { rank, procs: _, wire, cap_bytes: cap, owner, edges } => {
+                let mut adj: FxHashMap<VertexId, Vec<(VertexId, Weight)>> = FxHashMap::default();
+                for &(a, b, w) in &edges {
+                    adj.entry(a).or_default().push((b, w));
+                    adj.entry(b).or_default().push((a, w));
+                }
+                let mut s = RankState::build(rank as Rank, owner, |v| {
+                    adj.get(&v).cloned().unwrap_or_default()
+                });
+                s.set_wire(wire);
+                s.initial_approximation();
+                cap_bytes = if cap == 0 { usize::MAX } else { cap as usize };
+                state = Some(s);
+                inbox.clear();
+                link.send(FrameKind::Data, &NetMsg::Ready { rank }.encode())?;
+            }
+            NetMsg::Produce { round } => {
+                let s = state
+                    .as_mut()
+                    .ok_or_else(|| protocol_err(&link.peer(), "Produce before Init"))?;
+                inbox.clear();
+                let outgoing = s.produce_rc_messages(cap_bytes);
+                let sent = s.last_sent;
+                for (dest, msg) in outgoing {
+                    let wire = NetMsg::Rows { round, peer: dest as u32, msg };
+                    link.send(FrameKind::Data, &wire.encode())?;
+                }
+                link.send(FrameKind::Data, &NetMsg::RowsDone { round, sent }.encode())?;
+            }
+            NetMsg::Rows { round: _, peer, msg } => {
+                inbox.push((peer as Rank, msg));
+            }
+            NetMsg::Consume { round, expect } => {
+                let s = state
+                    .as_mut()
+                    .ok_or_else(|| protocol_err(&link.peer(), "Consume before Init"))?;
+                if inbox.len() != expect as usize {
+                    // The link is ordered and replayed, so this can only be
+                    // a coordinator bug — surface it loudly.
+                    return Err(protocol_err(
+                        &link.peer(),
+                        format!(
+                            "round {round}: expected {expect} row bundles, have {}",
+                            inbox.len()
+                        ),
+                    ));
+                }
+                s.consume_rc_messages(std::mem::take(&mut inbox));
+                let reply =
+                    NetMsg::StepDone { round, changed: s.last_changed, dirty: s.has_dirty() };
+                link.send(FrameKind::Data, &reply.encode())?;
+            }
+            NetMsg::GatherClose => {
+                let s = state
+                    .as_ref()
+                    .ok_or_else(|| protocol_err(&link.peer(), "GatherClose before Init"))?;
+                let pairs =
+                    s.local_closeness().into_iter().map(|(v, c)| (v, c.to_bits())).collect();
+                link.send(FrameKind::Data, &NetMsg::CloseReply { pairs }.encode())?;
+            }
+            NetMsg::GatherRows => {
+                let s = state
+                    .as_ref()
+                    .ok_or_else(|| protocol_err(&link.peer(), "GatherRows before Init"))?;
+                let reply = NetMsg::RowsReply { rows: s.local_rows() };
+                link.send(FrameKind::Data, &reply.encode())?;
+            }
+            NetMsg::Absorb { rows } => {
+                let s = state
+                    .as_mut()
+                    .ok_or_else(|| protocol_err(&link.peer(), "Absorb before Init"))?;
+                let snap = RankSnapshot {
+                    rank: s.rank() as u32,
+                    local: rows,
+                    cached: Vec::new(),
+                    dirty: Vec::new(),
+                    pending: Vec::new(),
+                };
+                s.absorb_snapshot(&snap);
+                let rank = s.rank() as u32;
+                link.send(FrameKind::Data, &NetMsg::Ready { rank }.encode())?;
+            }
+            NetMsg::ResendAll => {
+                let s = state
+                    .as_mut()
+                    .ok_or_else(|| protocol_err(&link.peer(), "ResendAll before Init"))?;
+                s.mark_all_for_resend();
+                s.relax_pending();
+                inbox.clear();
+                let rank = s.rank() as u32;
+                link.send(FrameKind::Data, &NetMsg::Ready { rank }.encode())?;
+            }
+            NetMsg::Bye => return Ok(()),
+            NetMsg::Ready { .. }
+            | NetMsg::RowsDone { .. }
+            | NetMsg::StepDone { .. }
+            | NetMsg::CloseReply { .. }
+            | NetMsg::RowsReply { .. } => {
+                return Err(protocol_err(&link.peer(), "coordinator-bound message at worker"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+/// What the supervisor managed to do about a dead worker link.
+pub enum Revive<T: Transport> {
+    /// The same process reconnected (state intact): the link was healed in
+    /// place and unacknowledged frames were replayed.
+    Healed,
+    /// A fresh process took the rank over: here is its link. The
+    /// coordinator re-initializes it and min-merges the last checkpoint.
+    Respawned(T),
+    /// Nothing can be done (budget exhausted / policy says stop).
+    Gone,
+}
+
+/// Supervision hook: the coordinator detects failures, the supervisor owns
+/// the means of recovery (the listener, the child processes). `attempt`
+/// counts revivals of this rank so the supervisor can enforce a budget.
+pub trait WorkerSupervisor<T: Transport> {
+    fn revive(&mut self, rank: Rank, link: &mut T, attempt: u32) -> Revive<T>;
+}
+
+/// A supervisor that never revives anyone — the first unrecoverable
+/// failure degrades the run. Fine for deterministic in-process transports
+/// where links cannot fail.
+pub struct NoSupervisor;
+
+impl<T: Transport> WorkerSupervisor<T> for NoSupervisor {
+    fn revive(&mut self, _rank: Rank, _link: &mut T, _attempt: u32) -> Revive<T> {
+        Revive::Gone
+    }
+}
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Wire format workers announce rows in.
+    pub wire: WireFormat,
+    /// Per-message row-bundle cap in bytes (0 = unbounded).
+    pub message_cap_bytes: u64,
+    /// Safety bound on rounds before degrading with
+    /// [`DegradedReason::StepBudgetExhausted`].
+    pub max_rounds: u64,
+    /// How long to wait for any single protocol reply before suspecting
+    /// the worker.
+    pub reply_deadline: Duration,
+    /// How long a suspected worker gets to answer the heartbeat probe.
+    pub probe_deadline: Duration,
+    /// Revivals allowed per rank before the run degrades.
+    pub max_revivals: u32,
+    /// Gather a checkpoint (all rows, per rank) every this many rounds
+    /// (0 = never). The latest checkpoint seeds respawned workers.
+    pub checkpoint_every: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            wire: WireFormat::Full,
+            message_cap_bytes: 0,
+            max_rounds: 10_000,
+            reply_deadline: Duration::from_secs(10),
+            probe_deadline: Duration::from_secs(2),
+            max_revivals: 3,
+            checkpoint_every: 4,
+        }
+    }
+}
+
+/// A successful distributed run.
+#[derive(Debug, Clone)]
+pub struct NetSummary {
+    /// Closeness per global vertex — bit-identical to the in-process
+    /// executor's fixed point.
+    pub closeness: Vec<f64>,
+    /// Recombination rounds driven (including aborted ones).
+    pub rounds: u64,
+    /// Worker revivals (heals + respawns) across the run.
+    pub recoveries: u32,
+    /// Transient incidents survived without supervisor involvement.
+    pub probes_survived: u32,
+}
+
+/// How a distributed run ended: converged with exact closeness, or
+/// degraded with certified bounds. (`Err` is reserved for coordinator-side
+/// bugs — worker failures never surface as `Err`.)
+#[derive(Debug)]
+pub enum NetOutcome {
+    Converged(NetSummary),
+    Degraded(Box<DegradedReport>),
+}
+
+/// Gathered DV rows for one rank: the in-memory checkpoint payload.
+type CheckpointRows = Vec<(VertexId, Vec<Dist>)>;
+
+/// The coordinator: owns the graph, the partition, one link per rank, and
+/// the BSP clock; drives rounds until quiescence, supervising failures.
+pub struct NetRunner<'g, T: Transport> {
+    graph: &'g AdjGraph,
+    owner: Vec<PartId>,
+    links: Vec<T>,
+    config: NetConfig,
+    sink: Arc<dyn EventSink>,
+    /// Latest gathered rows per rank (the in-memory checkpoint).
+    checkpoints: Vec<Option<CheckpointRows>>,
+    /// Revival attempts per rank.
+    revivals: Vec<u32>,
+    /// Ranks the supervisor has given up on.
+    dead: Vec<bool>,
+    started: Instant,
+    recoveries: u32,
+    probes_survived: u32,
+    round: u64,
+}
+
+impl<'g, T: Transport> NetRunner<'g, T> {
+    /// `owner[v]` must index into `links` (one link per rank, already
+    /// connected and handshaken).
+    pub fn new(graph: &'g AdjGraph, owner: Vec<PartId>, links: Vec<T>, config: NetConfig) -> Self {
+        let procs = links.len();
+        Self {
+            graph,
+            owner,
+            links,
+            config,
+            sink: Arc::new(NoopSink),
+            checkpoints: vec![None; procs],
+            revivals: vec![0; procs],
+            dead: vec![false; procs],
+            started: Instant::now(),
+            recoveries: 0,
+            probes_survived: 0,
+            round: 0,
+        }
+    }
+
+    /// Installs a span sink (connection / reconnect / heartbeat instants).
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = sink;
+    }
+
+    fn wall_us(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn span(&self, kind: SpanKind, rank: Rank) {
+        if self.sink.enabled() {
+            self.sink.record(SpanEvent::instant(
+                kind,
+                rank as i64,
+                self.round,
+                0.0,
+                self.wall_us(),
+            ));
+        }
+    }
+
+    fn init_msg(&self, rank: Rank) -> NetMsg {
+        NetMsg::Init {
+            rank: rank as u32,
+            procs: self.links.len() as u32,
+            wire: self.config.wire,
+            cap_bytes: self.config.message_cap_bytes,
+            owner: self.owner.clone(),
+            edges: self.graph.edges().collect(),
+        }
+    }
+
+    fn send_msg(&mut self, rank: Rank, msg: &NetMsg) -> Result<(), NetError> {
+        self.links[rank].send(FrameKind::Data, &msg.encode())?;
+        Ok(())
+    }
+
+    /// Receives the next protocol message from `rank` within the reply
+    /// deadline.
+    fn recv_msg(&mut self, rank: Rank) -> Result<NetMsg, NetError> {
+        let deadline = self.config.reply_deadline;
+        loop {
+            let frame = self.links[rank].recv(Some(deadline))?;
+            match frame.kind {
+                FrameKind::Data => {
+                    let peer = self.links[rank].peer();
+                    return NetMsg::decode(&frame.payload).map_err(|e| protocol_err(&peer, e));
+                }
+                FrameKind::Shutdown => {
+                    return Err(NetError::PeerDead { peer: self.links[rank].peer() })
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Waits for a [`NetMsg::Ready`] from `rank`.
+    fn await_ready(&mut self, rank: Rank) -> Result<(), NetError> {
+        match self.recv_msg(rank)? {
+            NetMsg::Ready { .. } => Ok(()),
+            other => Err(protocol_err(
+                &self.links[rank].peer(),
+                format!("expected Ready, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Initializes every worker (Init → Ready). Must be called once before
+    /// [`NetRunner::run`]; failures here climb the same supervision ladder
+    /// as mid-run failures — probe, then revive under the revival budget —
+    /// except that no global resync runs (later ranks have not been
+    /// initialized yet, so there is nothing to resynchronize). Re-sending
+    /// `Init` after a heal is safe: no rows have flowed, so resetting the
+    /// rank's state is idempotent.
+    pub fn init(&mut self, supervisor: &mut dyn WorkerSupervisor<T>) -> Result<(), NetOutcome> {
+        for rank in 0..self.links.len() {
+            let max_attempts = 2 * (self.config.max_revivals + 2);
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                if attempts > max_attempts {
+                    return Err(self.degraded(rank));
+                }
+                let msg = self.init_msg(rank);
+                if self.send_msg(rank, &msg).and_then(|()| self.await_ready(rank)).is_ok() {
+                    break;
+                }
+                self.span(SpanKind::Heartbeat, rank);
+                if self.probe(rank).is_ok() {
+                    // Link is alive — the Ready was lost in flight (e.g. a
+                    // corrupted frame poisoned one stream); just re-issue.
+                    self.probes_survived += 1;
+                    continue;
+                }
+                self.revivals[rank] += 1;
+                if self.revivals[rank] > self.config.max_revivals {
+                    return Err(self.degraded(rank));
+                }
+                match supervisor.revive(rank, &mut self.links[rank], self.revivals[rank]) {
+                    Revive::Healed => {
+                        self.span(SpanKind::Reconnect, rank);
+                        self.recoveries += 1;
+                    }
+                    Revive::Respawned(link) => {
+                        self.span(SpanKind::Reconnect, rank);
+                        self.recoveries += 1;
+                        self.links[rank] = link;
+                    }
+                    Revive::Gone => return Err(self.degraded(rank)),
+                }
+            }
+            self.span(SpanKind::Connection, rank);
+        }
+        Ok(())
+    }
+
+    /// Drives recombination rounds until a full round moves nothing, a
+    /// failure degrades the run, or the round budget runs out.
+    pub fn run(&mut self, supervisor: &mut dyn WorkerSupervisor<T>) -> NetOutcome {
+        loop {
+            if self.round >= self.config.max_rounds {
+                return self.degrade_with(DegradedReason::StepBudgetExhausted);
+            }
+            self.round += 1;
+            match self.one_round() {
+                Ok(active) => {
+                    if !active {
+                        return match self.gather_closeness() {
+                            Ok(closeness) => NetOutcome::Converged(NetSummary {
+                                closeness,
+                                rounds: self.round,
+                                recoveries: self.recoveries,
+                                probes_survived: self.probes_survived,
+                            }),
+                            Err((rank, _)) => self.degraded(rank),
+                        };
+                    }
+                    if self.config.checkpoint_every != 0
+                        && self.round % self.config.checkpoint_every == 0
+                    {
+                        // Best-effort: a failed gather is caught next round.
+                        let _ = self.gather_checkpoint();
+                    }
+                }
+                Err((rank, err)) => {
+                    if let Err(out) = self.supervise(rank, err, supervisor) {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One BSP round over all live ranks. Returns whether anything moved.
+    /// An `Err` names the rank whose link failed.
+    fn one_round(&mut self) -> Result<bool, (Rank, NetError)> {
+        let procs = self.links.len();
+        let round = self.round;
+        // Produce phase: ask everyone, then collect row bundles per rank
+        // until its RowsDone arrives.
+        let mut relay: Vec<Vec<NetMsg>> = (0..procs).map(|_| Vec::new()).collect();
+        let mut any_sent = false;
+        for rank in 0..procs {
+            if self.dead[rank] {
+                continue;
+            }
+            self.send_msg(rank, &NetMsg::Produce { round }).map_err(|e| (rank, e))?;
+        }
+        for rank in 0..procs {
+            if self.dead[rank] {
+                continue;
+            }
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::Rows { round: r, peer, msg } if r == round => {
+                        let dest = peer as usize;
+                        if dest < procs {
+                            relay[dest].push(NetMsg::Rows { round, peer: rank as u32, msg });
+                        }
+                    }
+                    NetMsg::RowsDone { round: r, sent } if r == round => {
+                        any_sent |= sent;
+                        break;
+                    }
+                    // A stale reply from an aborted round: drop it.
+                    NetMsg::Rows { .. } | NetMsg::RowsDone { .. } | NetMsg::StepDone { .. } => {}
+                    NetMsg::Ready { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} in produce phase"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        // Relay + consume phase.
+        let mut any_changed = false;
+        let mut any_dirty = false;
+        for (rank, bundle) in relay.into_iter().enumerate() {
+            if self.dead[rank] {
+                continue;
+            }
+            let expect = bundle.len() as u32;
+            for msg in bundle {
+                self.send_msg(rank, &msg).map_err(|e| (rank, e))?;
+            }
+            self.send_msg(rank, &NetMsg::Consume { round, expect }).map_err(|e| (rank, e))?;
+        }
+        for rank in 0..procs {
+            if self.dead[rank] {
+                continue;
+            }
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::StepDone { round: r, changed, dirty } if r == round => {
+                        any_changed |= changed;
+                        any_dirty |= dirty;
+                        break;
+                    }
+                    NetMsg::Rows { .. }
+                    | NetMsg::RowsDone { .. }
+                    | NetMsg::StepDone { .. }
+                    | NetMsg::Ready { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} in consume phase"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(any_sent || any_changed || any_dirty)
+    }
+
+    /// The supervision ladder for a failed rank: probe (transient?) →
+    /// revive (heal / respawn) → degrade. On success the whole cluster is
+    /// kicked with `ResendAll` — blind re-announcement is always safe and
+    /// re-floods whatever the aborted round lost.
+    ///
+    /// Faults during recovery itself (a chaotic link tearing mid-probe, a
+    /// resync hitting a second failed rank) re-enter the ladder rather
+    /// than degrading outright: each climb charges the failing rank's
+    /// revival budget, so the loop is bounded and a run only degrades when
+    /// some rank's budget is genuinely exhausted (or the supervisor says
+    /// `Gone`).
+    fn supervise(
+        &mut self,
+        rank: Rank,
+        err: NetError,
+        supervisor: &mut dyn WorkerSupervisor<T>,
+    ) -> Result<(), NetOutcome> {
+        drop(err);
+        let mut rank = rank;
+        // The probe-survived path does not charge the budget, so bound the
+        // total ladder length separately to rule out a livelock against an
+        // adversarial fault schedule.
+        let max_climbs = self.links.len() as u32 * (self.config.max_revivals + 2).max(2);
+        for _ in 0..max_climbs {
+            // Step 1: probe. A worker that answers within the probe
+            // deadline hit a transient fault (delayed frames, a reconnect
+            // in progress) — no supervisor needed.
+            self.span(SpanKind::Heartbeat, rank);
+            if self.probe(rank).is_ok() {
+                self.probes_survived += 1;
+                match self.resync_all() {
+                    Ok(()) => return Ok(()),
+                    Err((r, _)) => {
+                        rank = r;
+                        continue;
+                    }
+                }
+            }
+            // Step 2: the supervisor. Heal or respawn, within budget.
+            self.revivals[rank] += 1;
+            if self.revivals[rank] > self.config.max_revivals {
+                return Err(self.degraded(rank));
+            }
+            match supervisor.revive(rank, &mut self.links[rank], self.revivals[rank]) {
+                Revive::Healed => {
+                    self.span(SpanKind::Reconnect, rank);
+                    self.recoveries += 1;
+                    // Same process: state intact. Verify liveness (a
+                    // failure climbs the ladder again), then kick.
+                    if self.probe(rank).is_err() {
+                        continue;
+                    }
+                }
+                Revive::Respawned(link) => {
+                    self.span(SpanKind::Reconnect, rank);
+                    self.recoveries += 1;
+                    self.links[rank] = link;
+                    // Fresh process: full re-init, then min-merge the last
+                    // checkpoint so work done before the kill is not lost.
+                    let msg = self.init_msg(rank);
+                    if self.send_msg(rank, &msg).and_then(|()| self.await_ready(rank)).is_err() {
+                        continue;
+                    }
+                    if let Some(rows) = self.checkpoints[rank].clone() {
+                        self.span(SpanKind::Restore, rank);
+                        if self
+                            .send_msg(rank, &NetMsg::Absorb { rows })
+                            .and_then(|()| self.await_ready(rank))
+                            .is_err()
+                        {
+                            continue;
+                        }
+                    }
+                }
+                Revive::Gone => return Err(self.degraded(rank)),
+            }
+            match self.resync_all() {
+                Ok(()) => return Ok(()),
+                Err((r, _)) => rank = r,
+            }
+        }
+        Err(self.degraded(rank))
+    }
+
+    /// Heartbeat round-trip with a fresh nonce.
+    fn probe(&mut self, rank: Rank) -> Result<(), NetError> {
+        let nonce = (self.round << 16) ^ rank as u64 ^ 0x5a5a_5a5a;
+        self.links[rank].send(FrameKind::Heartbeat, &nonce.to_le_bytes())?;
+        let deadline = self.config.probe_deadline;
+        let start = Instant::now();
+        loop {
+            if start.elapsed() >= deadline {
+                return Err(NetError::Timeout { peer: self.links[rank].peer(), waited: deadline });
+            }
+            let frame = self.links[rank].recv(Some(deadline))?;
+            if frame.kind == FrameKind::HeartbeatAck && frame.payload == nonce.to_le_bytes() {
+                return Ok(());
+            }
+            // Anything else (stale round replies, old heartbeat acks) is
+            // drained and discarded while we wait for our nonce.
+        }
+    }
+
+    /// Post-recovery resync: every live rank re-announces everything. The
+    /// aborted round may have applied partially — min-merge makes the
+    /// overlap harmless and the re-flood restores whatever was lost.
+    fn resync_all(&mut self) -> Result<(), (Rank, NetError)> {
+        for rank in 0..self.links.len() {
+            if self.dead[rank] {
+                continue;
+            }
+            self.send_msg(rank, &NetMsg::ResendAll).map_err(|e| (rank, e))?;
+        }
+        for rank in 0..self.links.len() {
+            if self.dead[rank] {
+                continue;
+            }
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::Ready { .. } => break,
+                    // Drain whatever the aborted round left in flight.
+                    NetMsg::Rows { .. } | NetMsg::RowsDone { .. } | NetMsg::StepDone { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} during resync"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gathers all rows from every live rank into the in-memory
+    /// checkpoint.
+    fn gather_checkpoint(&mut self) -> Result<(), (Rank, NetError)> {
+        self.span(SpanKind::Checkpoint, 0);
+        for rank in 0..self.links.len() {
+            if self.dead[rank] {
+                continue;
+            }
+            self.send_msg(rank, &NetMsg::GatherRows).map_err(|e| (rank, e))?;
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::RowsReply { rows } => {
+                        self.checkpoints[rank] = Some(rows);
+                        break;
+                    }
+                    NetMsg::Rows { .. } | NetMsg::RowsDone { .. } | NetMsg::StepDone { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} during gather"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects closeness from every rank and assembles the global vector.
+    fn gather_closeness(&mut self) -> Result<Vec<f64>, (Rank, NetError)> {
+        let n = self.owner.len();
+        let mut closeness = vec![0.0f64; n];
+        for rank in 0..self.links.len() {
+            if self.dead[rank] {
+                continue;
+            }
+            self.send_msg(rank, &NetMsg::GatherClose).map_err(|e| (rank, e))?;
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::CloseReply { pairs } => {
+                        for (v, bits) in pairs {
+                            if (v as usize) < n {
+                                closeness[v as usize] = f64::from_bits(bits);
+                            }
+                        }
+                        break;
+                    }
+                    NetMsg::Rows { .. } | NetMsg::RowsDone { .. } | NetMsg::StepDone { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} during closeness gather"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(closeness)
+    }
+
+    /// Sends a best-effort goodbye to every live worker.
+    pub fn shutdown(&mut self) {
+        for rank in 0..self.links.len() {
+            if !self.dead[rank] {
+                let _ = self.send_msg(rank, &NetMsg::Bye);
+                let _ = self.links[rank].send(FrameKind::Shutdown, &[]);
+            }
+        }
+    }
+
+    fn degraded(&mut self, failed_rank: Rank) -> NetOutcome {
+        self.dead[failed_rank] = true;
+        self.degrade_with(DegradedReason::RetriesExhausted {
+            last: ClusterError::RankFailed { rank: failed_rank, superstep: self.round },
+        })
+    }
+
+    /// Assembles the certified degraded answer: salvage rows from every
+    /// surviving worker (checkpoints stand in for dead ones), compute the
+    /// estimate, and bound the error against the graph structure.
+    fn degrade_with(&mut self, reason: DegradedReason) -> NetOutcome {
+        let n = self.owner.len();
+        let mut matrix = DistMatrix::new(n);
+        for rank in 0..self.links.len() {
+            // Live workers give fresher rows than the checkpoint; fall back
+            // to the checkpoint, and to nothing (INF rows → conservative
+            // bounds) for ranks that are gone without one.
+            let salvaged: Option<Vec<(VertexId, Vec<Dist>)>> = if self.dead[rank] {
+                self.checkpoints[rank].clone()
+            } else {
+                match self.salvage_rows(rank) {
+                    Some(rows) => Some(rows),
+                    None => self.checkpoints[rank].clone(),
+                }
+            };
+            if let Some(rows) = salvaged {
+                for (v, row) in rows {
+                    if (v as usize) < n {
+                        for (t, &d) in row.iter().enumerate().take(n) {
+                            if d < matrix.get(v, t as VertexId) {
+                                matrix.set(v, t as VertexId, d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let estimate: Vec<f64> =
+            (0..n as VertexId).map(|v| closeness_from_row(matrix.row(v))).collect();
+        let bound = degraded_closeness_bounds(self.graph, &matrix);
+        let faults = FaultCounters {
+            retransmits: self.recoveries as u64 + self.probes_survived as u64,
+            ..FaultCounters::default()
+        };
+        NetOutcome::Degraded(Box::new(DegradedReport {
+            reason,
+            rc_steps: self.round as usize,
+            faults,
+            estimate,
+            bound,
+        }))
+    }
+
+    /// Best-effort row gather from one possibly-wounded worker.
+    fn salvage_rows(&mut self, rank: Rank) -> Option<Vec<(VertexId, Vec<Dist>)>> {
+        self.send_msg(rank, &NetMsg::GatherRows).ok()?;
+        let deadline = Instant::now() + self.config.probe_deadline;
+        loop {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            match self.recv_msg(rank) {
+                Ok(NetMsg::RowsReply { rows }) => return Some(rows),
+                Ok(_) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: NetMsg) {
+        let bytes = msg.encode();
+        let back = NetMsg::decode(&bytes).expect("decodes");
+        assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn netmsg_roundtrips_every_variant() {
+        roundtrip(NetMsg::Init {
+            rank: 2,
+            procs: 4,
+            wire: WireFormat::Delta,
+            cap_bytes: 4096,
+            owner: vec![0, 1, 2, 3, 0],
+            edges: vec![(0, 1, 3), (1, 2, 1)],
+        });
+        roundtrip(NetMsg::Ready { rank: 1 });
+        roundtrip(NetMsg::Produce { round: 9 });
+        roundtrip(NetMsg::Rows {
+            round: 9,
+            peer: 3,
+            msg: RowMsg {
+                rows: vec![
+                    (0, RowPayload::Full(vec![0, 5, u32::MAX])),
+                    (1, RowPayload::Delta(vec![(2, 7), (4, 1)])),
+                ],
+            },
+        });
+        roundtrip(NetMsg::RowsDone { round: 9, sent: true });
+        roundtrip(NetMsg::Consume { round: 9, expect: 2 });
+        roundtrip(NetMsg::StepDone { round: 9, changed: false, dirty: true });
+        roundtrip(NetMsg::GatherClose);
+        roundtrip(NetMsg::CloseReply { pairs: vec![(0, 0.25f64.to_bits()), (7, 0u64)] });
+        roundtrip(NetMsg::GatherRows);
+        roundtrip(NetMsg::RowsReply { rows: vec![(3, vec![1, 2, 3])] });
+        roundtrip(NetMsg::Absorb { rows: vec![(3, vec![1, 2, 3]), (4, vec![])] });
+        roundtrip(NetMsg::ResendAll);
+        roundtrip(NetMsg::Bye);
+    }
+
+    #[test]
+    fn netmsg_decode_rejects_malformed_input() {
+        assert!(matches!(NetMsg::decode(&[]), Err(WireError::Truncated { .. })));
+        assert!(matches!(NetMsg::decode(&[200]), Err(WireError::UnknownTag(200))));
+        // Trailing garbage after a complete message.
+        let mut bytes = NetMsg::Bye.encode();
+        bytes.push(0);
+        assert!(matches!(NetMsg::decode(&bytes), Err(WireError::TrailingBytes { extra: 1 })));
+        // Truncations of a structured message are always typed errors.
+        let full = NetMsg::Rows {
+            round: 3,
+            peer: 1,
+            msg: RowMsg { rows: vec![(0, RowPayload::Full(vec![1, 2, 3]))] },
+        }
+        .encode();
+        for cut in 0..full.len() {
+            match NetMsg::decode(&full[..cut]) {
+                Err(_) => {}
+                Ok(m) => panic!("truncation at {cut} decoded as {m:?}"),
+            }
+        }
+        // A corrupted element count cannot demand a giant allocation.
+        let mut bomb = vec![11u8]; // RowsReply
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(NetMsg::decode(&bomb), Err(WireError::Truncated { .. })));
+    }
+}

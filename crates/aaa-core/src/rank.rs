@@ -40,7 +40,7 @@ impl std::str::FromStr for WireFormat {
 
 /// One row on the wire: the full vector, or the sparse improvements since
 /// the sender's last send to a synced destination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RowPayload {
     Full(Vec<Dist>),
     Delta(Vec<(VertexId, Dist)>),
@@ -58,7 +58,7 @@ impl RowPayload {
 }
 
 /// A bundle of distance-vector rows travelling between ranks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowMsg {
     pub rows: Vec<(VertexId, RowPayload)>,
 }

@@ -1,0 +1,186 @@
+//! Property and corruption tests for the cluster protocol codec
+//! (`NetMsg`), the layer that rides inside `Data` frames.
+//!
+//! The frame codec below this one guarantees integrity (CRC over the
+//! whole frame), but the protocol decoder still has to be total: a buggy
+//! or version-skewed peer can ship a frame that passes the CRC and still
+//! carries garbage. Every byte-level corruption must come back as a typed
+//! [`WireError`] or as a different-but-valid message — never a panic, and
+//! never an allocation bomb from a hostile length prefix.
+
+use aaa_core::rank::{RowMsg, RowPayload, WireFormat};
+use aaa_core::{NetMsg, WireError};
+use aaa_graph::INF;
+use proptest::prelude::*;
+
+fn any_row_payload() -> impl Strategy<Value = RowPayload> {
+    (0u8..2).prop_flat_map(|which| match which {
+        0 => proptest::collection::vec(0u32..=INF, 0..32).prop_map(RowPayload::Full).boxed(),
+        _ => proptest::collection::vec((0u32..10_000, 0u32..=INF), 0..32)
+            .prop_map(RowPayload::Delta)
+            .boxed(),
+    })
+}
+
+fn any_rowmsg() -> impl Strategy<Value = RowMsg> {
+    proptest::collection::vec((0u32..10_000, any_row_payload()), 0..8)
+        .prop_map(|rows| RowMsg { rows })
+}
+
+fn any_rows_list() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    proptest::collection::vec((0u32..10_000, proptest::collection::vec(0u32..=INF, 0..24)), 0..6)
+}
+
+/// One strategy per message tag, so the corpus exercises every arm of the
+/// codec — including the `Rows` arm with both Full and Delta payloads.
+fn any_netmsg() -> impl Strategy<Value = NetMsg> {
+    (0u8..14).prop_flat_map(|tag| match tag {
+        0 => (
+            (0u32..64, 1u32..64, 0u8..2, 0u64..1 << 40),
+            proptest::collection::vec(0u32..64, 0..128),
+            proptest::collection::vec((0u32..200, 0u32..200, 1u32..100), 0..256),
+        )
+            .prop_map(|((rank, procs, wire, cap_bytes), owner, edges)| NetMsg::Init {
+                rank,
+                procs,
+                wire: if wire == 0 { WireFormat::Full } else { WireFormat::Delta },
+                cap_bytes,
+                owner,
+                edges,
+            })
+            .boxed(),
+        1 => (0u32..64).prop_map(|rank| NetMsg::Ready { rank }).boxed(),
+        2 => (0u64..1 << 32).prop_map(|round| NetMsg::Produce { round }).boxed(),
+        3 => ((0u64..1 << 32, 0u32..64), any_rowmsg())
+            .prop_map(|((round, peer), msg)| NetMsg::Rows { round, peer, msg })
+            .boxed(),
+        4 => (0u64..1 << 32, 0u8..2)
+            .prop_map(|(round, sent)| NetMsg::RowsDone { round, sent: sent == 1 })
+            .boxed(),
+        5 => (0u64..1 << 32, 0u32..1 << 16)
+            .prop_map(|(round, expect)| NetMsg::Consume { round, expect })
+            .boxed(),
+        6 => (0u64..1 << 32, 0u8..2, 0u8..2)
+            .prop_map(|(round, changed, dirty)| NetMsg::StepDone {
+                round,
+                changed: changed == 1,
+                dirty: dirty == 1,
+            })
+            .boxed(),
+        7 => Just(NetMsg::GatherClose).boxed(),
+        8 => proptest::collection::vec((0u32..10_000, 0u64..=u64::MAX), 0..64)
+            .prop_map(|pairs| NetMsg::CloseReply { pairs })
+            .boxed(),
+        9 => Just(NetMsg::GatherRows).boxed(),
+        10 => any_rows_list().prop_map(|rows| NetMsg::RowsReply { rows }).boxed(),
+        11 => any_rows_list().prop_map(|rows| NetMsg::Absorb { rows }).boxed(),
+        12 => Just(NetMsg::ResendAll).boxed(),
+        _ => Just(NetMsg::Bye).boxed(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn encode_decode_is_the_identity(msg in any_netmsg()) {
+        let bytes = msg.encode();
+        let back = NetMsg::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_handled(msg in any_netmsg()) {
+        // Unlike the frame layer there is no checksum here (the frame CRC
+        // provides it), so a flip may legitimately decode to a different
+        // valid message — but it must never panic or hang.
+        let bytes = msg.encode();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                match NetMsg::decode(&bad) {
+                    Ok(_) => {}
+                    Err(
+                        WireError::Truncated { .. }
+                        | WireError::UnknownTag(_)
+                        | WireError::UnknownWire(_)
+                        | WireError::UnknownPayload(_)
+                        | WireError::TrailingBytes { .. },
+                    ) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(msg in any_netmsg()) {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            match NetMsg::decode(&bytes[..cut]) {
+                Err(_) => {}
+                // Dropping trailing bytes can only produce a shorter valid
+                // message if the codec were ambiguous — it is length-prefixed
+                // everywhere, so a strict prefix must never decode.
+                Ok(short) => prop_assert!(
+                    false,
+                    "prefix of {cut}/{} bytes decoded as {short:?}",
+                    bytes.len()
+                ),
+            }
+        }
+    }
+}
+
+/// A hostile count prefix must be rejected by bounds-checking against the
+/// remaining input, not trusted as an allocation size.
+#[test]
+fn hostile_length_prefixes_do_not_allocate() {
+    // CloseReply claiming u32::MAX pairs with a 4-byte body.
+    let mut bomb = vec![9u8]; // CloseReply tag
+    bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(NetMsg::decode(&bomb), Err(WireError::Truncated { .. })));
+
+    // Init claiming a huge owner table.
+    let mut bomb = vec![1u8]; // Init tag
+    bomb.extend_from_slice(&0u32.to_le_bytes()); // rank
+    bomb.extend_from_slice(&4u32.to_le_bytes()); // procs
+    bomb.push(0); // wire = Full
+    bomb.extend_from_slice(&0u64.to_le_bytes()); // cap_bytes
+    bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // owner count
+    assert!(matches!(NetMsg::decode(&bomb), Err(WireError::Truncated { .. })));
+
+    // A Rows bundle whose inner row claims a giant Full vector.
+    let mut bomb = vec![4u8]; // Rows tag
+    bomb.extend_from_slice(&1u64.to_le_bytes()); // round
+    bomb.extend_from_slice(&0u32.to_le_bytes()); // peer
+    bomb.extend_from_slice(&1u32.to_le_bytes()); // one row
+    bomb.extend_from_slice(&7u32.to_le_bytes()); // vertex
+    bomb.push(0); // RowPayload::Full
+    bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // entry count
+    assert!(matches!(NetMsg::decode(&bomb), Err(WireError::Truncated { .. })));
+}
+
+#[test]
+fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+    assert!(matches!(NetMsg::decode(&[0xEE]), Err(WireError::UnknownTag(0xEE))));
+    assert!(matches!(NetMsg::decode(&[]), Err(WireError::Truncated { .. })));
+
+    let mut padded = NetMsg::Bye.encode();
+    padded.push(0);
+    assert!(matches!(NetMsg::decode(&padded), Err(WireError::TrailingBytes { extra: 1 })));
+
+    // Unknown wire-format byte inside Init.
+    let mut msg = NetMsg::Init {
+        rank: 0,
+        procs: 2,
+        wire: WireFormat::Full,
+        cap_bytes: 0,
+        owner: vec![0, 1],
+        edges: vec![(0, 1, 1)],
+    }
+    .encode();
+    // Init layout: tag, rank u32, procs u32, wire u8 at offset 9.
+    msg[9] = 9;
+    assert!(matches!(NetMsg::decode(&msg), Err(WireError::UnknownWire(9))));
+}

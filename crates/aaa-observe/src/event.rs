@@ -47,6 +47,14 @@ pub enum SpanKind {
     /// bounds) into a new epoch for concurrent readers. Driver-side work —
     /// zero simulated duration, real cost rides in wall_dur.
     Publish,
+    /// A transport connection established (socket transport: a worker's
+    /// link came up; `rank` is the worker's lane).
+    Connection,
+    /// A transport link healed after a failure: redial or rebind, with
+    /// replay of the unacknowledged frame suffix.
+    Reconnect,
+    /// A liveness probe over the transport (failure-detector traffic).
+    Heartbeat,
 }
 
 impl SpanKind {
@@ -68,11 +76,14 @@ impl SpanKind {
             SpanKind::DomainDecomposition => "domain_decomposition",
             SpanKind::Drain => "drain",
             SpanKind::Publish => "publish",
+            SpanKind::Connection => "connection",
+            SpanKind::Reconnect => "reconnect",
+            SpanKind::Heartbeat => "heartbeat",
         }
     }
 
     /// Every kind, in a stable order (report phase tables follow it).
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::Superstep,
         SpanKind::Exchange,
         SpanKind::Collective,
@@ -85,6 +96,9 @@ impl SpanKind {
         SpanKind::DomainDecomposition,
         SpanKind::Drain,
         SpanKind::Publish,
+        SpanKind::Connection,
+        SpanKind::Reconnect,
+        SpanKind::Heartbeat,
     ];
 }
 

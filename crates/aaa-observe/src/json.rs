@@ -190,7 +190,7 @@ impl Json {
 
     /// Parses a complete JSON document (rejects trailing garbage).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -199,7 +199,24 @@ impl Json {
         }
         Ok(value)
     }
+
+    /// Parses a document from raw bytes — the entry point for data read
+    /// off disk or a socket, where corruption may have produced invalid
+    /// UTF-8. Every malformed input (bad encoding, truncation, garbage)
+    /// returns a typed [`JsonError`]; this function never panics.
+    pub fn parse_bytes(input: &[u8]) -> Result<Json, JsonError> {
+        let s = std::str::from_utf8(input).map_err(|e| JsonError::Syntax {
+            at: e.valid_up_to(),
+            what: "invalid UTF-8".to_string(),
+        })?;
+        Json::parse(s)
+    }
 }
+
+/// Nesting cap: recursion in the parser is bounded so hostile or corrupted
+/// input (`[[[[…`) hits a typed error, never a stack overflow. Real
+/// reports nest 4–5 levels.
+const MAX_DEPTH: usize = 128;
 
 /// JSON has no NaN/Infinity; reports never contain them (they would mean a
 /// broken cost model), so treat them as a programming error loudly rather
@@ -237,6 +254,7 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -286,12 +304,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -306,6 +334,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -315,10 +344,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -329,6 +360,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -378,8 +410,9 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so this is
-                    // always well-formed).
+                    // Consume one UTF-8 scalar. Both entry points ([`Json::parse`]
+                    // takes &str, [`Json::parse_bytes`] validates upfront)
+                    // guarantee well-formed UTF-8 here.
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().expect("non-empty checked above");

@@ -69,7 +69,7 @@ pub struct ChaosPlan {
 
 /// SplitMix64 finalizer — the same generator `FaultPlan::seeded` uses.
 #[inline]
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -78,7 +78,7 @@ fn splitmix64(mut z: u64) -> u64 {
 
 /// Hash a chain of values into one u64 (order-sensitive).
 #[inline]
-fn mix(seed: u64, vals: &[u64]) -> u64 {
+pub(crate) fn mix(seed: u64, vals: &[u64]) -> u64 {
     let mut h = splitmix64(seed);
     for &v in vals {
         h = splitmix64(h ^ v);
@@ -88,7 +88,7 @@ fn mix(seed: u64, vals: &[u64]) -> u64 {
 
 /// Map a u64 to a unit-interval f64 (53 high bits).
 #[inline]
-fn unit(x: u64) -> f64 {
+pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -27,6 +27,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod logp;
+pub mod net;
 pub mod schedule;
 pub mod spmd;
 pub mod stats;
@@ -35,6 +36,11 @@ pub use aaa_observe::{EventSink, MemorySink, NoopSink, SpanEvent, SpanKind, DRIV
 pub use chaos::{ChannelFault, ChaosPlan};
 pub use cluster::{Cluster, ClusterConfig, ClusterError, ExecutionMode, FaultPlan};
 pub use logp::LogPModel;
+pub use net::{
+    decode_frame, encode_frame, mix64, read_hello, unit_f64, Backoff, Frame, FrameError, FrameKind,
+    HeartbeatConfig, Hello, LocalTransport, NetChaos, NetError, NetFault, SocketTransport,
+    Transport,
+};
 pub use schedule::ExchangeSchedule;
 pub use stats::{FaultCounters, RunStats};
 

@@ -1,0 +1,180 @@
+//! Property and corruption tests for the socket frame codec.
+//!
+//! The codec is the trust boundary between a rank and the network: every
+//! byte that arrives is attacker-controlled as far as the decoder is
+//! concerned. Two families of guarantees are pinned here:
+//!
+//! * **round-trip** — encode → decode is the identity for every frame
+//!   kind, sequence number, and payload (including Delta-row-shaped
+//!   payloads), and decoding consumes exactly the encoded length even
+//!   with trailing bytes from a following frame;
+//! * **corruption** — the CRC covers the *entire* frame, so every
+//!   single-bit flip anywhere (header included) is a typed error, and
+//!   every truncation is `FrameError::Truncated` (the "read more"
+//!   signal), never a panic or a bogus frame.
+
+use aaa_runtime::{decode_frame, encode_frame, Frame, FrameError, FrameKind, Hello};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FrameKind> {
+    (0usize..FrameKind::ALL.len()).prop_map(|i| FrameKind::ALL[i])
+}
+
+/// Arbitrary payload bytes, biased toward the shapes the protocol layer
+/// actually ships: empty control payloads, Delta-row-style LE tuples, and
+/// unstructured fuzz.
+fn any_payload() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..3).prop_flat_map(|which| match which {
+        0 => Just(Vec::new()).boxed(),
+        // Delta-row shape: (u32 vertex, u32 dist) pairs, little-endian.
+        1 => proptest::collection::vec((0u32..5_000, 0u32..100_000), 0..24)
+            .prop_map(|pairs| {
+                let mut out = Vec::with_capacity(8 * pairs.len());
+                for (v, d) in pairs {
+                    out.extend_from_slice(&v.to_le_bytes());
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+                out
+            })
+            .boxed(),
+        _ => proptest::collection::vec(0u8..=255, 0..200).boxed(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_the_identity(
+        kind in any_kind(),
+        seq in 0u64..=u64::MAX,
+        payload in any_payload(),
+    ) {
+        let frame = Frame { kind, seq, payload };
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame_from_a_stream(
+        kind in any_kind(),
+        seq in 0u64..=u64::MAX,
+        payload in any_payload(),
+        trailing in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // A TCP read usually hands back this frame plus the head of the
+        // next one; the decoder must stop at the boundary.
+        let frame = Frame { kind, seq, payload };
+        let bytes = encode_frame(&frame);
+        let mut stream = bytes.clone();
+        stream.extend_from_slice(&trailing);
+        let (decoded, consumed) = decode_frame(&stream).expect("prefix decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_typed_error(
+        kind in any_kind(),
+        seq in 0u64..=u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // CRC-32 detects all single-bit errors, and the CRC here covers
+        // header and payload alike — so no flip anywhere may yield Ok.
+        let bytes = encode_frame(&Frame { kind, seq, payload });
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                match decode_frame(&bad) {
+                    Err(_) => {}
+                    Ok((frame, _)) => prop_assert!(
+                        false,
+                        "bit {bit} of byte {pos} flipped undetected; decoded {:?}",
+                        frame.kind
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_asks_for_more_bytes(
+        kind in any_kind(),
+        seq in 0u64..=u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let bytes = encode_frame(&Frame { kind, seq, payload });
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Truncated { have, need }) => {
+                    prop_assert_eq!(have, cut);
+                    prop_assert!(need > cut, "need {need} must exceed the {cut} bytes present");
+                    prop_assert!(
+                        need <= bytes.len(),
+                        "need {need} overshoots the true frame length {}",
+                        bytes.len()
+                    );
+                }
+                other => prop_assert!(false, "truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_short_input(
+        rank in 0u32..=u32::MAX,
+        session in 0u64..=u64::MAX,
+        last_recv in 0u64..=u64::MAX,
+    ) {
+        let hello = Hello { rank, session, last_recv };
+        let bytes = hello.to_bytes();
+        prop_assert_eq!(Hello::from_bytes(&bytes).expect("own encoding decodes"), hello);
+        for cut in 0..bytes.len() {
+            prop_assert!(Hello::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// Deterministic edge cases the fuzz loops above could in principle miss.
+#[test]
+fn hostile_headers_map_to_the_right_typed_errors() {
+    let good = encode_frame(&Frame { kind: FrameKind::Data, seq: 9, payload: vec![1, 2, 3] });
+
+    // Wrong magic beats everything else.
+    let mut bad = good.clone();
+    bad[0] = 0x00;
+    assert!(matches!(decode_frame(&bad), Err(FrameError::BadMagic(_))));
+
+    // Unknown kind byte.
+    let mut bad = good.clone();
+    bad[2] = 0xEE;
+    assert!(matches!(decode_frame(&bad), Err(FrameError::UnknownKind(0xEE))));
+
+    // Reserved flags set.
+    let mut bad = good.clone();
+    bad[3] = 0x01;
+    assert!(matches!(decode_frame(&bad), Err(FrameError::BadFlags(0x01))));
+
+    // A length field claiming more than the cap is rejected *before* any
+    // allocation — the allocation-bomb guard.
+    let mut bad = good.clone();
+    bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(decode_frame(&bad), Err(FrameError::TooLarge { .. })));
+
+    // A length field inside the cap but beyond the buffer just asks for
+    // more bytes; the stream loop's deadline bounds how long it waits.
+    let mut bad = good.clone();
+    bad[12..16].copy_from_slice(&1_000u32.to_le_bytes());
+    assert!(matches!(decode_frame(&bad), Err(FrameError::Truncated { .. })));
+
+    // Same frame with a re-zeroed CRC: pure CRC failure.
+    let mut bad = good.clone();
+    bad[16..20].copy_from_slice(&[0; 4]);
+    assert!(matches!(decode_frame(&bad), Err(FrameError::BadCrc { .. })));
+
+    // The unharmed original still decodes.
+    assert!(decode_frame(&good).is_ok());
+}

@@ -36,6 +36,35 @@
 use aaa_core::publish::{PublishedView, ViewCell};
 use aaa_graph::VertexId;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Typed serving errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// [`ServeHandle::wait_for_epoch_deadline`] gave up: the published
+    /// epoch never reached `target` within the deadline — typically the
+    /// writer died or stopped publishing.
+    EpochTimeout {
+        /// The epoch the caller was waiting for.
+        target: u64,
+        /// The latest epoch actually published when the wait expired.
+        latest: u64,
+        /// How long the caller waited.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::EpochTimeout { target, latest, waited } => {
+                write!(f, "epoch {target} not published within {waited:?} (latest epoch: {latest})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Epoch metadata for one published view — what a dashboard or freshness
 /// monitor needs without the O(n) payload.
@@ -120,7 +149,9 @@ impl ServeHandle {
 
     /// Spin-waits until the published epoch is ≥ `epoch` and returns the
     /// first such view. Test/example helper — production readers should
-    /// just `view()` whatever is current.
+    /// just `view()` whatever is current, or use
+    /// [`ServeHandle::wait_for_epoch_deadline`], which cannot hang when
+    /// the writer dies.
     pub fn wait_for_epoch(&self, epoch: u64) -> Arc<PublishedView> {
         loop {
             let view = self.view();
@@ -128,6 +159,39 @@ impl ServeHandle {
                 return view;
             }
             std::thread::yield_now();
+        }
+    }
+
+    /// Like [`ServeHandle::wait_for_epoch`], but gives up after `deadline`
+    /// with a typed [`ServeError::EpochTimeout`] instead of spinning
+    /// forever — the reader-side failure detector for a dead or wedged
+    /// writer. The wait backs off from a busy spin to short sleeps, so a
+    /// long deadline does not burn a core.
+    pub fn wait_for_epoch_deadline(
+        &self,
+        epoch: u64,
+        deadline: Duration,
+    ) -> Result<Arc<PublishedView>, ServeError> {
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            let view = self.view();
+            if view.epoch >= epoch {
+                return Ok(view);
+            }
+            if start.elapsed() >= deadline {
+                return Err(ServeError::EpochTimeout {
+                    target: epoch,
+                    latest: view.epoch,
+                    waited: deadline,
+                });
+            }
+            if spins < 64 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 }
@@ -217,6 +281,46 @@ mod tests {
         for r in readers {
             assert!(r.join().expect("reader panicked") > 0);
         }
+    }
+
+    #[test]
+    fn wait_with_deadline_times_out_when_the_writer_dies() {
+        let mut e = engine(60, 2);
+        let h = ServeHandle::attach(&e);
+        e.run_to_convergence();
+        let published = h.epoch();
+        // Kill the publishing side mid-wait: the engine (the only writer)
+        // is dropped while a reader waits for an epoch that will never
+        // come. The deadline must surface as a typed error, not a hang.
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                h.wait_for_epoch_deadline(published + 1, Duration::from_millis(200))
+            })
+        };
+        drop(e);
+        match waiter.join().expect("waiter panicked") {
+            Err(ServeError::EpochTimeout { target, latest, waited }) => {
+                assert_eq!(target, published + 1);
+                assert_eq!(latest, published);
+                assert_eq!(waited, Duration::from_millis(200));
+            }
+            Ok(view) => panic!("writer is dead but epoch {} appeared", view.epoch),
+        }
+    }
+
+    #[test]
+    fn wait_with_deadline_returns_early_when_the_epoch_lands() {
+        let mut e = engine(60, 2);
+        let h = ServeHandle::attach(&e);
+        let target = h.epoch() + 1;
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || h.wait_for_epoch_deadline(target, Duration::from_secs(30)))
+        };
+        e.run_to_convergence();
+        let view = waiter.join().unwrap().expect("epoch was published before the deadline");
+        assert!(view.epoch >= target);
     }
 
     #[test]
