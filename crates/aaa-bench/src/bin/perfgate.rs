@@ -5,7 +5,18 @@
 //! ```text
 //! usage: perfgate <candidate.json> <baseline.json>
 //!                 [--threshold 0.10] [--override metric=thr]...
+//!        perfgate <candidate.json> --write-baseline <path>
+//!        perfgate --validate <file-or-dir>...
 //! ```
+//!
+//! `--write-baseline` re-serializes the candidate through the current
+//! `RunReport` codec and writes it to `path` — the one sanctioned way to
+//! refresh a committed baseline (a report that does not round-trip never
+//! becomes a baseline). `--validate` parses every given report (or every
+//! `.json` inside a given directory) as a current-version `RunReport` and
+//! fails if any is stale or malformed — CI runs it over
+//! `results/baselines/` so format changes can never silently orphan a
+//! committed baseline.
 //!
 //! Exit codes: 0 = no regression, 1 = regression, 2 = usage / IO / parse /
 //! scenario-mismatch errors.
@@ -21,7 +32,9 @@ use aaa_observe::{compare, regressed, GateConfig, MetricDiff, RunReport};
 fn usage() -> ! {
     eprintln!(
         "usage: perfgate <candidate.json> <baseline.json> \
-         [--threshold 0.10] [--override metric=thr]..."
+         [--threshold 0.10] [--override metric=thr]...\n\
+         \x20      perfgate <candidate.json> --write-baseline <path>\n\
+         \x20      perfgate --validate <file-or-dir>..."
     );
     std::process::exit(2);
 }
@@ -53,13 +66,80 @@ fn fmt_change(d: &MetricDiff) -> String {
     }
 }
 
+/// `--validate`: every argument is a report file or a directory whose
+/// `.json` entries are reports; each must parse as a current-version
+/// [`RunReport`].
+fn validate(paths: &[&str]) -> ! {
+    if paths.is_empty() {
+        fail("--validate wants at least one file or directory");
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for p in paths {
+        let path = std::path::Path::new(p);
+        if path.is_dir() {
+            let entries =
+                std::fs::read_dir(path).unwrap_or_else(|e| fail(&format!("cannot list {p}: {e}")));
+            for entry in entries {
+                let entry = entry.unwrap_or_else(|e| fail(&format!("cannot list {p}: {e}")));
+                if entry.path().extension().is_some_and(|x| x == "json") {
+                    files.push(entry.path());
+                }
+            }
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        fail("--validate found no .json reports to check");
+    }
+    files.sort();
+    let mut bad = 0usize;
+    for f in &files {
+        let shown = f.display();
+        match std::fs::read_to_string(f).map_err(|e| e.to_string()).and_then(|text| {
+            RunReport::from_json_str(&text).map(|r| r.scenario).map_err(|e| e.to_string())
+        }) {
+            Ok(scenario) => println!("perfgate: {shown}: ok ({scenario})"),
+            Err(e) => {
+                eprintln!("perfgate: {shown}: INVALID — {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("perfgate: {bad}/{} baseline reports failed validation", files.len());
+        std::process::exit(2);
+    }
+    println!("perfgate: all {} baseline reports parse as current-version RunReport", files.len());
+    std::process::exit(0);
+}
+
+/// `--write-baseline`: round-trip the candidate through the current codec
+/// and write the canonical serialization to `dest`.
+fn write_baseline(candidate_path: &str, dest: &str) -> ! {
+    let report = load(candidate_path);
+    std::fs::write(dest, report.to_json_string())
+        .unwrap_or_else(|e| fail(&format!("cannot write {dest}: {e}")));
+    println!("perfgate: baseline for {:?} written to {dest}", report.scenario);
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut cfg = GateConfig::default();
+    let mut baseline_dest: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--validate" => {
+                let rest: Vec<&str> = argv[i + 1..].iter().map(String::as_str).collect();
+                validate(&rest);
+            }
+            "--write-baseline" => {
+                i += 1;
+                baseline_dest = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
             "--threshold" => {
                 i += 1;
                 let v = argv.get(i).unwrap_or_else(|| usage());
@@ -80,6 +160,10 @@ fn main() {
             path => paths.push(path),
         }
         i += 1;
+    }
+    if let Some(dest) = baseline_dest {
+        let [candidate_path] = paths[..] else { usage() };
+        write_baseline(candidate_path, &dest);
     }
     let [candidate_path, baseline_path] = paths[..] else { usage() };
     let candidate = load(candidate_path);

@@ -30,6 +30,10 @@
 //!                       ingest, with domain decomposition running on the
 //!                       compressed backend (suffixes the scenario name
 //!                       with `:store=compressed`)
+//! --policy static|ps|rs|adaptive
+//!                       restrict streaming sweeps (`stream_load`) to one
+//!                       background-rebalance policy
+//! --ticks <N>           driver ticks for streaming workloads
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -70,6 +74,11 @@ pub struct CommonArgs {
     /// Graph storage backend for the pinned scenario
     /// (`--store plain|compressed`).
     pub store: StoreBackend,
+    /// Restrict streaming sweeps to one rebalance policy
+    /// (`--policy static|ps|rs|adaptive`).
+    pub policy: Option<aaa_core::RebalancePolicy>,
+    /// Driver ticks for streaming workloads (`--ticks N`).
+    pub ticks: Option<u64>,
 }
 
 /// Which [`aaa_store::GraphStore`] backend the pinned scenario routes the
@@ -110,6 +119,8 @@ impl Default for CommonArgs {
             trace: None,
             wire: WireFormat::Full,
             store: StoreBackend::Plain,
+            policy: None,
+            ticks: None,
         }
     }
 }
@@ -166,12 +177,22 @@ impl CommonArgs {
                         std::process::exit(2);
                     })
                 }
+                "--policy" => {
+                    out.policy = Some(take("--policy").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }))
+                }
+                "--ticks" => {
+                    out.ticks = Some(take("--ticks").parse().expect("--ticks wants an integer"))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
                          [--checkpoint-every N] [--fault R@S] [--chaos seed:rate] \
                          [--report path] [--trace path] [--wire full|delta] \
-                         [--store plain|compressed]"
+                         [--store plain|compressed] \
+                         [--policy static|ps|rs|adaptive] [--ticks N]"
                     );
                     std::process::exit(0);
                 }
@@ -342,3 +363,4 @@ mod tests {
 pub mod experiments;
 pub mod net;
 pub mod observe;
+pub mod stream;

@@ -285,6 +285,82 @@ pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, Stri
     (report, trace)
 }
 
+/// Runs the pinned **stream scenario** — the adversarial hub-targeting
+/// change stream driven through the ingest log while the adaptive
+/// background rebalancer absorbs the resulting skew — and returns its
+/// report (scenario `<name>:pinned:stream`) plus the rendered Chrome
+/// trace.
+///
+/// The report carries both new optional sections: `stream` (offered
+/// batches, deterministic p99/max epoch staleness, peak queue depth and
+/// the final vertex imbalance the rebalancer achieved) and `migration`
+/// (events, rows moved, priced traffic). Everything except the
+/// wall-derived `changes_per_sec` is an exact function of the scenario,
+/// so CI gates it against `results/baselines/ci_smoke_stream.json`.
+/// Measured-skew decisions stay off (`use_measured: false`) — the pinned
+/// scenario must never branch on the wall clock.
+pub fn observed_stream_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
+    use crate::stream::{drive_stream, StreamConfig, StreamShape};
+    use aaa_core::{RebalanceConfig, RebalancePolicy};
+
+    let sink = Arc::new(MemorySink::new());
+    let mut config = EngineConfig::deterministic(args.procs);
+    config.wire = args.wire;
+    config.rebalance = RebalanceConfig {
+        every: 2,
+        trigger: 1.05,
+        ..RebalanceConfig::with_policy(args.policy.unwrap_or(RebalancePolicy::Adaptive))
+    };
+    let g = base_graph(args);
+    let mut engine =
+        AnytimeEngine::with_sink(g, config, sink.clone()).expect("engine construction");
+
+    // Phase 1: partial static convergence (the anytime prefix).
+    for _ in 0..STEPS_BEFORE_BATCH {
+        if !engine.rc_step() {
+            break;
+        }
+    }
+
+    // Phase 2+3: the adversarial stream, stepped at half the offered
+    // cadence, then tail drain and convergence (inside the driver).
+    let stream = StreamConfig {
+        shape: StreamShape::Hub,
+        ticks: args.ticks.unwrap_or(24),
+        batch: args.scaled(256, 4),
+        edges_per_vertex: 2,
+        seed: args.seed + 1,
+    };
+    let outcome = drive_stream(&mut engine, &stream);
+
+    let events = sink.drain();
+    let mut name = match args.wire {
+        WireFormat::Full => format!("{scenario}:pinned:stream"),
+        WireFormat::Delta => format!("{scenario}:pinned:stream:wire=delta"),
+    };
+    if args.store == StoreBackend::Compressed {
+        name.push_str(":store=compressed");
+    }
+    let mut report = engine.stats().init_report(&name);
+    report.scale = args.scale as u64;
+    report.procs = args.procs as u64;
+    report.seed = args.seed;
+    report.rc_steps = engine.rc_steps_done() as u64;
+    report.phases = aggregate_phases(&events);
+    report.ranks = per_rank_busy(&events);
+    let ingest = engine.ingest_stats();
+    report.changes = Some(ChangeTally {
+        submitted: ingest.submitted,
+        coalesced: ingest.coalesced,
+        applied: ingest.applied,
+        drains: ingest.drains,
+        epochs: engine.epochs_published(),
+    });
+    report.stream = Some(outcome.tally());
+    let trace = chrome_trace(&events, args.procs);
+    (report, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +430,36 @@ mod tests {
         assert_eq!(a.collectives, b.collectives);
         assert_eq!(a.rc_steps, b.rc_steps);
         assert_eq!(a.quality, b.quality);
+    }
+
+    /// The stream scenario's gated surface — traffic, steps, the change
+    /// tally, the migration tally and the integer stream metrics — must
+    /// be byte-reproducible; only `changes_per_sec` may differ.
+    #[test]
+    fn observed_stream_run_is_deterministic_and_migrates() {
+        let args = CommonArgs { ticks: Some(10), ..small_args() };
+        let (a, _) = observed_stream_run("unit", &args);
+        let (b, _) = observed_stream_run("unit", &args);
+        assert_eq!(a.scenario, "unit:pinned:stream");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.collectives, b.collectives);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.changes, b.changes);
+        assert_eq!(a.migration, b.migration);
+        let (sa, sb) = (a.stream.expect("stream tally"), b.stream.expect("stream tally"));
+        assert_eq!(sa.offered, sb.offered);
+        assert_eq!(sa.ticks, sb.ticks);
+        assert_eq!(sa.p99_staleness_epochs, sb.p99_staleness_epochs);
+        assert_eq!(sa.max_staleness_epochs, sb.max_staleness_epochs);
+        assert_eq!(sa.peak_queue, sb.peak_queue);
+        assert_eq!(sa.final_imbalance_milli, sb.final_imbalance_milli);
+        let migration = a.migration.expect("migration tally");
+        assert!(migration.migrations > 0, "the adversarial stream must trigger migrations");
+        assert!(migration.migration_bytes > 0, "migration traffic must be priced");
+        assert!(sa.offered > 0 && sa.peak_queue > 0);
     }
 
     /// The pinned scenario includes a vertex-addition batch, so it is the

@@ -17,9 +17,10 @@ use std::time::Duration;
 pub const MAGIC: [u8; 8] = *b"AAACKPT\0";
 
 /// Format version this build writes and reads. Version 2 extended the
-/// STAT section with the chaos-layer fault counters; version-1 snapshots
-/// are rejected (no v1 archives exist — the format shipped unreleased).
-pub const FORMAT_VERSION: u32 = 2;
+/// STAT section with the chaos-layer fault counters; version 3 added the
+/// row-migration counters. Older snapshots are rejected (no archives of
+/// either exist — both formats shipped unreleased).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Engine-level scalars: processor count, RC progress, the round-robin
 /// assignment cursor, and the change-stream cursor.
@@ -125,6 +126,9 @@ impl Snapshot {
         put_u64(&mut p, self.stats.collectives);
         put_u64(&mut p, self.stats.checkpoints);
         put_u64(&mut p, self.stats.restores);
+        put_u64(&mut p, self.stats.migrations);
+        put_u64(&mut p, self.stats.migrated_rows);
+        put_u64(&mut p, self.stats.migration_bytes);
         put_u64(&mut p, self.stats.faults.dropped);
         put_u64(&mut p, self.stats.faults.duplicated);
         put_u64(&mut p, self.stats.faults.delayed);
@@ -248,6 +252,9 @@ impl Snapshot {
                         collectives: p.u64()?,
                         checkpoints: p.u64()?,
                         restores: p.u64()?,
+                        migrations: p.u64()?,
+                        migrated_rows: p.u64()?,
+                        migration_bytes: p.u64()?,
                         faults: FaultCounters {
                             dropped: p.u64()?,
                             duplicated: p.u64()?,
@@ -354,6 +361,9 @@ mod tests {
                 collectives: 2,
                 checkpoints: 1,
                 restores: 0,
+                migrations: 2,
+                migrated_rows: 6,
+                migration_bytes: 144,
                 faults: FaultCounters {
                     dropped: 3,
                     duplicated: 1,

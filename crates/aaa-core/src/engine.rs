@@ -33,7 +33,10 @@ use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 use aaa_partition::simple::{
     BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
 };
-use aaa_partition::{MultilevelPartitioner, Partition, Partitioner};
+use aaa_partition::{
+    LoadSignals, MultilevelPartitioner, Partition, Partitioner, RebalanceConfig, RebalancePlan,
+    Rebalancer,
+};
 use aaa_runtime::{ChaosPlan, Cluster, ClusterConfig, ClusterError, FaultPlan, RunStats};
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -90,6 +93,10 @@ pub struct EngineConfig {
     /// What each published epoch carries: closeness only (default) or
     /// closeness plus certified per-vertex error bounds.
     pub publish_bounds: BoundsMode,
+    /// Background rebalancer policy, evaluated at RC-step barriers. The
+    /// default is [`RebalancePolicy::Static`](aaa_partition::RebalancePolicy),
+    /// i.e. disabled.
+    pub rebalance: RebalanceConfig,
 }
 
 impl EngineConfig {
@@ -105,6 +112,7 @@ impl EngineConfig {
             cutedge_tries: 4,
             wire: WireFormat::Full,
             publish_bounds: BoundsMode::None,
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -448,6 +456,7 @@ impl AnytimeEngine {
         // Changes were validated at `submit`; on this unchecked path a
         // drain failure is a programming error, not a runtime condition.
         self.drain_changes().expect("queued change failed to apply at the RC barrier");
+        self.maybe_rebalance().expect("rebalance failed at the RC barrier");
         let observing = self.cluster.observing();
         let (sim0, wall0) = if observing {
             (self.cluster.sim_now_us(), self.cluster.wall_now_us())
@@ -792,6 +801,13 @@ impl AnytimeEngine {
     }
 
     fn repartition_and_migrate(&mut self, seed: u64) -> Result<(), CoreError> {
+        let observing = self.cluster.observing();
+        let (sim0, wall0) = if observing {
+            (self.cluster.sim_now_us(), self.cluster.wall_now_us())
+        } else {
+            (0.0, 0.0)
+        };
+        let before = *self.cluster.stats();
         // The whole-graph repartitioning is the strategy's main cost
         // (parallel ParMETIS in the paper) — charge its compute time.
         let started = std::time::Instant::now();
@@ -816,7 +832,106 @@ impl AnytimeEngine {
                 s.migrate_in(owner_ref, inbox, |v| graph.neighbors(v).to_vec());
             },
         );
+        let moved = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(v, &p)| {
+                v < self.partition.len() && self.partition.part_of(v as VertexId) != p
+            })
+            .count() as u64;
         self.partition = new_part;
+        let delta = self.cluster.stats().delta_since(&before);
+        self.cluster.record_migration(moved, delta.bytes);
+        if observing {
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::Migration,
+                rank: DRIVER_LANE,
+                superstep: self.rc_steps as u64,
+                sim_start_us: sim0,
+                sim_dur_us: self.cluster.sim_now_us() - sim0,
+                wall_start_us: wall0,
+                wall_dur_us: self.cluster.wall_now_us() - wall0,
+                messages: moved,
+                bytes: delta.bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates the background rebalancer at an RC-step barrier (the
+    /// tentpole of adaptive repartitioning): reads the load/cut signals,
+    /// asks the policy for a plan, and executes it — a budgeted row
+    /// migration for moderate skew, or a policy-escalated full repartition.
+    ///
+    /// Deferred while fault or chaos injection is armed: migration ships
+    /// each row exactly once over the faultable exchange path, and a
+    /// dropped row would orphan its vertex permanently.
+    fn maybe_rebalance(&mut self) -> Result<(), CoreError> {
+        let cfg = self.config.rebalance;
+        if !cfg.due_at(self.rc_steps) {
+            return Ok(());
+        }
+        if self.cluster.chaos_plan().is_some() || self.cluster.fault_plan().is_some() {
+            return Ok(());
+        }
+        let mut signals = LoadSignals::measure(&self.graph, &self.partition);
+        if cfg.use_measured {
+            signals = signals.with_measured_skew(rank_skew(self.cluster.rank_busy_us()));
+        }
+        match Rebalancer::new(cfg).plan(&self.graph, &self.partition, &signals) {
+            RebalancePlan::Hold => Ok(()),
+            RebalancePlan::Migrate(moves) => self.migrate_vertices(&moves),
+            RebalancePlan::Repartition => self.repartition_and_migrate(cfg.seed),
+        }
+    }
+
+    /// Applies a budgeted set of ownership moves: broadcasts the move list
+    /// so every rank updates its replicated owner map (and drops delta-wire
+    /// tracking — boundary destinations changed everywhere), then ships
+    /// only the moved rows over the LogP-priced exchange and counts the
+    /// event in the run stats so the perf gate sees the traffic.
+    fn migrate_vertices(&mut self, moves: &[(VertexId, PartId)]) -> Result<(), CoreError> {
+        if moves.is_empty() {
+            return Ok(());
+        }
+        let observing = self.cluster.observing();
+        let (sim0, wall0) = if observing {
+            (self.cluster.sim_now_us(), self.cluster.wall_now_us())
+        } else {
+            (0.0, 0.0)
+        };
+        let before = *self.cluster.stats();
+        for &(v, p) in moves {
+            self.partition.set_part(v, p)?;
+        }
+        let payload: Vec<(VertexId, PartId)> = moves.to_vec();
+        self.cluster.broadcast(
+            0,
+            move |_| payload,
+            |m| 8 * m.len(),
+            |_, s: &mut RankState, m| s.apply_reassignment(m),
+        );
+        let graph = &self.graph;
+        self.cluster.exchange(
+            |_, s: &mut RankState| s.migrate_out_moved(),
+            RowMsg::size_bytes,
+            move |_, s, inbox| s.migrate_in_moved(moves, inbox, |v| graph.neighbors(v).to_vec()),
+        );
+        let delta = self.cluster.stats().delta_since(&before);
+        self.cluster.record_migration(moves.len() as u64, delta.bytes);
+        if observing {
+            self.cluster.emit(SpanEvent {
+                kind: SpanKind::Migration,
+                rank: DRIVER_LANE,
+                superstep: self.rc_steps as u64,
+                sim_start_us: sim0,
+                sim_dur_us: self.cluster.sim_now_us() - sim0,
+                wall_start_us: wall0,
+                wall_dur_us: self.cluster.wall_now_us() - wall0,
+                messages: moves.len() as u64,
+                bytes: delta.bytes,
+            });
+        }
         Ok(())
     }
 
@@ -1502,4 +1617,17 @@ impl AnytimeEngine {
         self.publish_view(false);
         Ok(())
     }
+}
+
+/// Max/mean busy-time ratio over ranks — the measured-load skew the
+/// rebalancer can opt into ([`RebalanceConfig::use_measured`]). `None`
+/// until any busy time has accrued (e.g. before the first superstep).
+fn rank_skew(busy_us: &[f64]) -> Option<f64> {
+    let total: f64 = busy_us.iter().sum();
+    if busy_us.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mean = total / busy_us.len() as f64;
+    let max = busy_us.iter().cloned().fold(0.0, f64::max);
+    Some(max / mean)
 }

@@ -58,6 +58,7 @@ pub mod strategies;
 
 pub use aaa_checkpoint::{CheckpointError, CheckpointPolicy, Snapshot};
 pub use aaa_observe::{EventSink, MemorySink, NoopSink, SpanEvent, SpanKind};
+pub use aaa_partition::{RebalanceConfig, RebalancePlan, RebalancePolicy};
 pub use aaa_runtime::{ChannelFault, ChaosPlan, ClusterError, FaultCounters, FaultPlan};
 pub use changes::{DynamicChange, NewVertex, VertexBatch};
 pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig, SupervisedRun};

@@ -44,10 +44,14 @@ use aaa_checkpoint::RankSnapshot;
 use aaa_graph::apsp::DistMatrix;
 use aaa_graph::closeness::closeness_from_row;
 use aaa_graph::{AdjGraph, Dist, PartId, VertexId, Weight};
-use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind};
+use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
+use aaa_partition::{
+    LoadSignals, Partition, RebalanceConfig, RebalancePlan, RebalancePolicy, Rebalancer,
+};
 use aaa_runtime::net::{FrameKind, NetError, Transport};
 use aaa_runtime::{ClusterError, FaultCounters, Rank};
 use rustc_hash::FxHashMap;
+use rustc_hash::FxHashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -281,6 +285,14 @@ pub enum NetMsg {
     ResendAll,
     /// Coordinator → worker: orderly end of run.
     Bye,
+    /// Coordinator → worker: the background rebalancer moved `moves`
+    /// vertices to new owners. Every worker updates its replicated owner
+    /// map, then ships the rows it lost as [`NetMsg::Rows`] bundles
+    /// (relayed like a produce phase) and answers [`NetMsg::RowsDone`];
+    /// the following [`NetMsg::Consume`] installs the gained rows. `adj`
+    /// carries the adjacency of every moved vertex (deduped per
+    /// undirected edge) so receivers can rebuild local structure.
+    Reassign { round: u64, moves: Vec<(VertexId, PartId)>, adj: Vec<(VertexId, VertexId, Weight)> },
 }
 
 impl NetMsg {
@@ -357,6 +369,21 @@ impl NetMsg {
             }
             NetMsg::ResendAll => out.push(13),
             NetMsg::Bye => out.push(14),
+            NetMsg::Reassign { round, moves, adj } => {
+                out.push(15);
+                put_u64(&mut out, *round);
+                put_u32(&mut out, moves.len() as u32);
+                for &(v, p) in moves {
+                    put_u32(&mut out, v);
+                    put_u32(&mut out, p);
+                }
+                put_u32(&mut out, adj.len() as u32);
+                for &(a, b, w) in adj {
+                    put_u32(&mut out, a);
+                    put_u32(&mut out, b);
+                    put_u32(&mut out, w);
+                }
+            }
         }
         out
     }
@@ -421,6 +448,25 @@ impl NetMsg {
             12 => NetMsg::Absorb { rows: decode_rows(&mut r)? },
             13 => NetMsg::ResendAll,
             14 => NetMsg::Bye,
+            15 => {
+                let round = r.u64()?;
+                let n = r.count(8)?;
+                let mut moves = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = r.u32()?;
+                    let p = r.u32()?;
+                    moves.push((v, p));
+                }
+                let m = r.count(12)?;
+                let mut adj = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let a = r.u32()?;
+                    let b = r.u32()?;
+                    let w = r.u32()?;
+                    adj.push((a, b, w));
+                }
+                NetMsg::Reassign { round, moves, adj }
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         r.finish()?;
@@ -450,6 +496,12 @@ pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result
     let mut state: Option<RankState> = None;
     let mut inbox: Vec<(Rank, RowMsg)> = Vec::new();
     let mut cap_bytes = usize::MAX;
+    // In-flight budgeted migration: the next Consume installs migrated
+    // rows (using the adjacency shipped with the Reassign) instead of
+    // running the normal min-merge.
+    let mut migrating = false;
+    let mut moved_adj: FxHashMap<VertexId, Vec<(VertexId, Weight)>> = FxHashMap::default();
+    let mut pending_moves: Vec<(VertexId, PartId)> = Vec::new();
     loop {
         let frame = link.recv(Some(idle_deadline))?;
         match frame.kind {
@@ -506,10 +558,23 @@ pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result
                         ),
                     ));
                 }
-                s.consume_rc_messages(std::mem::take(&mut inbox));
-                let reply =
-                    NetMsg::StepDone { round, changed: s.last_changed, dirty: s.has_dirty() };
-                link.send(FrameKind::Data, &reply.encode())?;
+                if migrating {
+                    migrating = false;
+                    let adj = std::mem::take(&mut moved_adj);
+                    let moves = std::mem::take(&mut pending_moves);
+                    s.migrate_in_moved(&moves, std::mem::take(&mut inbox), |v| {
+                        adj.get(&v).cloned().unwrap_or_default()
+                    });
+                    // Gained rows are dirty; report conservatively so the
+                    // coordinator keeps the run active until they flow.
+                    let reply = NetMsg::StepDone { round, changed: true, dirty: s.has_dirty() };
+                    link.send(FrameKind::Data, &reply.encode())?;
+                } else {
+                    s.consume_rc_messages(std::mem::take(&mut inbox));
+                    let reply =
+                        NetMsg::StepDone { round, changed: s.last_changed, dirty: s.has_dirty() };
+                    link.send(FrameKind::Data, &reply.encode())?;
+                }
             }
             NetMsg::GatherClose => {
                 let s = state
@@ -548,10 +613,37 @@ pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result
                 s.mark_all_for_resend();
                 s.relax_pending();
                 inbox.clear();
+                // An aborted migration round resyncs like any other abort;
+                // the coordinator will re-issue the Reassign if it still
+                // wants the moves.
+                migrating = false;
+                moved_adj.clear();
+                pending_moves.clear();
                 let rank = s.rank() as u32;
                 link.send(FrameKind::Data, &NetMsg::Ready { rank }.encode())?;
             }
             NetMsg::Bye => return Ok(()),
+            NetMsg::Reassign { round, moves, adj } => {
+                let s = state
+                    .as_mut()
+                    .ok_or_else(|| protocol_err(&link.peer(), "Reassign before Init"))?;
+                inbox.clear();
+                moved_adj.clear();
+                for &(a, b, w) in &adj {
+                    moved_adj.entry(a).or_default().push((b, w));
+                    moved_adj.entry(b).or_default().push((a, w));
+                }
+                s.apply_reassignment(&moves);
+                migrating = true;
+                pending_moves = moves;
+                let outgoing = s.migrate_out_moved();
+                let sent = !outgoing.is_empty();
+                for (dest, msg) in outgoing {
+                    let wire = NetMsg::Rows { round, peer: dest as u32, msg };
+                    link.send(FrameKind::Data, &wire.encode())?;
+                }
+                link.send(FrameKind::Data, &NetMsg::RowsDone { round, sent }.encode())?;
+            }
             NetMsg::Ready { .. }
             | NetMsg::RowsDone { .. }
             | NetMsg::StepDone { .. }
@@ -617,6 +709,12 @@ pub struct NetConfig {
     /// Gather a checkpoint (all rows, per rank) every this many rounds
     /// (0 = never). The latest checkpoint seeds respawned workers.
     pub checkpoint_every: u64,
+    /// Background rebalancer policy, evaluated at round barriers. Budgeted
+    /// moves ride [`NetMsg::Reassign`] rounds; the wholesale repartition
+    /// escalation is de-escalated to repeated budgeted moves over the wire
+    /// (full graph redistribution is an Init-scale operation). Default:
+    /// disabled.
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for NetConfig {
@@ -629,6 +727,7 @@ impl Default for NetConfig {
             probe_deadline: Duration::from_secs(2),
             max_revivals: 3,
             checkpoint_every: 4,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -677,6 +776,9 @@ pub struct NetRunner<'g, T: Transport> {
     recoveries: u32,
     probes_survived: u32,
     round: u64,
+    /// Moves from a migration round that aborted mid-flight; re-issued
+    /// after the supervision resync (re-execution is idempotent).
+    pending_moves: Option<Vec<(VertexId, PartId)>>,
 }
 
 impl<'g, T: Transport> NetRunner<'g, T> {
@@ -697,12 +799,18 @@ impl<'g, T: Transport> NetRunner<'g, T> {
             recoveries: 0,
             probes_survived: 0,
             round: 0,
+            pending_moves: None,
         }
     }
 
     /// Installs a span sink (connection / reconnect / heartbeat instants).
     pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
         self.sink = sink;
+    }
+
+    /// The current vertex→rank ownership map (migrations update it).
+    pub fn owner(&self) -> &[PartId] {
+        &self.owner
     }
 
     fn wall_us(&self) -> f64 {
@@ -824,6 +932,33 @@ impl<'g, T: Transport> NetRunner<'g, T> {
                 return self.degrade_with(DegradedReason::StepBudgetExhausted);
             }
             self.round += 1;
+            // Rebalance barrier: ship budgeted moves before the round so
+            // the migrated rows flow with this round's exchange. A failed
+            // migration round climbs the same supervision ladder; the
+            // resync clears the workers' in-flight migration state.
+            if let Some(moves) = self.pending_moves.take().or_else(|| self.plan_rebalance()) {
+                if self.sink.enabled() {
+                    self.sink.record(SpanEvent::instant(
+                        SpanKind::Migration,
+                        DRIVER_LANE,
+                        self.round,
+                        0.0,
+                        self.wall_us(),
+                    ));
+                }
+                if let Err((rank, err)) = self.migration_round(&moves) {
+                    // Park the moves: the resync clears the workers'
+                    // in-flight migration state, and the next round
+                    // re-issues the same Reassign (idempotent — rows
+                    // already shipped are simply absent at the old owner,
+                    // lost ones self-heal at the new one).
+                    self.pending_moves = Some(moves);
+                    if let Err(out) = self.supervise(rank, err, supervisor) {
+                        return out;
+                    }
+                    continue;
+                }
+            }
             match self.one_round() {
                 Ok(active) => {
                     if !active {
@@ -940,6 +1075,117 @@ impl<'g, T: Transport> NetRunner<'g, T> {
             }
         }
         Ok(any_sent || any_changed || any_dirty)
+    }
+
+    /// Plans a budgeted migration for this round barrier, or `None`. The
+    /// planner is the same one the in-process engine uses, run over the
+    /// coordinator's owner map; the wholesale `Repartition` escalation is
+    /// de-escalated to a PS budgeted pass (a full redistribution is an
+    /// Init-scale operation, not a round-barrier one). Skipped while any
+    /// rank is dead — moves toward a dead rank would strand rows.
+    fn plan_rebalance(&mut self) -> Option<Vec<(VertexId, PartId)>> {
+        let cfg = self.config.rebalance;
+        if !cfg.due_at(self.round as usize) || self.dead.iter().any(|&d| d) {
+            return None;
+        }
+        let partition = Partition::new(self.owner.clone(), self.links.len()).ok()?;
+        let signals = LoadSignals::measure(self.graph, &partition);
+        let moves = match Rebalancer::new(cfg).plan(self.graph, &partition, &signals) {
+            RebalancePlan::Hold => Vec::new(),
+            RebalancePlan::Migrate(moves) => moves,
+            RebalancePlan::Repartition => {
+                let ps = RebalanceConfig { policy: RebalancePolicy::Ps, ..cfg };
+                match Rebalancer::new(ps).plan(self.graph, &partition, &signals) {
+                    RebalancePlan::Migrate(moves) => moves,
+                    _ => Vec::new(),
+                }
+            }
+        };
+        (!moves.is_empty()).then_some(moves)
+    }
+
+    /// One budgeted-migration round: broadcast the `Reassign` (the moves
+    /// plus the moved vertices' adjacency, deduplicated), relay the
+    /// migrated row bundles exactly like a recombination round, and wait
+    /// for every rank to confirm installation. The owner map is updated
+    /// up front so a re-issue after an abort replays against the already-
+    /// updated map, which `apply_reassignment` handles idempotently.
+    fn migration_round(&mut self, moves: &[(VertexId, PartId)]) -> Result<(), (Rank, NetError)> {
+        let procs = self.links.len();
+        let round = self.round;
+        // New owners rebuild incident state from the shipped adjacency;
+        // dedupe edges shared between two moved vertices.
+        let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+        let mut adj: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+        for &(v, _) in moves {
+            for &(t, w) in self.graph.neighbors(v) {
+                if seen.insert((v.min(t), v.max(t))) {
+                    adj.push((v, t, w));
+                }
+            }
+        }
+        for &(v, p) in moves {
+            self.owner[v as usize] = p;
+        }
+        let msg = NetMsg::Reassign { round, moves: moves.to_vec(), adj };
+        let mut relay: Vec<Vec<NetMsg>> = (0..procs).map(|_| Vec::new()).collect();
+        for rank in 0..procs {
+            self.send_msg(rank, &msg).map_err(|e| (rank, e))?;
+        }
+        for rank in 0..procs {
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::Rows { round: r, peer, msg } if r == round => {
+                        let dest = peer as usize;
+                        if dest < procs {
+                            relay[dest].push(NetMsg::Rows { round, peer: rank as u32, msg });
+                        }
+                    }
+                    NetMsg::RowsDone { round: r, .. } if r == round => break,
+                    NetMsg::Rows { .. }
+                    | NetMsg::RowsDone { .. }
+                    | NetMsg::StepDone { .. }
+                    | NetMsg::Ready { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} while migrating out"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        for (rank, bundle) in relay.into_iter().enumerate() {
+            let expect = bundle.len() as u32;
+            for m in bundle {
+                self.send_msg(rank, &m).map_err(|e| (rank, e))?;
+            }
+            self.send_msg(rank, &NetMsg::Consume { round, expect }).map_err(|e| (rank, e))?;
+        }
+        for rank in 0..procs {
+            loop {
+                match self.recv_msg(rank).map_err(|e| (rank, e))? {
+                    NetMsg::StepDone { round: r, .. } if r == round => break,
+                    NetMsg::Rows { .. }
+                    | NetMsg::RowsDone { .. }
+                    | NetMsg::StepDone { .. }
+                    | NetMsg::Ready { .. } => {}
+                    other => {
+                        return Err((
+                            rank,
+                            protocol_err(
+                                &self.links[rank].peer(),
+                                format!("unexpected {other:?} while migrating in"),
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The supervision ladder for a failed rank: probe (transient?) →

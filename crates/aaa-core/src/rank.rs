@@ -698,6 +698,132 @@ impl RankState {
     }
 
     // --------------------------------------------------------------------
+    // Budgeted rebalance support
+    // --------------------------------------------------------------------
+
+    /// Applies a budgeted reassignment to the replicated owner map without
+    /// touching rows. Must run on **every** rank, including bystanders that
+    /// neither send nor receive rows: the moves change boundary-destination
+    /// sets everywhere, and a delta chain aimed at a receiver that never
+    /// held the base copy would be unsound — so wire tracking is dropped
+    /// and the next produce ships full rows.
+    pub fn apply_reassignment(&mut self, moves: &[(VertexId, PartId)]) {
+        for &(v, p) in moves {
+            self.owner[v as usize] = p;
+        }
+        self.reset_wire_tracking();
+    }
+
+    /// Produce side of a budgeted migration: ships full rows of local
+    /// vertices whose (already reassigned) owner is elsewhere. Unlike
+    /// [`RankState::migrate_out`], the local set and adjacency shrink in
+    /// place — no wholesale rebuild, so the cost scales with the move
+    /// budget rather than the rank's whole holding.
+    pub fn migrate_out_moved(&mut self) -> Vec<(Rank, RowMsg)> {
+        let mut buckets: FxHashMap<Rank, Vec<(VertexId, RowPayload)>> = FxHashMap::default();
+        let mut departed = false;
+        for i in (0..self.local.len()).rev() {
+            let v = self.local[i];
+            let q = self.owner[v as usize] as Rank;
+            if q == self.rank {
+                continue;
+            }
+            if let Some(row) = self.dv.remove_local(v) {
+                buckets.entry(q).or_default().push((v, RowPayload::Full(row)));
+            }
+            self.adj.remove(&v);
+            self.pending.remove(&v);
+            self.local.remove(i);
+            departed = true;
+        }
+        if departed {
+            self.rebuild_edge_seen();
+        }
+        let mut dests: Vec<Rank> = buckets.keys().copied().collect();
+        dests.sort_unstable();
+        dests
+            .into_iter()
+            .map(|q| {
+                let mut rows = buckets.remove(&q).expect("bucket");
+                rows.sort_unstable_by_key(|&(v, _)| v);
+                (q, RowMsg { rows })
+            })
+            .collect()
+    }
+
+    /// Consume side of a budgeted migration: installs gained rows, extends
+    /// the local set and adjacency in place, re-seeds each gained row with
+    /// its direct edges, and queues the gained vertices as relaxation
+    /// pivots. The owner map must already reflect the reassignment (see
+    /// [`RankState::apply_reassignment`]). A shipped row carries everything
+    /// the old owner knew at the barrier, and later improvements from other
+    /// ranks re-route here through the updated owner map, so the relaxation
+    /// still converges to the same unique fixed point.
+    ///
+    /// Self-healing: a move in `moves` targeting this rank whose row never
+    /// arrived (an aborted migration round over a real transport) restarts
+    /// from the admissible trivial row — the relaxation re-converges it,
+    /// exactly like a respawned worker. This makes re-executing the whole
+    /// operation idempotent.
+    pub fn migrate_in_moved(
+        &mut self,
+        moves: &[(VertexId, PartId)],
+        inbox: Vec<(Rank, RowMsg)>,
+        adjacency_of: impl Fn(VertexId) -> Vec<(VertexId, Weight)>,
+    ) {
+        let n = self.owner.len();
+        let mut gained: Vec<VertexId> = Vec::new();
+        for (_, msg) in inbox {
+            for (v, payload) in msg.rows {
+                debug_assert_eq!(self.owner[v as usize] as usize, self.rank);
+                match payload {
+                    RowPayload::Full(row) => {
+                        self.dv.install_local(v, row, true);
+                        gained.push(v);
+                    }
+                    RowPayload::Delta(_) => {
+                        debug_assert!(false, "migration ships full rows");
+                    }
+                }
+            }
+        }
+        for &(v, p) in moves {
+            if p as usize == self.rank && !self.dv.is_local(v) {
+                let mut row = vec![INF; n];
+                row[v as usize] = 0;
+                self.dv.install_local(v, row, true);
+                gained.push(v);
+            }
+        }
+        if gained.is_empty() {
+            return;
+        }
+        gained.sort_unstable();
+        gained.dedup();
+        for &v in &gained {
+            if let Err(at) = self.local.binary_search(&v) {
+                self.local.insert(at, v);
+            }
+            self.adj.insert(v, adjacency_of(v));
+        }
+        self.rebuild_edge_seen();
+        let Self { adj, dv, .. } = self;
+        for &v in &gained {
+            dv.update_local_row(v, |row| {
+                let mut changed = false;
+                for &(t, w) in &adj[&v] {
+                    if (w as Dist) < row[t as usize] {
+                        row[t as usize] = w as Dist;
+                        changed = true;
+                    }
+                }
+                changed
+            });
+        }
+        self.pending.extend(gained);
+    }
+
+    // --------------------------------------------------------------------
     // Checkpoint & recovery
     // --------------------------------------------------------------------
 
@@ -1027,6 +1153,52 @@ mod tests {
         // Migrated row kept its partial results (d(1,2) = 1 from IA).
         assert_eq!(r1.dv().row(1).unwrap()[2], 1);
         assert!(r1.has_dirty());
+    }
+
+    #[test]
+    fn budgeted_move_roundtrip_converges_to_same_fixed_point() {
+        let adj = |v: VertexId| -> Vec<(VertexId, Weight)> {
+            match v {
+                0 => vec![(1, 1)],
+                1 => vec![(0, 1), (2, 1)],
+                2 => vec![(1, 1), (3, 1)],
+                3 => vec![(2, 1)],
+                _ => vec![],
+            }
+        };
+        let (mut r0, mut r1) = two_rank_path();
+        r0.initial_approximation();
+        r1.initial_approximation();
+        // Move vertex 1 to rank 1 via the budgeted path: reassign on every
+        // rank, then exchange only the moved row.
+        let moves = [(1, 1)];
+        r0.apply_reassignment(&moves);
+        r1.apply_reassignment(&moves);
+        let out0 = r0.migrate_out_moved();
+        assert_eq!(out0.len(), 1);
+        assert_eq!(out0[0].0, 1);
+        assert_eq!(out0[0].1.rows.len(), 1, "only the budgeted vertex ships");
+        assert!(r1.migrate_out_moved().is_empty());
+        r1.migrate_in_moved(&moves, out0.into_iter().map(|(_, m)| (0, m)).collect(), adj);
+        r0.migrate_in_moved(&moves, vec![], adj);
+        assert_eq!(r0.local_vertices(), &[0]);
+        assert_eq!(r1.local_vertices(), &[1, 2, 3]);
+        // The shipped row kept the old owner's partial results.
+        assert_eq!(r1.dv().row(1).unwrap()[2], 1);
+        // RC steps after the move reach the exact distances.
+        for _ in 0..4 {
+            let out0 = r0.produce_rc_messages(usize::MAX);
+            let out1 = r1.produce_rc_messages(usize::MAX);
+            let to1: Vec<(usize, RowMsg)> =
+                out0.into_iter().filter(|&(q, _)| q == 1).map(|(_, m)| (0, m)).collect();
+            let to0: Vec<(usize, RowMsg)> =
+                out1.into_iter().filter(|&(q, _)| q == 0).map(|(_, m)| (1, m)).collect();
+            r0.consume_rc_messages(to0);
+            r1.consume_rc_messages(to1);
+        }
+        assert_eq!(r0.dv().row(0).unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(r1.dv().row(1).unwrap(), &[1, 0, 1, 2]);
+        assert_eq!(r1.dv().row(3).unwrap(), &[3, 2, 1, 0]);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn any_rows_list() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
 /// One strategy per message tag, so the corpus exercises every arm of the
 /// codec — including the `Rows` arm with both Full and Delta payloads.
 fn any_netmsg() -> impl Strategy<Value = NetMsg> {
-    (0u8..14).prop_flat_map(|tag| match tag {
+    (0u8..15).prop_flat_map(|tag| match tag {
         0 => (
             (0u32..64, 1u32..64, 0u8..2, 0u64..1 << 40),
             proptest::collection::vec(0u32..64, 0..128),
@@ -75,6 +75,13 @@ fn any_netmsg() -> impl Strategy<Value = NetMsg> {
         10 => any_rows_list().prop_map(|rows| NetMsg::RowsReply { rows }).boxed(),
         11 => any_rows_list().prop_map(|rows| NetMsg::Absorb { rows }).boxed(),
         12 => Just(NetMsg::ResendAll).boxed(),
+        13 => (
+            0u64..1 << 32,
+            proptest::collection::vec((0u32..10_000, 0u32..64), 0..32),
+            proptest::collection::vec((0u32..10_000, 0u32..10_000, 1u32..100), 0..64),
+        )
+            .prop_map(|(round, moves, adj)| NetMsg::Reassign { round, moves, adj })
+            .boxed(),
         _ => Just(NetMsg::Bye).boxed(),
     })
 }

@@ -55,6 +55,11 @@ pub enum SpanKind {
     Reconnect,
     /// A liveness probe over the transport (failure-detector traffic).
     Heartbeat,
+    /// A budgeted row migration planned by the background rebalancer:
+    /// ownership broadcast plus the priced row exchange (driver lane;
+    /// `messages` carries the number of moved vertices, `bytes` the
+    /// migration traffic).
+    Migration,
 }
 
 impl SpanKind {
@@ -79,11 +84,12 @@ impl SpanKind {
             SpanKind::Connection => "connection",
             SpanKind::Reconnect => "reconnect",
             SpanKind::Heartbeat => "heartbeat",
+            SpanKind::Migration => "migration",
         }
     }
 
     /// Every kind, in a stable order (report phase tables follow it).
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::Superstep,
         SpanKind::Exchange,
         SpanKind::Collective,
@@ -99,6 +105,7 @@ impl SpanKind {
         SpanKind::Connection,
         SpanKind::Reconnect,
         SpanKind::Heartbeat,
+        SpanKind::Migration,
     ];
 }
 

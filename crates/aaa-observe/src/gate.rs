@@ -117,6 +117,46 @@ pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) ->
         rows.push(diff("change_drains", b.drains as f64, c.drains as f64, true, cfg));
         rows.push(diff("publish_epochs", b.epochs as f64, c.epochs as f64, true, cfg));
     }
+    // Migration counters follow the same both-present rule.
+    if let (Some(b), Some(c)) = (baseline.migration, candidate.migration) {
+        rows.push(diff("migrations", b.migrations as f64, c.migrations as f64, true, cfg));
+        rows.push(diff("migrated_rows", b.migrated_rows as f64, c.migrated_rows as f64, true, cfg));
+        rows.push(diff(
+            "migration_bytes",
+            b.migration_bytes as f64,
+            c.migration_bytes as f64,
+            true,
+            cfg,
+        ));
+    }
+    // Streaming-workload counters: deterministic integers are gated,
+    // wall-derived throughput is info-only.
+    if let (Some(b), Some(c)) = (baseline.stream, candidate.stream) {
+        rows.push(diff("stream_offered", b.offered as f64, c.offered as f64, true, cfg));
+        rows.push(diff("stream_ticks", b.ticks as f64, c.ticks as f64, true, cfg));
+        rows.push(diff(
+            "stream_p99_staleness_epochs",
+            b.p99_staleness_epochs as f64,
+            c.p99_staleness_epochs as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "stream_max_staleness_epochs",
+            b.max_staleness_epochs as f64,
+            c.max_staleness_epochs as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff("stream_peak_queue", b.peak_queue as f64, c.peak_queue as f64, true, cfg));
+        rows.push(diff(
+            "stream_final_imbalance_milli",
+            b.final_imbalance_milli as f64,
+            c.final_imbalance_milli as f64,
+            true,
+            cfg,
+        ));
+    }
     // Host-dependent → info only.
     rows.push(diff(
         "sim_compute_us",
@@ -134,6 +174,9 @@ pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) ->
         false,
         cfg,
     ));
+    if let (Some(b), Some(c)) = (baseline.stream, candidate.stream) {
+        rows.push(diff("stream_changes_per_sec", b.changes_per_sec, c.changes_per_sec, false, cfg));
+    }
     rows
 }
 
@@ -239,6 +282,48 @@ mod tests {
         let row = rows.iter().find(|r| r.name == "changes_applied").unwrap();
         assert!(row.gated && row.regressed);
         // Identical tallies pass at threshold zero.
+        let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
+        assert!(!regressed(&compare(&base2, &base2, &strict)));
+    }
+
+    #[test]
+    fn migration_and_stream_sections_gate_like_changes() {
+        use crate::report::{MigrationTally, StreamTally};
+        let mig = MigrationTally { migrations: 2, migrated_rows: 32, migration_bytes: 6144 };
+        let stream = StreamTally {
+            offered: 400,
+            ticks: 50,
+            p99_staleness_epochs: 2,
+            max_staleness_epochs: 4,
+            peak_queue: 30,
+            final_imbalance_milli: 1100,
+            changes_per_sec: 9000.0,
+        };
+        // Old baseline (neither section) vs. new candidate: no extra rows,
+        // so existing pinned baselines keep diffing at +0.00%.
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.migration = Some(mig);
+        cand.stream = Some(stream);
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!rows.iter().any(|r| r.name.starts_with("migrat") || r.name.starts_with("stream")));
+        assert!(!regressed(&rows));
+        // Both sides carry them: integers gate, throughput stays info-only.
+        let mut base2 = base.clone();
+        base2.migration = Some(mig);
+        base2.stream = Some(stream);
+        let mut cand2 = base2.clone();
+        cand2.migration = Some(MigrationTally { migrated_rows: 64, ..mig });
+        cand2.stream =
+            Some(StreamTally { p99_staleness_epochs: 9, changes_per_sec: 90_000.0, ..stream });
+        let rows = compare(&cand2, &base2, &GateConfig::default());
+        assert!(rows.iter().any(|r| r.name == "migrated_rows" && r.gated && r.regressed));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "stream_p99_staleness_epochs" && r.gated && r.regressed));
+        let tput = rows.iter().find(|r| r.name == "stream_changes_per_sec").unwrap();
+        assert!(!tput.gated, "wall-derived throughput must never fail the gate");
+        // Identical sections pass even at threshold zero.
         let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
         assert!(!regressed(&compare(&base2, &base2, &strict)));
     }

@@ -81,6 +81,51 @@ pub struct ChangeTally {
     pub epochs: u64,
 }
 
+/// Row-migration tallies from the background rebalancer (budgeted moves
+/// and policy-escalated full repartitions).
+///
+/// Optional in the wire format — reports predating adaptive
+/// repartitioning omit the section, so old baselines keep parsing and the
+/// gate only diffs these counters when *both* reports carry them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationTally {
+    /// Migration events (one per rebalance barrier that moved rows).
+    pub migrations: u64,
+    /// DV rows shipped to a new owner across all events.
+    pub migrated_rows: u64,
+    /// Bytes of migration traffic (ownership broadcasts + row payloads);
+    /// a subset of the report's top-level `bytes`.
+    pub migration_bytes: u64,
+}
+
+/// Streaming-workload tallies from the `stream_load` driver.
+///
+/// Optional like [`MigrationTally`]. All integer fields are deterministic
+/// and gateable; `changes_per_sec` is wall-derived and carried for humans
+/// only — the gate must never diff it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamTally {
+    /// Changes the workload generator offered to `submit`.
+    pub offered: u64,
+    /// Ticks the driver ran (one `submit` batch per tick).
+    pub ticks: u64,
+    /// p99 of epoch staleness: epochs between a change's submission and
+    /// the published epoch that first reflects it.
+    pub p99_staleness_epochs: u64,
+    /// Worst-case epoch staleness observed.
+    pub max_staleness_epochs: u64,
+    /// Peak backlog at tick boundaries: offered batches not yet
+    /// reflected in a published epoch (the coalescing log itself may
+    /// hold fewer entries).
+    pub peak_queue: u64,
+    /// Final vertex imbalance ×1000 (max part size over ideal), so the
+    /// gate diffs an integer instead of a float.
+    pub final_imbalance_milli: u64,
+    /// Sustained throughput (offered changes / driver wall time) —
+    /// host-dependent, info-only.
+    pub changes_per_sec: f64,
+}
+
 /// One convergence-quality sample (mirrors the engine's quality tracker).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QualityPoint {
@@ -119,6 +164,12 @@ pub struct RunReport {
     /// Ingest/publish tallies — `None` for reports from before the
     /// pipeline split (and for runs that never touched the ChangeLog).
     pub changes: Option<ChangeTally>,
+    /// Row-migration tallies — `None` for reports from before adaptive
+    /// repartitioning.
+    pub migration: Option<MigrationTally>,
+    /// Streaming-workload tallies — `None` unless the run came from the
+    /// `stream_load` driver.
+    pub stream: Option<StreamTally>,
     pub phases: Vec<PhaseReport>,
     pub ranks: Vec<RankReport>,
     pub quality: Vec<QualityPoint>,
@@ -245,6 +296,30 @@ impl RunReport {
                 ]),
             ));
         }
+        if let Some(m) = &self.migration {
+            fields.push((
+                "migration".into(),
+                Json::Obj(vec![
+                    ("migrations".into(), Json::Num(m.migrations as f64)),
+                    ("migrated_rows".into(), Json::Num(m.migrated_rows as f64)),
+                    ("migration_bytes".into(), Json::Num(m.migration_bytes as f64)),
+                ]),
+            ));
+        }
+        if let Some(s) = &self.stream {
+            fields.push((
+                "stream".into(),
+                Json::Obj(vec![
+                    ("offered".into(), Json::Num(s.offered as f64)),
+                    ("ticks".into(), Json::Num(s.ticks as f64)),
+                    ("p99_staleness_epochs".into(), Json::Num(s.p99_staleness_epochs as f64)),
+                    ("max_staleness_epochs".into(), Json::Num(s.max_staleness_epochs as f64)),
+                    ("peak_queue".into(), Json::Num(s.peak_queue as f64)),
+                    ("final_imbalance_milli".into(), Json::Num(s.final_imbalance_milli as f64)),
+                    ("changes_per_sec".into(), Json::Num(s.changes_per_sec)),
+                ]),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -298,6 +373,24 @@ impl RunReport {
                 applied: c.u64_field("applied")?,
                 drains: c.u64_field("drains")?,
                 epochs: c.u64_field("epochs")?,
+            });
+        }
+        if let Some(m) = doc.get("migration") {
+            report.migration = Some(MigrationTally {
+                migrations: m.u64_field("migrations")?,
+                migrated_rows: m.u64_field("migrated_rows")?,
+                migration_bytes: m.u64_field("migration_bytes")?,
+            });
+        }
+        if let Some(s) = doc.get("stream") {
+            report.stream = Some(StreamTally {
+                offered: s.u64_field("offered")?,
+                ticks: s.u64_field("ticks")?,
+                p99_staleness_epochs: s.u64_field("p99_staleness_epochs")?,
+                max_staleness_epochs: s.u64_field("max_staleness_epochs")?,
+                peak_queue: s.u64_field("peak_queue")?,
+                final_imbalance_milli: s.u64_field("final_imbalance_milli")?,
+                changes_per_sec: s.f64_field("changes_per_sec")?,
             });
         }
         for p in doc.arr_field("phases")? {
@@ -395,6 +488,8 @@ mod tests {
             wall_us: 321.125,
             faults: FaultTally { dropped: 2, retransmits: 5, ..FaultTally::default() },
             changes: None,
+            migration: None,
+            stream: None,
             phases: vec![PhaseReport {
                 name: "superstep".into(),
                 count: 160,
@@ -434,6 +529,31 @@ mod tests {
         let mut with = sample_report();
         with.changes =
             Some(ChangeTally { submitted: 10, coalesced: 3, applied: 7, drains: 2, epochs: 14 });
+        let text = with.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("own output parses");
+        assert_eq!(back, with);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn migration_and_stream_sections_round_trip_and_are_optional() {
+        let without = sample_report();
+        assert!(without.migration.is_none() && without.stream.is_none());
+        let text = without.to_json_string();
+        assert!(!text.contains("\"migration\"") && !text.contains("\"stream\""));
+
+        let mut with = sample_report();
+        with.migration =
+            Some(MigrationTally { migrations: 3, migrated_rows: 48, migration_bytes: 9216 });
+        with.stream = Some(StreamTally {
+            offered: 500,
+            ticks: 64,
+            p99_staleness_epochs: 3,
+            max_staleness_epochs: 5,
+            peak_queue: 40,
+            final_imbalance_milli: 1125,
+            changes_per_sec: 12345.5,
+        });
         let text = with.to_json_string();
         let back = RunReport::from_json_str(&text).expect("own output parses");
         assert_eq!(back, with);

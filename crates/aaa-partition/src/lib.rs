@@ -12,13 +12,18 @@
 //!   baselines and by ablation benches).
 //! * [`quality`] — cut size, balance and boundary metrics used throughout
 //!   the engine and the experiment harness.
+//! * [`rebalance`] — the incremental background rebalancer: turns the
+//!   paper's PS/RS strategies into runtime policies that plan budgeted
+//!   boundary-vertex migrations (or full repartitions) from load/cut skew.
 
 pub mod multilevel;
 pub mod quality;
+pub mod rebalance;
 pub mod simple;
 
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 pub use quality::{boundary_vertices, cut_edges, cut_weight, edge_balance, vertex_balance};
+pub use rebalance::{LoadSignals, RebalanceConfig, RebalancePlan, RebalancePolicy, Rebalancer};
 
 use aaa_graph::{PartId, VertexId};
 use aaa_store::GraphStore;

@@ -76,6 +76,14 @@ pub struct RunStats {
     /// Restores performed (engine rebuilt or a rank recovered from a
     /// checkpoint).
     pub restores: u64,
+    /// Row-migration events (budgeted rebalance moves or full
+    /// repartitions); every one rides the LogP-priced exchange path.
+    pub migrations: u64,
+    /// DV rows shipped to a new owner across all migration events.
+    pub migrated_rows: u64,
+    /// Bytes of migration traffic (assignment broadcasts + row payloads),
+    /// already included in `bytes` — this is the migration-only split.
+    pub migration_bytes: u64,
     /// Chaos-layer fault counters; all zero unless a `ChaosPlan` is armed.
     pub faults: FaultCounters,
     /// Real elapsed time of rank computation.
@@ -110,6 +118,9 @@ impl RunStats {
         self.collectives += other.collectives;
         self.checkpoints += other.checkpoints;
         self.restores += other.restores;
+        self.migrations += other.migrations;
+        self.migrated_rows += other.migrated_rows;
+        self.migration_bytes += other.migration_bytes;
         self.faults.merge(&other.faults);
         self.wall += other.wall;
     }
@@ -137,6 +148,11 @@ impl RunStats {
                 stalls: self.faults.stalls,
                 retransmits: self.faults.retransmits,
             },
+            migration: Some(aaa_observe::MigrationTally {
+                migrations: self.migrations,
+                migrated_rows: self.migrated_rows,
+                migration_bytes: self.migration_bytes,
+            }),
             ..aaa_observe::RunReport::default()
         }
     }
@@ -156,6 +172,9 @@ impl RunStats {
             collectives: self.collectives.saturating_sub(baseline.collectives),
             checkpoints: self.checkpoints.saturating_sub(baseline.checkpoints),
             restores: self.restores.saturating_sub(baseline.restores),
+            migrations: self.migrations.saturating_sub(baseline.migrations),
+            migrated_rows: self.migrated_rows.saturating_sub(baseline.migrated_rows),
+            migration_bytes: self.migration_bytes.saturating_sub(baseline.migration_bytes),
             faults: self.faults.delta_since(&baseline.faults),
             wall: self.wall.saturating_sub(baseline.wall),
         }
@@ -186,6 +205,9 @@ mod tests {
             collectives: 1,
             checkpoints: 1,
             restores: 1,
+            migrations: 1,
+            migrated_rows: 7,
+            migration_bytes: 40,
             faults: FaultCounters { dropped: 2, retransmits: 5, ..FaultCounters::default() },
             wall: Duration::from_millis(4),
         };
@@ -196,6 +218,9 @@ mod tests {
         assert_eq!(a.collectives, 1);
         assert_eq!(a.checkpoints, 1);
         assert_eq!(a.restores, 1);
+        assert_eq!(a.migrations, 1);
+        assert_eq!(a.migrated_rows, 7);
+        assert_eq!(a.migration_bytes, 40);
         assert_eq!(a.faults.dropped, 2);
         assert_eq!(a.faults.retransmits, 5);
         assert_eq!(a.faults.injected(), 2);
@@ -215,6 +240,9 @@ mod tests {
             collectives: 2,
             checkpoints: 1,
             restores: 0,
+            migrations: 1,
+            migrated_rows: 4,
+            migration_bytes: 100,
             faults: FaultCounters { corrupted: 1, ..FaultCounters::default() },
             wall: Duration::from_millis(10),
         };
@@ -228,6 +256,9 @@ mod tests {
             collectives: 1,
             checkpoints: 0,
             restores: 1,
+            migrations: 1,
+            migrated_rows: 2,
+            migration_bytes: 50,
             faults: FaultCounters { dropped: 4, ..FaultCounters::default() },
             wall: Duration::from_millis(5),
         });
@@ -235,6 +266,9 @@ mod tests {
         assert_eq!(delta.messages, 3);
         assert_eq!(delta.supersteps, 2);
         assert_eq!(delta.restores, 1);
+        assert_eq!(delta.migrations, 1);
+        assert_eq!(delta.migrated_rows, 2);
+        assert_eq!(delta.migration_bytes, 50);
         assert_eq!(delta.faults, FaultCounters { dropped: 4, ..FaultCounters::default() });
         assert_eq!(delta.wall, Duration::from_millis(5));
         // Re-merging the delta onto the baseline reproduces the end state

@@ -19,6 +19,12 @@ fn soak_seed() -> u64 {
     std::env::var("CHAOS_SOAK_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
+/// Property cases per suite: `AAA_SOAK_CASES` stretches the horizon for
+/// the nightly soak without touching the fast default.
+fn soak_cases(default: u32) -> u32 {
+    std::env::var("AAA_SOAK_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
 fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
     x ^= x >> 30;
@@ -34,7 +40,7 @@ fn config(procs: usize, mode: ExecutionMode) -> EngineConfig {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(soak_cases(24)))]
 
     /// Random graph × random fault plan × both executors: the supervised
     /// run must converge (not degrade) and land on the clean fixed point.

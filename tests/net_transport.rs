@@ -11,7 +11,7 @@
 
 use aaa_core::{
     run_worker, AnytimeEngine, EngineConfig, NetConfig, NetOutcome, NetRunner, NoSupervisor,
-    Revive, WorkerSupervisor,
+    RebalanceConfig, RebalancePolicy, Revive, WorkerSupervisor,
 };
 use aaa_graph::generators::{barabasi_albert, WeightModel};
 use aaa_graph::AdjGraph;
@@ -170,6 +170,70 @@ fn socket_transport_matches_the_in_process_engine_bitwise() {
         }
         NetOutcome::Degraded(report) => panic!("degraded without faults: {:?}", report.reason),
     }
+}
+
+/// The rebalancer must work over the wire exactly as it does in-process:
+/// budgeted `Reassign` rounds migrate rows between worker processes, the
+/// fixed point stays bit-identical to the oracle, and the ownership map
+/// ends up measurably less skewed than it started.
+#[test]
+fn background_rebalancer_works_over_the_wire() {
+    let graph = barabasi_albert(140, 2, WeightModel::UniformRange { lo: 1, hi: 4 }, 33).unwrap();
+    let mut engine = AnytimeEngine::new(graph.clone(), EngineConfig::deterministic(PROCS)).unwrap();
+    engine.run_to_convergence();
+    let oracle = engine.closeness();
+
+    // A deliberately skewed ownership map: everything on rank 0 except
+    // one vertex per other rank.
+    let n = graph.num_vertices();
+    let mut owner = vec![0u32; n];
+    for q in 1..PROCS {
+        owner[n - q] = q as u32;
+    }
+    let balance = |owner: &[u32]| {
+        let mut sizes = [0usize; PROCS];
+        for &p in owner {
+            sizes[p as usize] += 1;
+        }
+        let ideal = n.div_ceil(PROCS) as f64;
+        sizes.iter().copied().max().unwrap() as f64 / ideal
+    };
+    let skew_before = balance(&owner);
+    assert!(skew_before > 2.0, "scenario must start skewed");
+
+    let mut links = Vec::new();
+    let mut workers = Vec::new();
+    for rank in 0..PROCS {
+        let (coord, mut worker) = LocalTransport::pair("coordinator", &format!("rank{rank}"));
+        links.push(coord);
+        workers.push(std::thread::spawn(move || run_worker(&mut worker, Duration::from_secs(30))));
+    }
+    let config = NetConfig {
+        rebalance: RebalanceConfig {
+            every: 2,
+            budget: 16,
+            ..RebalanceConfig::with_policy(RebalancePolicy::Ps)
+        },
+        ..NetConfig::default()
+    };
+    let mut runner = NetRunner::new(&graph, owner, links, config);
+    runner.init(&mut NoSupervisor).expect("init succeeds over local transport");
+    let outcome = runner.run(&mut NoSupervisor);
+    let skew_after = balance(runner.owner());
+    runner.shutdown();
+    for w in workers {
+        w.join().expect("worker thread panicked").expect("worker exited cleanly");
+    }
+    match outcome {
+        NetOutcome::Converged(summary) => {
+            assert_bit_identical(&summary.closeness, &oracle, "rebalanced");
+        }
+        NetOutcome::Degraded(report) => panic!("degraded without faults: {:?}", report.reason),
+    }
+    assert!(
+        skew_after < skew_before,
+        "migration never improved balance: {skew_before} -> {skew_after}"
+    );
 }
 
 /// Heals worker links in place: waits for the worker's redial on the

@@ -20,6 +20,12 @@ fn soak_seed() -> u64 {
     std::env::var("CHAOS_SOAK_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
+/// Churn waves per soak: `AAA_SOAK_WAVES` stretches the horizon for the
+/// nightly soak without touching the fast default.
+fn soak_waves(default: u64) -> u64 {
+    std::env::var("AAA_SOAK_WAVES").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
 fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
     x ^= x >> 30;
@@ -69,7 +75,7 @@ fn readers_survive_a_chaotic_update_stream_with_monotone_epochs() {
     // log, re-converging supervised after each wave.
     let run = engine.run_supervised(&policy).expect("supervised run under chaos");
     assert!(run.converged(), "eventually-quiet plan must converge: {:?}", run.degraded);
-    for wave in 0..3u64 {
+    for wave in 0..soak_waves(3) {
         let n = engine.graph().num_vertices() as u32;
         for i in 0..6u64 {
             let r = mix(seed, wave * 97 + i);

@@ -2,7 +2,9 @@
 //! explicit load rebalancing.
 
 use anytime_anywhere::core::changes::preferential_batch;
-use anytime_anywhere::core::{AnytimeEngine, AssignStrategy, DynamicChange, EngineConfig};
+use anytime_anywhere::core::{
+    AnytimeEngine, AssignStrategy, DynamicChange, EngineConfig, RebalanceConfig, RebalancePolicy,
+};
 use anytime_anywhere::graph::apsp::apsp_dijkstra;
 use anytime_anywhere::graph::generators::{barabasi_albert, WeightModel};
 use anytime_anywhere::graph::{AdjGraph, Csr};
@@ -86,6 +88,70 @@ fn invalid_deletions_are_rejected() {
     engine.remove_vertices(&[0]).unwrap();
     engine.run_to_convergence();
     assert_eq!(engine.closeness()[0], 0.0);
+}
+
+/// Drives the same skewed CutEdge stream into an engine; returns after the
+/// stream without converging so the caller controls the final steps.
+fn feed_skewed_stream(engine: &mut AnytimeEngine, rounds: u64) {
+    for seed in 0..rounds {
+        let batch = preferential_batch(engine.graph(), 6, 2, 70 + seed);
+        engine.apply_vertex_additions(&batch, AssignStrategy::CutEdge { seed, tries: 1 }).unwrap();
+        engine.rc_step();
+    }
+}
+
+#[test]
+fn background_rebalancer_preserves_bit_identical_fixed_point() {
+    let g = barabasi_albert(90, 2, WeightModel::Unit, 11).unwrap();
+    let mut cfg = EngineConfig::deterministic(4);
+    cfg.rebalance = RebalanceConfig {
+        every: 2,
+        budget: 8,
+        trigger: 1.05,
+        ..RebalanceConfig::with_policy(RebalancePolicy::Adaptive)
+    };
+    let mut adaptive = AnytimeEngine::new(g.clone(), cfg).unwrap();
+    let mut oracle = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+    // Same change stream into both: graph evolution is independent of the
+    // partition, so only the ownership maps diverge.
+    feed_skewed_stream(&mut adaptive, 5);
+    feed_skewed_stream(&mut oracle, 5);
+    adaptive.run_to_convergence();
+    oracle.run_to_convergence();
+    let stats = adaptive.stats();
+    assert!(stats.migrations > 0, "the background rebalancer never fired");
+    assert!(stats.migrated_rows > 0);
+    assert!(stats.migration_bytes > 0, "migration traffic must be priced");
+    // The migrated run lands on the byte-identical fixed point: closeness
+    // is a deterministic function of the exact distance matrix, which is
+    // partition-independent.
+    let a = adaptive.closeness();
+    let b = oracle.closeness();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(adaptive.distances(), oracle.distances());
+    // And the whole point: the adaptive run is no more imbalanced than the
+    // static one.
+    let imb_adaptive = vertex_balance(adaptive.partition());
+    let imb_static = vertex_balance(oracle.partition());
+    assert!(
+        imb_adaptive <= imb_static + 1e-9,
+        "adaptive ({imb_adaptive}) worse than static ({imb_static})"
+    );
+}
+
+#[test]
+fn static_policy_never_migrates() {
+    let g = barabasi_albert(60, 2, WeightModel::Unit, 5).unwrap();
+    let mut engine = AnytimeEngine::new(g, EngineConfig::deterministic(4)).unwrap();
+    feed_skewed_stream(&mut engine, 4);
+    engine.run_to_convergence();
+    let stats = engine.stats();
+    assert_eq!(stats.migrations, 0);
+    assert_eq!(stats.migrated_rows, 0);
+    assert_eq!(stats.migration_bytes, 0);
 }
 
 #[test]
