@@ -285,6 +285,102 @@ pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, Stri
     (report, trace)
 }
 
+/// Runs the pinned **publish scenario** — the delta publication path under
+/// a change stream, with one forced O(n) republication mid-run so both
+/// publish paths land in the tally — and returns its report (scenario
+/// `<name>:pinned:publish`) plus the rendered Chrome trace.
+///
+/// The report carries the `publish` section (full vs. delta epochs,
+/// changed rows, chunks copied vs. structurally shared, top-k index
+/// rebuilds). Chunk-sharing decisions are an exact function of the change
+/// stream — publication happens driver-side at barriers on drained
+/// epoch-dirty sets — so every row is deterministic and CI gates it
+/// against `results/baselines/ci_smoke_publish.json`.
+pub fn observed_publish_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
+    use aaa_core::DynamicChange;
+    use aaa_observe::PublishTally;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    let sink = Arc::new(MemorySink::new());
+    let mut config = EngineConfig::deterministic(args.procs);
+    config.wire = args.wire;
+    let g = base_graph(args);
+    let mut engine =
+        AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
+
+    // Phase 1: partial static convergence. Every epoch after the first
+    // (full, at construction) publishes by delta.
+    for _ in 0..STEPS_BEFORE_BATCH {
+        if !engine.rc_step() {
+            break;
+        }
+    }
+
+    // Phase 2: a vertex-addition batch grows the view (tail chunk tops
+    // up / fresh chunks materialize) plus seeded edge churn that dirties
+    // scattered rows.
+    let batch = addition_batch(&g, args.scaled(256, 6), args.seed + 1);
+    engine
+        .submit_with_strategy(DynamicChange::AddVertices(batch), AssignStrategy::RoundRobin)
+        .expect("batch submits");
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed + 2);
+    let n = g.num_vertices() as u32;
+    let mut added: Vec<(u32, u32)> = Vec::new();
+    while added.len() < 8 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) && !added.contains(&(u, v)) && !added.contains(&(v, u)) {
+            engine.submit(DynamicChange::AddEdge { u, v, w: 2 }).expect("edge add submits");
+            added.push((u, v));
+        }
+    }
+    while engine.rc_step() {}
+
+    // Phase 3: a reweight wave published through the forced O(n) full
+    // path — the debug oracle CI keeps honest — then back to deltas for
+    // the re-convergence tail.
+    engine.set_force_full_publish(true);
+    for &(u, v) in added.iter().take(4) {
+        engine.submit(DynamicChange::SetWeight { u, v, w: 1 }).expect("reweight submits");
+    }
+    engine.drain_changes().expect("wave 2 drains");
+    engine.set_force_full_publish(false);
+    while engine.rc_step() {}
+
+    let events = sink.drain();
+    let name = match args.wire {
+        WireFormat::Full => format!("{scenario}:pinned:publish"),
+        WireFormat::Delta => format!("{scenario}:pinned:publish:wire=delta"),
+    };
+    let mut report = engine.stats().init_report(&name);
+    report.scale = args.scale as u64;
+    report.procs = args.procs as u64;
+    report.seed = args.seed;
+    report.rc_steps = engine.rc_steps_done() as u64;
+    report.phases = aggregate_phases(&events);
+    report.ranks = per_rank_busy(&events);
+    let ingest = engine.ingest_stats();
+    report.changes = Some(ChangeTally {
+        submitted: ingest.submitted,
+        coalesced: ingest.coalesced,
+        applied: ingest.applied,
+        drains: ingest.drains,
+        epochs: engine.epochs_published(),
+    });
+    let publish = engine.publish_stats();
+    report.publish = Some(PublishTally {
+        full_epochs: publish.full_epochs,
+        delta_epochs: publish.delta_epochs,
+        changed_rows: publish.changed_rows,
+        chunks_copied: publish.chunks_copied,
+        chunks_shared: publish.chunks_shared,
+        topk_rebuilds: publish.topk_rebuilds,
+    });
+    let trace = chrome_trace(&events, args.procs);
+    (report, trace)
+}
+
 /// Runs the pinned **stream scenario** — the adversarial hub-targeting
 /// change stream driven through the ingest log while the adaptive
 /// background rebalancer absorbs the resulting skew — and returns its
@@ -430,6 +526,35 @@ mod tests {
         assert_eq!(a.collectives, b.collectives);
         assert_eq!(a.rc_steps, b.rc_steps);
         assert_eq!(a.quality, b.quality);
+    }
+
+    /// The publish scenario must reproduce its whole gated surface — in
+    /// particular the `publish` tally, whose chunk-sharing counters are a
+    /// function of the change stream alone — and must exercise both
+    /// publication paths.
+    #[test]
+    fn observed_publish_run_is_deterministic_and_uses_both_paths() {
+        let args = small_args();
+        let (a, _) = observed_publish_run("unit", &args);
+        let (b, _) = observed_publish_run("unit", &args);
+        assert_eq!(a.scenario, "unit:pinned:publish");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.collectives, b.collectives);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.changes, b.changes);
+        assert_eq!(a.publish, b.publish);
+        let tally = a.publish.expect("publish tally");
+        assert!(tally.full_epochs >= 2, "construction + forced-full wave");
+        assert!(tally.delta_epochs > tally.full_epochs, "steady state publishes by delta");
+        assert!(tally.changed_rows > 0, "the change stream dirties rows");
+        assert_eq!(
+            tally.full_epochs + tally.delta_epochs,
+            a.changes.expect("change tally").epochs,
+            "every published epoch is classified"
+        );
     }
 
     /// The stream scenario's gated surface — traffic, steps, the change

@@ -124,6 +124,11 @@ pub struct DvStore {
     slot_of: Vec<u32>,
     /// Local rows changed since they were last sent.
     dirty: DirtyBits,
+    /// Local rows whose values changed since the last published epoch.
+    /// Unlike `dirty` (drained at produce time for wire scheduling) this
+    /// set survives until the publisher drains it, so an epoch's view
+    /// delta covers exactly the rows whose closeness may have moved.
+    epoch_dirty: DirtyBits,
     /// Cached sorted-id views, rebuilt only after membership changes.
     sorted_local: Vec<VertexId>,
     sorted_all: Vec<VertexId>,
@@ -135,7 +140,9 @@ impl DvStore {
     pub fn new(n: usize) -> Self {
         let mut dirty = DirtyBits::default();
         dirty.ensure(n);
-        Self { n, stride: n, slot_of: vec![NO_SLOT; n], dirty, ..Self::default() }
+        let mut epoch_dirty = DirtyBits::default();
+        epoch_dirty.ensure(n);
+        Self { n, stride: n, slot_of: vec![NO_SLOT; n], dirty, epoch_dirty, ..Self::default() }
     }
 
     /// Current column count.
@@ -184,6 +191,7 @@ impl DvStore {
             self.sorted_stale = true;
         }
         self.dirty.insert(v);
+        self.epoch_dirty.insert(v);
     }
 
     /// Grows every row to `new_n` columns (filled with `INF`). Within the
@@ -201,6 +209,7 @@ impl DvStore {
         self.n = new_n;
         self.slot_of.resize(new_n, NO_SLOT);
         self.dirty.ensure(new_n);
+        self.epoch_dirty.ensure(new_n);
     }
 
     /// Read a row: local first, then cached. `None` if unknown here.
@@ -265,6 +274,7 @@ impl DvStore {
         let changed = f(&mut self.local_data[s * self.stride..s * self.stride + self.n]);
         if changed {
             self.dirty.insert(v);
+            self.epoch_dirty.insert(v);
         }
         changed
     }
@@ -273,6 +283,7 @@ impl DvStore {
     pub fn remove_local(&mut self, v: VertexId) -> Option<Vec<Dist>> {
         let s = self.local_slot(v)?;
         self.dirty.remove(v);
+        self.epoch_dirty.remove(v);
         self.slot_of[v as usize] = NO_SLOT;
         self.sorted_stale = true;
         Some(swap_remove_row(
@@ -318,6 +329,10 @@ impl DvStore {
         if dirty {
             self.dirty.insert(v);
         }
+        // An installed row may hold any values (migration, restore,
+        // recompute), so the published closeness of `v` must be refreshed
+        // regardless of the wire-dirty flag.
+        self.epoch_dirty.insert(v);
     }
 
     /// Element-wise min-merge into a local row. Returns `true` (and marks
@@ -328,6 +343,7 @@ impl DvStore {
         let changed = min_merge(row, incoming);
         if changed {
             self.dirty.insert(v);
+            self.epoch_dirty.insert(v);
         }
         changed
     }
@@ -341,6 +357,7 @@ impl DvStore {
         let changed = min_merge_sparse(row, pairs);
         if changed {
             self.dirty.insert(v);
+            self.epoch_dirty.insert(v);
         }
         changed
     }
@@ -425,6 +442,15 @@ impl DvStore {
     pub fn take_dirty_sorted(&mut self) -> Vec<VertexId> {
         let ids = self.dirty.to_sorted();
         self.dirty.clear();
+        ids
+    }
+
+    /// Takes the epoch-dirty set (rows whose values changed since the last
+    /// publish), sorted. Drained once per published epoch; independent of
+    /// the wire-dirty set, which produce drains every RC step.
+    pub fn take_epoch_dirty_sorted(&mut self) -> Vec<VertexId> {
+        let ids = self.epoch_dirty.to_sorted();
+        self.epoch_dirty.clear();
         ids
     }
 
@@ -528,6 +554,7 @@ impl DvStore {
         for (s, &e) in ever.iter().enumerate() {
             if e {
                 self.dirty.insert(self.local_ids[s]);
+                self.epoch_dirty.insert(self.local_ids[s]);
                 any = true;
             }
         }

@@ -18,7 +18,7 @@ use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
 use crate::ingest::{ChangeLog, IngestStats};
 use crate::policy::{RetryPolicy, StrategyPolicy};
-use crate::publish::{BoundsMode, PublishedView, Publisher, ViewCell};
+use crate::publish::{BoundsMode, PublishStats, PublishedView, Publisher, ViewCell, ViewDelta};
 use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
 use crate::rank::{GrowMsg, RankState, RowMsg, WireFormat};
 use crate::strategies::{cut_edge_assign, round_robin_assign, AssignStrategy};
@@ -391,48 +391,134 @@ impl AnytimeEngine {
     /// driver-side work (the orchestrator reading rank memory it co-hosts,
     /// exactly like checkpointing): no supersteps, messages, or simulated
     /// time are charged, so publishing never perturbs the priced metrics.
+    ///
+    /// The hot path is `O(changed)`: each rank drains its epoch-dirty row
+    /// set (values changed since the last publish) and the publisher
+    /// applies the resulting `ViewDelta` by structural sharing. The full
+    /// `O(n)` rebuild runs only when the publisher demands it — first
+    /// epoch, certified-bounds invalidation, forced-full override — or
+    /// when a restore rewound the vertex count below the published view's
+    /// (the chunked store never shrinks in place).
     fn publish_view(&mut self, converged: bool) {
         let observing = self.cluster.observing();
         let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
         let n = self.graph.num_vertices();
-        let mut closeness = vec![0.0; n];
-        let mut bounds = Vec::new();
         match self.publisher.mode() {
             BoundsMode::None => {
-                for list in self.cluster.barrier_read(|_, s| s.local_closeness()) {
-                    for (v, c) in list {
-                        closeness[v as usize] = c;
+                let full =
+                    self.publisher.wants_full() || self.publisher.latest().num_vertices() > n;
+                // Epoch-dirty tracking is drained on every publish — the
+                // full path resets it too, so the next delta is relative
+                // to what this epoch actually published.
+                let per_rank =
+                    self.cluster.barrier_read_mut(|_, s: &mut RankState| s.take_epoch_closeness());
+                if full {
+                    let mut closeness = vec![0.0; n];
+                    for list in self.cluster.barrier_read(|_, s| s.local_closeness()) {
+                        for (v, c) in list {
+                            closeness[v as usize] = c;
+                        }
                     }
+                    self.publisher.publish(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        closeness,
+                        Vec::new(),
+                    );
+                } else {
+                    let mut entries: Vec<(VertexId, f64)> =
+                        per_rank.into_iter().flatten().collect();
+                    entries.sort_unstable_by_key(|e| e.0);
+                    self.publisher.publish_changes(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        n,
+                        entries,
+                        Vec::new(),
+                    );
                 }
             }
             BoundsMode::Certified => {
-                bounds = vec![0.0; n];
+                // `cache_for` may rebuild (structural change), which moves
+                // every vertex's bound and forces the full path below.
+                self.publisher.cache_for(&self.graph);
+                let full =
+                    self.publisher.wants_full() || self.publisher.latest().num_vertices() > n;
+                let changed =
+                    self.cluster.barrier_read_mut(|_, s: &mut RankState| s.take_epoch_changed());
                 let cache = self.publisher.cache_for(&self.graph);
-                let per_rank = self.cluster.barrier_read(|_, s| {
-                    s.local_vertices()
-                        .iter()
-                        .map(|&v| {
-                            let row = s.dv().local_row(v).expect("local row");
-                            let (lo, hi) = cache.interval(v, row);
-                            // Partial rows can overestimate closeness (fewer
-                            // finite terms); the certified interval is sound,
-                            // so clamp the estimate into it.
-                            (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
-                        })
-                        .collect::<Vec<_>>()
-                });
-                for list in per_rank {
-                    for (v, c, b) in list {
-                        closeness[v as usize] = c;
-                        bounds[v as usize] = b;
+                if full {
+                    let mut closeness = vec![0.0; n];
+                    let mut bounds = vec![0.0; n];
+                    let per_rank = self.cluster.barrier_read(|_, s| {
+                        s.local_vertices()
+                            .iter()
+                            .map(|&v| {
+                                let row = s.dv().local_row(v).expect("local row");
+                                let (lo, hi) = cache.interval(v, row);
+                                // Partial rows can overestimate closeness
+                                // (fewer finite terms); the certified
+                                // interval is sound, so clamp into it.
+                                (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                    for list in per_rank {
+                        for (v, c, b) in list {
+                            closeness[v as usize] = c;
+                            bounds[v as usize] = b;
+                        }
                     }
+                    self.publisher.publish(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        closeness,
+                        bounds,
+                    );
+                } else {
+                    let per_rank = self.cluster.barrier_read(|r, s| {
+                        changed[r]
+                            .iter()
+                            .map(|&v| {
+                                let row = s.dv().local_row(v).expect("local row");
+                                let (lo, hi) = cache.interval(v, row);
+                                (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                    let mut entries = Vec::new();
+                    let mut bound_entries = Vec::new();
+                    for (v, c, b) in per_rank.into_iter().flatten() {
+                        entries.push((v, c));
+                        bound_entries.push((v, b));
+                    }
+                    entries.sort_unstable_by_key(|e| e.0);
+                    bound_entries.sort_unstable_by_key(|e| e.0);
+                    self.publisher.publish_changes(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        n,
+                        entries,
+                        bound_entries,
+                    );
                 }
             }
         }
-        self.publisher.publish(self.rc_steps, self.changes_applied, converged, closeness, bounds);
         if observing {
             // Zero simulated duration (renders as an instant, like
-            // checkpoints); the real cost rides in wall_dur.
+            // checkpoints); the real cost rides in wall_dur. The payload
+            // fields carry the delta this epoch shipped: `messages` is
+            // the re-stated row count, `bytes` its `NetMsg::ViewDelta`
+            // wire size (what replication would put on the wire).
+            let (rows, delta_bytes) = self
+                .publisher
+                .last_delta()
+                .map(|d| (d.rows() as u64, d.encoded_bytes() as u64))
+                .unwrap_or((0, 0));
             self.cluster.emit(SpanEvent {
                 kind: SpanKind::Publish,
                 rank: DRIVER_LANE,
@@ -441,8 +527,8 @@ impl AnytimeEngine {
                 sim_dur_us: 0.0,
                 wall_start_us: wall0,
                 wall_dur_us: self.cluster.wall_now_us() - wall0,
-                messages: 0,
-                bytes: 0,
+                messages: rows,
+                bytes: delta_bytes,
             });
         }
     }
@@ -515,7 +601,25 @@ impl AnytimeEngine {
     /// a lock-free read of the last epoch, also available to other threads
     /// through [`AnytimeEngine::view_cell`].
     pub fn closeness(&self) -> Vec<f64> {
-        self.publisher.latest().closeness().to_vec()
+        self.publisher.latest().closeness()
+    }
+
+    /// Publish-layer counters: full vs delta epochs, re-stated rows,
+    /// chunk copy/share tallies, top-k index rebuilds.
+    pub fn publish_stats(&self) -> PublishStats {
+        self.publisher.stats()
+    }
+
+    /// The delta describing the most recent published epoch (what
+    /// `NetMsg::ViewDelta` replication would ship).
+    pub fn last_view_delta(&self) -> Option<&ViewDelta> {
+        self.publisher.last_delta()
+    }
+
+    /// Disables (`true`) or re-enables (`false`) the delta publish path —
+    /// the full-rebuild baseline for equivalence tests and benches.
+    pub fn set_force_full_publish(&mut self, on: bool) {
+        self.publisher.set_force_full(on);
     }
 
     /// Recomputes closeness with a priced gather superstep (every rank

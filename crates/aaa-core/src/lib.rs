@@ -69,7 +69,9 @@ pub use net::{
     WireError, WorkerSupervisor,
 };
 pub use policy::{RetryPolicy, StrategyPolicy};
-pub use publish::{BoundsMode, PublishedView, Publisher, ViewCell};
+pub use publish::{
+    BoundsMode, PublishStats, PublishedView, Publisher, ViewCell, ViewDelta, TOPK_SERVE_CAP,
+};
 pub use quality::{
     degraded_closeness_bounds, CertifiedBoundsCache, DegradedReason, DegradedReport, QualitySample,
     QualityTracker,

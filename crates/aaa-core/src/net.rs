@@ -293,6 +293,22 @@ pub enum NetMsg {
     /// carries the adjacency of every moved vertex (deduped per
     /// undirected edge) so receivers can rebuild local structure.
     Reassign { round: u64, moves: Vec<(VertexId, PartId)>, adj: Vec<(VertexId, VertexId, Weight)> },
+    /// Publisher → view replica: one published epoch as a change set (the
+    /// wire form of `publish::ViewDelta`; replication lands in a later
+    /// PR). `entries`/`bounds` pair vertex ids with `f64::to_bits` values
+    /// so the message keeps `Eq` and round-trips exactly; `full` epochs
+    /// re-state every vertex. Rides the same CRC-framed transport as
+    /// every other message.
+    ViewDelta {
+        epoch: u64,
+        rc_steps: u64,
+        changes_applied: u64,
+        n: u32,
+        converged: bool,
+        full: bool,
+        entries: Vec<(VertexId, u64)>,
+        bounds: Vec<(VertexId, u64)>,
+    },
 }
 
 impl NetMsg {
@@ -384,6 +400,33 @@ impl NetMsg {
                     put_u32(&mut out, w);
                 }
             }
+            NetMsg::ViewDelta {
+                epoch,
+                rc_steps,
+                changes_applied,
+                n,
+                converged,
+                full,
+                entries,
+                bounds,
+            } => {
+                out.push(16);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *rc_steps);
+                put_u64(&mut out, *changes_applied);
+                put_u32(&mut out, *n);
+                out.push(u8::from(*converged) | (u8::from(*full) << 1));
+                put_u32(&mut out, entries.len() as u32);
+                for &(v, bits) in entries {
+                    put_u32(&mut out, v);
+                    put_u64(&mut out, bits);
+                }
+                put_u32(&mut out, bounds.len() as u32);
+                for &(v, bits) in bounds {
+                    put_u32(&mut out, v);
+                    put_u64(&mut out, bits);
+                }
+            }
         }
         out
     }
@@ -466,6 +509,39 @@ impl NetMsg {
                     adj.push((a, b, w));
                 }
                 NetMsg::Reassign { round, moves, adj }
+            }
+            16 => {
+                let epoch = r.u64()?;
+                let rc_steps = r.u64()?;
+                let changes_applied = r.u64()?;
+                let n = r.u32()?;
+                let flags = r.u8()?;
+                let converged = flags & 1 != 0;
+                let full = flags & 2 != 0;
+                let e = r.count(12)?;
+                let mut entries = Vec::with_capacity(e);
+                for _ in 0..e {
+                    let v = r.u32()?;
+                    let bits = r.u64()?;
+                    entries.push((v, bits));
+                }
+                let b = r.count(12)?;
+                let mut bounds = Vec::with_capacity(b);
+                for _ in 0..b {
+                    let v = r.u32()?;
+                    let bits = r.u64()?;
+                    bounds.push((v, bits));
+                }
+                NetMsg::ViewDelta {
+                    epoch,
+                    rc_steps,
+                    changes_applied,
+                    n,
+                    converged,
+                    full,
+                    entries,
+                    bounds,
+                }
             }
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -650,6 +726,11 @@ pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result
             | NetMsg::CloseReply { .. }
             | NetMsg::RowsReply { .. } => {
                 return Err(protocol_err(&link.peer(), "coordinator-bound message at worker"));
+            }
+            // View replication is reader-process traffic; compute workers
+            // never consume it.
+            NetMsg::ViewDelta { .. } => {
+                return Err(protocol_err(&link.peer(), "replica-bound message at worker"));
             }
         }
     }
@@ -1513,6 +1594,74 @@ mod tests {
         roundtrip(NetMsg::Absorb { rows: vec![(3, vec![1, 2, 3]), (4, vec![])] });
         roundtrip(NetMsg::ResendAll);
         roundtrip(NetMsg::Bye);
+        roundtrip(NetMsg::Reassign { round: 4, moves: vec![(0, 1), (5, 0)], adj: vec![(0, 5, 2)] });
+        roundtrip(NetMsg::ViewDelta {
+            epoch: 12,
+            rc_steps: 7,
+            changes_applied: 3,
+            n: 100,
+            converged: true,
+            full: false,
+            entries: vec![(4, 0.25f64.to_bits()), (90, 0.75f64.to_bits())],
+            bounds: vec![(4, 0.01f64.to_bits())],
+        });
+    }
+
+    #[test]
+    fn view_delta_encoding_matches_declared_size_and_rejects_truncation() {
+        let msg = NetMsg::ViewDelta {
+            epoch: 3,
+            rc_steps: 2,
+            changes_applied: 1,
+            n: 64,
+            converged: false,
+            full: true,
+            entries: vec![(0, 1.0f64.to_bits()), (1, 0.5f64.to_bits()), (63, 0u64)],
+            bounds: vec![(1, 0.125f64.to_bits())],
+        };
+        let bytes = msg.encode();
+        // The publish layer's `ViewDelta::encoded_bytes` must stay in
+        // lockstep with this codec: tag + 3×u64 + u32 + flags + two
+        // counted (u32, u64-bits) lists.
+        assert_eq!(bytes.len(), 1 + 8 * 3 + 4 + 1 + 4 + 12 * 3 + 4 + 12);
+        for cut in 0..bytes.len() {
+            assert!(NetMsg::decode(&bytes[..cut]).is_err(), "truncation at {cut} decoded");
+        }
+        // An inflated element count is a typed error, not an allocation.
+        let mut bomb = bytes.clone();
+        bomb[30..34].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(NetMsg::decode(&bomb).is_err());
+    }
+
+    #[test]
+    fn view_delta_rides_crc_framed_transport() {
+        use aaa_runtime::net::{decode_frame, encode_frame, Frame, FrameError, FrameKind};
+        let msg = NetMsg::ViewDelta {
+            epoch: 9,
+            rc_steps: 4,
+            changes_applied: 2,
+            n: 32,
+            converged: false,
+            full: false,
+            entries: vec![(3, 0.75f64.to_bits()), (17, 0.2f64.to_bits())],
+            bounds: Vec::new(),
+        };
+        let frame = Frame { kind: FrameKind::Data, seq: 7, payload: msg.encode() };
+        let wire = encode_frame(&frame);
+        let (back, used) = decode_frame(&wire).expect("frame decodes");
+        assert_eq!(used, wire.len());
+        assert_eq!(NetMsg::decode(&back.payload).unwrap(), msg);
+        // Any single corrupted byte is caught by the frame CRC before the
+        // message codec ever sees the payload.
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            match decode_frame(&bad) {
+                Ok((f, _)) => panic!("corruption at byte {i} decoded as {:?}", f.kind),
+                Err(FrameError::BadCrc { .. }) => {}
+                Err(_) => {} // header-field corruption surfaces as its own typed error
+            }
+        }
     }
 
     #[test]

@@ -15,11 +15,44 @@
 //! it co-hosts, like checkpointing): it charges no supersteps, messages,
 //! or simulated time, which is what keeps the pinned perf-gate metrics
 //! at +0.00% across the pipeline split.
+//!
+//! # Delta publication (S30)
+//!
+//! A typical epoch dirties only a small fraction of DV rows, so rebuilding
+//! the whole closeness vector per publish is `O(n)` wasted work. The
+//! publisher instead consumes a [`ViewDelta`] — the changed vertex ids
+//! with their new values, derived from the arena's epoch-dirty bitsets —
+//! and builds the next view by **structural sharing**: closeness (and
+//! bounds) live in fixed-size chunks behind per-chunk `Arc`s, and only
+//! chunks containing a changed row are copied. Unchanged memory is shared
+//! across epochs, readers stay lock-free and torn-free exactly as before,
+//! and publish cost is `O(changed)` instead of `O(n)`.
+//!
+//! A maintained top-k index (bounded, threshold-pruned, ordered
+//! best-first with deterministic id tie-breaks) is updated per delta in
+//! `O(Δ·log k)`, so [`PublishedView::top_k`] serves from a per-view
+//! snapshot in `O(k)` instead of rescanning all `n` vertices.
+//! [`PublishedView::top_k_rescan`] keeps the full scan as a debug oracle.
 
+use crate::net::NetMsg;
 use crate::quality::CertifiedBoundsCache;
 use aaa_graph::closeness::top_k;
 use aaa_graph::{AdjGraph, VertexId};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+/// Vertices per closeness chunk. Power of two so the row → chunk map is a
+/// shift; small enough that ~1% dirty rows on a large graph still share
+/// most chunks, large enough that per-chunk `Arc` overhead is noise.
+pub const CHUNK_VERTICES: usize = 1024;
+
+/// How many top entries each view snapshots for `O(k)` serving. `top_k`
+/// calls with `k` beyond this fall back to the rescan oracle.
+pub const TOPK_SERVE_CAP: usize = 128;
+
+/// Internal index capacity: twice the serve cap, so most displacements
+/// drain slack instead of forcing an immediate rebuild scan.
+const TOPK_INDEX_CAP: usize = 2 * TOPK_SERVE_CAP;
 
 /// What quality label each published epoch carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +68,187 @@ pub enum BoundsMode {
     Certified,
 }
 
+// ---------------------------------------------------------------------------
+// Chunked copy-on-write value store
+// ---------------------------------------------------------------------------
+
+/// A `Vec<f64>` split into [`CHUNK_VERTICES`]-sized chunks behind
+/// per-chunk `Arc`s. [`ChunkedVec::apply`] produces the next version by
+/// cloning the chunk list (cheap `Arc` bumps) and materializing only the
+/// chunks an entry lands in — the structural sharing that makes per-epoch
+/// publication `O(changed)`.
+///
+/// Invariant: chunk `i` holds exactly `min(CHUNK_VERTICES, len − i·CHUNK)`
+/// values, so every chunk except possibly the last is full.
+#[derive(Debug, Clone, Default)]
+struct ChunkedVec {
+    len: usize,
+    chunks: Vec<Arc<Vec<f64>>>,
+}
+
+impl ChunkedVec {
+    fn from_vec(values: Vec<f64>) -> Self {
+        let len = values.len();
+        let chunks = values.chunks(CHUNK_VERTICES).map(|c| Arc::new(c.to_vec())).collect();
+        Self { len, chunks }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn get(&self, i: usize) -> Option<f64> {
+        if i >= self.len {
+            return None;
+        }
+        Some(self.chunks[i / CHUNK_VERTICES][i % CHUNK_VERTICES])
+    }
+
+    fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// The next version: grown to `new_len` (`fill`-padded) with `entries`
+    /// (sorted by id) written through copy-on-write. Returns the store
+    /// plus how many chunks were materialized vs shared with `self`.
+    fn apply(&self, new_len: usize, entries: &[(VertexId, f64)], fill: f64) -> (Self, u64, u64) {
+        debug_assert!(new_len >= self.len, "chunked store never shrinks");
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries sorted unique");
+        let mut chunks = self.chunks.clone();
+        let n_chunks = new_len.div_ceil(CHUNK_VERTICES);
+        let mut fresh = vec![false; n_chunks];
+        if new_len > self.len {
+            if self.len % CHUNK_VERTICES != 0 {
+                // Top up the old partial tail chunk.
+                let last = self.len / CHUNK_VERTICES;
+                let mut data = chunks[last].as_ref().clone();
+                data.resize(CHUNK_VERTICES.min(new_len - last * CHUNK_VERTICES), fill);
+                chunks[last] = Arc::new(data);
+                fresh[last] = true;
+            }
+            while chunks.len() < n_chunks {
+                let c = chunks.len();
+                chunks.push(Arc::new(vec![fill; CHUNK_VERTICES.min(new_len - c * CHUNK_VERTICES)]));
+                fresh[c] = true;
+            }
+        }
+        for &(v, val) in entries {
+            debug_assert!((v as usize) < new_len, "entry {v} beyond view length {new_len}");
+            let (c, i) = (v as usize / CHUNK_VERTICES, v as usize % CHUNK_VERTICES);
+            if !fresh[c] {
+                chunks[c] = Arc::new(chunks[c].as_ref().clone());
+                fresh[c] = true;
+            }
+            Arc::get_mut(&mut chunks[c]).expect("freshly materialized chunk")[i] = val;
+        }
+        let copied = fresh.iter().filter(|&&f| f).count() as u64;
+        (Self { len: new_len, chunks }, copied, n_chunks as u64 - copied)
+    }
+}
+
+impl PartialEq for ChunkedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.chunks.iter().zip(&other.chunks).all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maintained top-k index
+// ---------------------------------------------------------------------------
+
+/// Serve-rank order: higher closeness first, ties broken by lower vertex
+/// id. `total_cmp` makes this a total order even on pathological values,
+/// matching the rescan oracle in `aaa_graph::closeness::top_k`.
+#[inline]
+fn rank_before(a: (f64, VertexId), b: (f64, VertexId)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// Bounded, threshold-pruned index of the best-ranked vertices, ordered
+/// best-first under [`rank_before`].
+///
+/// Invariant: `entries` is the *exact* top-`entries.len()` prefix of the
+/// current store — every non-member ranks strictly after `entries.last()`.
+/// A delta update removes the member entry for a changed vertex (by its
+/// old value) and re-inserts the new value only when it beats the current
+/// worst (the threshold prune); displacement past the cap truncates. When
+/// removals shrink the index below the serve cap it is rebuilt by one
+/// bounded scan, restoring slack up to [`TOPK_INDEX_CAP`].
+#[derive(Debug, Clone, Default)]
+struct TopKIndex {
+    entries: Vec<(f64, VertexId)>,
+}
+
+impl TopKIndex {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// One bounded scan of the whole store: `O(n·log cap)`.
+    fn rebuild(&mut self, values: &ChunkedVec) {
+        let cap = TOPK_INDEX_CAP.min(values.len());
+        self.entries.clear();
+        for (v, c) in values.iter().enumerate() {
+            let cand = (c, v as VertexId);
+            let pos = self
+                .entries
+                .binary_search_by(|e| rank_before(*e, cand))
+                .expect_err("vertex ids are unique");
+            if pos < cap {
+                self.entries.insert(pos, cand);
+                self.entries.truncate(cap);
+            }
+        }
+    }
+
+    /// Applies one delta entry: `old` is the vertex's value in the
+    /// previous view (`None` if it is new). `O(log k + k)` worst case
+    /// (binary search plus a bounded memmove).
+    fn update(&mut self, old: Option<f64>, v: VertexId, new_c: f64) {
+        if let Some(oc) = old {
+            if let Ok(pos) = self.entries.binary_search_by(|e| rank_before(*e, (oc, v))) {
+                self.entries.remove(pos);
+            }
+        }
+        let cand = (new_c, v);
+        match self.entries.binary_search_by(|e| rank_before(*e, cand)) {
+            Ok(_) => unreachable!("vertex ids are unique"),
+            // Beats the current worst member → exactness is preserved by
+            // insertion; past-the-end candidates may or may not belong to
+            // the true top prefix, so they are pruned (the caller rebuilds
+            // if the index underflows the serve cap).
+            Err(pos) if pos < self.entries.len() => {
+                self.entries.insert(pos, cand);
+                self.entries.truncate(TOPK_INDEX_CAP);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// The per-view serve snapshot: the first `TOPK_SERVE_CAP` entries in
+    /// serve order, as `(id, closeness)` pairs.
+    fn snapshot(&self) -> Vec<(VertexId, f64)> {
+        self.entries.iter().take(TOPK_SERVE_CAP).map(|&(c, v)| (v, c)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Published views
+// ---------------------------------------------------------------------------
+
 /// One immutable published answer. Readers obtain views via
 /// [`ViewCell::load`] and keep them alive as long as they like; the engine
 /// never mutates a view after publishing it.
@@ -48,10 +262,13 @@ pub struct PublishedView {
     pub changes_applied: u64,
     /// Whether the engine had reached quiescence at publish time.
     pub converged: bool,
-    closeness: Vec<f64>,
+    closeness: ChunkedVec,
     /// Per-vertex certified bound on `|exact − closeness|`; empty under
     /// [`BoundsMode::None`].
-    bounds: Vec<f64>,
+    bounds: ChunkedVec,
+    /// Exact top-[`TOPK_SERVE_CAP`] prefix in serve order, maintained by
+    /// the publisher's index — what makes `top_k` `O(k)`.
+    topk: Arc<Vec<(VertexId, f64)>>,
 }
 
 impl PublishedView {
@@ -62,8 +279,9 @@ impl PublishedView {
             rc_steps: 0,
             changes_applied: 0,
             converged: false,
-            closeness: Vec::new(),
-            bounds: Vec::new(),
+            closeness: ChunkedVec::default(),
+            bounds: ChunkedVec::default(),
+            topk: Arc::new(Vec::new()),
         }
     }
 
@@ -72,20 +290,43 @@ impl PublishedView {
         self.closeness.len()
     }
 
-    /// Point lookup: closeness of `v`, or `None` out of range.
+    /// Point lookup: closeness of `v`, or `None` out of range. `O(1)`.
     pub fn point(&self, v: VertexId) -> Option<f64> {
-        self.closeness.get(v as usize).copied()
+        self.closeness.get(v as usize)
     }
 
-    /// The full closeness vector.
-    pub fn closeness(&self) -> &[f64] {
-        &self.closeness
+    /// Batched point lookup against this one consistent epoch.
+    pub fn points(&self, ids: &[VertexId]) -> Vec<Option<f64>> {
+        ids.iter().map(|&v| self.point(v)).collect()
+    }
+
+    /// The full closeness vector, materialized from the chunked store.
+    pub fn closeness(&self) -> Vec<f64> {
+        self.closeness.to_vec()
     }
 
     /// The `k` most central vertices with their closeness, ties broken by
-    /// vertex id.
+    /// vertex id. `O(k)` for `k ≤` [`TOPK_SERVE_CAP`] via the maintained
+    /// snapshot; larger `k` falls back to [`PublishedView::top_k_rescan`].
     pub fn top_k(&self, k: usize) -> Vec<(VertexId, f64)> {
-        top_k(&self.closeness, k).into_iter().map(|v| (v, self.closeness[v as usize])).collect()
+        let k = k.min(self.num_vertices());
+        if k <= self.topk.len() {
+            return self.topk[..k].to_vec();
+        }
+        self.top_k_rescan(k)
+    }
+
+    /// Debug oracle: full `O(n log n)` rescan of the materialized
+    /// closeness vector. Must agree with [`PublishedView::top_k`] exactly.
+    pub fn top_k_rescan(&self, k: usize) -> Vec<(VertexId, f64)> {
+        let closeness = self.closeness.to_vec();
+        top_k(&closeness, k).into_iter().map(|v| (v, closeness[v as usize])).collect()
+    }
+
+    /// How many entries the maintained top-k snapshot covers
+    /// (`min(`[`TOPK_SERVE_CAP`]`, n)` on every published view).
+    pub fn topk_coverage(&self) -> usize {
+        self.topk.len()
     }
 
     /// Whether this view carries certified per-vertex bounds.
@@ -96,30 +337,180 @@ impl PublishedView {
     /// Certified bound on `|exact − closeness|` for `v`. `None` when the
     /// view was published without bounds or `v` is out of range.
     pub fn error_bound(&self, v: VertexId) -> Option<f64> {
-        self.bounds.get(v as usize).copied()
+        self.bounds.get(v as usize)
     }
 
     /// The full bounds vector (empty under [`BoundsMode::None`]).
-    pub fn bounds(&self) -> &[f64] {
-        &self.bounds
+    pub fn bounds(&self) -> Vec<f64> {
+        self.bounds.to_vec()
+    }
+
+    /// How many closeness chunks this view shares (same allocation) with
+    /// `other` — the structural-sharing diagnostic tests and benches pin.
+    pub fn shared_closeness_chunks(&self, other: &PublishedView) -> usize {
+        self.closeness
+            .chunks
+            .iter()
+            .zip(&other.closeness.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 }
 
+// ---------------------------------------------------------------------------
+// View deltas
+// ---------------------------------------------------------------------------
+
+/// The change set one epoch applies to the previous view: the publisher's
+/// input, and — encoded as [`NetMsg::ViewDelta`] — the unit of future view
+/// replication to reader processes (ROADMAP item 1).
+///
+/// `entries`/`bounds` are sorted by vertex id. A `full` delta re-states
+/// every vertex (construction, restore, structural bound invalidation);
+/// otherwise entries cover exactly the rows whose DV values changed since
+/// the previous publish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDelta {
+    pub epoch: u64,
+    pub rc_steps: usize,
+    pub changes_applied: u64,
+    pub converged: bool,
+    pub full: bool,
+    /// Vertex count of the view this delta produces.
+    pub n: usize,
+    /// `(vertex, new closeness)`, sorted by id.
+    pub entries: Vec<(VertexId, f64)>,
+    /// `(vertex, new certified bound)`, sorted by id; empty without bounds.
+    pub bounds: Vec<(VertexId, f64)>,
+}
+
+impl ViewDelta {
+    /// Rows this delta re-states.
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Size of the [`NetMsg::ViewDelta`] wire encoding in bytes (kept in
+    /// lockstep with the codec in `net.rs`; asserted by its tests).
+    pub fn encoded_bytes(&self) -> usize {
+        // tag + epoch + rc_steps + changes_applied + n + flags
+        // + 2 × (count + 12 bytes per (id, f64-bits) pair)
+        1 + 8 + 8 + 8 + 4 + 1 + 4 + 12 * self.entries.len() + 4 + 12 * self.bounds.len()
+    }
+
+    /// The CRC-framed wire form (f64 carried as raw bits, so the message
+    /// keeps `NetMsg`'s `Eq` and round-trips exactly).
+    pub fn to_msg(&self) -> NetMsg {
+        NetMsg::ViewDelta {
+            epoch: self.epoch,
+            rc_steps: self.rc_steps as u64,
+            changes_applied: self.changes_applied,
+            n: self.n as u32,
+            converged: self.converged,
+            full: self.full,
+            entries: self.entries.iter().map(|&(v, c)| (v, c.to_bits())).collect(),
+            bounds: self.bounds.iter().map(|&(v, b)| (v, b.to_bits())).collect(),
+        }
+    }
+
+    /// Decodes the wire form; `None` if `msg` is a different variant.
+    pub fn from_msg(msg: &NetMsg) -> Option<Self> {
+        match msg {
+            NetMsg::ViewDelta {
+                epoch,
+                rc_steps,
+                changes_applied,
+                n,
+                converged,
+                full,
+                entries,
+                bounds,
+            } => Some(Self {
+                epoch: *epoch,
+                rc_steps: *rc_steps as usize,
+                changes_applied: *changes_applied,
+                converged: *converged,
+                full: *full,
+                n: *n as usize,
+                entries: entries.iter().map(|&(v, bits)| (v, f64::from_bits(bits))).collect(),
+                bounds: bounds.iter().map(|&(v, bits)| (v, f64::from_bits(bits))).collect(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Follower-side application: reconstructs the view this delta
+    /// produced, bit-identically to the leader's (the replication receive
+    /// path). The top-k snapshot is rebuilt by a bounded scan here; a
+    /// later PR gives followers a maintained index of their own.
+    pub fn apply_to(&self, prev: &PublishedView) -> PublishedView {
+        let closeness = if self.full {
+            let mut vals = vec![0.0; self.n];
+            for &(v, c) in &self.entries {
+                vals[v as usize] = c;
+            }
+            ChunkedVec::from_vec(vals)
+        } else {
+            prev.closeness.apply(self.n, &self.entries, 0.0).0
+        };
+        let bounds = if self.full {
+            if self.bounds.is_empty() {
+                ChunkedVec::default()
+            } else {
+                let mut vals = vec![0.0; self.n];
+                for &(v, b) in &self.bounds {
+                    vals[v as usize] = b;
+                }
+                ChunkedVec::from_vec(vals)
+            }
+        } else if prev.has_bounds() {
+            prev.bounds.apply(self.n, &self.bounds, 0.0).0
+        } else {
+            ChunkedVec::default()
+        };
+        let mut index = TopKIndex::default();
+        index.rebuild(&closeness);
+        PublishedView {
+            epoch: self.epoch,
+            rc_steps: self.rc_steps,
+            changes_applied: self.changes_applied,
+            converged: self.converged,
+            closeness,
+            bounds,
+            topk: Arc::new(index.snapshot()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared cell
+// ---------------------------------------------------------------------------
+
 /// The swappable handle readers share: an `ArcSwap`-style cell holding the
-/// latest [`PublishedView`].
+/// latest [`PublishedView`], plus a condvar-tracked epoch watermark so
+/// blocked readers park instead of spinning.
 ///
 /// `load` takes a read lock only long enough to clone the inner `Arc`
 /// (~tens of nanoseconds), so unbounded concurrent readers scale; `store`
 /// swaps the whole `Arc` under the write lock, so a reader sees either
-/// the old complete view or the new complete view — never a mix.
+/// the old complete view or the new complete view — never a mix. The
+/// watermark is advanced *after* the slot swap, so a waiter woken at
+/// epoch `e` always loads a view with `epoch ≥ e`.
 #[derive(Debug)]
 pub struct ViewCell {
     slot: RwLock<Arc<PublishedView>>,
+    epoch: Mutex<u64>,
+    published: Condvar,
 }
 
 impl ViewCell {
     pub fn new(initial: PublishedView) -> Self {
-        Self { slot: RwLock::new(Arc::new(initial)) }
+        let epoch = initial.epoch;
+        Self {
+            slot: RwLock::new(Arc::new(initial)),
+            epoch: Mutex::new(epoch),
+            published: Condvar::new(),
+        }
     }
 
     /// The latest published view. Never blocks on the compute loop — only
@@ -128,9 +519,48 @@ impl ViewCell {
         self.slot.read().expect("view lock poisoned").clone()
     }
 
-    /// Atomically replaces the published view.
+    /// Atomically replaces the published view and wakes parked waiters.
     pub fn store(&self, view: Arc<PublishedView>) {
+        let epoch = view.epoch;
         *self.slot.write().expect("view lock poisoned") = view;
+        let mut w = self.epoch.lock().expect("epoch lock poisoned");
+        if epoch > *w {
+            *w = epoch;
+        }
+        drop(w);
+        self.published.notify_all();
+    }
+
+    /// Parks until a view with `epoch ≥ target` is published, then loads
+    /// it. Blocks forever if the writer never reaches `target`.
+    pub fn wait_for_epoch(&self, target: u64) -> Arc<PublishedView> {
+        let mut w = self.epoch.lock().expect("epoch lock poisoned");
+        while *w < target {
+            w = self.published.wait(w).expect("epoch lock poisoned");
+        }
+        drop(w);
+        self.load()
+    }
+
+    /// Like [`ViewCell::wait_for_epoch`] but gives up at `deadline`,
+    /// returning the watermark reached. Spurious wakeups re-check.
+    pub fn wait_for_epoch_until(
+        &self,
+        target: u64,
+        deadline: Instant,
+    ) -> Result<Arc<PublishedView>, u64> {
+        let mut w = self.epoch.lock().expect("epoch lock poisoned");
+        while *w < target {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(*w);
+            }
+            let (guard, _) =
+                self.published.wait_timeout(w, deadline - now).expect("epoch lock poisoned");
+            w = guard;
+        }
+        drop(w);
+        Ok(self.load())
     }
 }
 
@@ -140,8 +570,34 @@ impl Default for ViewCell {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The publisher
+// ---------------------------------------------------------------------------
+
+/// Publish-layer counters (driver-side bookkeeping, deterministic for a
+/// pinned scenario — the perf gate pins them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Epochs minted (full + delta).
+    pub epochs: u64,
+    /// Epochs published via the full `O(n)` rebuild path.
+    pub full_epochs: u64,
+    /// Epochs published via the `O(changed)` delta path.
+    pub delta_epochs: u64,
+    /// Total rows re-stated across all epochs.
+    pub changed_rows: u64,
+    /// Closeness chunks materialized (copied or newly filled).
+    pub chunks_copied: u64,
+    /// Closeness chunks shared with the previous view (`Arc` bump only).
+    pub chunks_shared: u64,
+    /// Bounded rescans of the top-k index (full publishes + underflow
+    /// refills).
+    pub topk_rebuilds: u64,
+}
+
 /// The engine-side writer half of the publish layer: mints epochs, owns
-/// the bounds cache, and swaps finished views into the shared [`ViewCell`].
+/// the bounds cache and the maintained top-k index, and swaps finished
+/// views into the shared [`ViewCell`].
 #[derive(Debug)]
 pub struct Publisher {
     cell: Arc<ViewCell>,
@@ -150,11 +606,31 @@ pub struct Publisher {
     /// Lazily (re)built per graph version under [`BoundsMode::Certified`];
     /// invalidated by the engine on any structural change.
     cache: Option<CertifiedBoundsCache>,
+    index: TopKIndex,
+    /// The next publish must re-state every vertex: set at construction,
+    /// after a certified-bounds invalidation (a structural change moves
+    /// the bounds of *unchanged* rows too), and by restore paths that may
+    /// rewind the vertex count.
+    needs_full: bool,
+    /// Test/bench override: disable the delta path entirely.
+    force_full: bool,
+    stats: PublishStats,
+    last_delta: Option<ViewDelta>,
 }
 
 impl Publisher {
     pub fn new(mode: BoundsMode) -> Self {
-        Self { cell: Arc::new(ViewCell::default()), epoch: 0, mode, cache: None }
+        Self {
+            cell: Arc::new(ViewCell::default()),
+            epoch: 0,
+            mode,
+            cache: None,
+            index: TopKIndex::default(),
+            needs_full: true,
+            force_full: false,
+            stats: PublishStats::default(),
+            last_delta: None,
+        }
     }
 
     /// The shared handle readers should clone.
@@ -177,22 +653,63 @@ impl Publisher {
         self.epoch
     }
 
-    /// Drops the bounds cache; the next certified publish rebuilds it.
-    /// Called by the engine whenever the graph structure changes.
-    pub fn invalidate_cache(&mut self) {
-        self.cache = None;
+    /// Publish-layer counters so far.
+    pub fn stats(&self) -> PublishStats {
+        self.stats
     }
 
-    /// The bounds cache for the current graph, building it if needed.
+    /// The delta describing the most recent epoch (full publishes re-state
+    /// every vertex). What `NetMsg::ViewDelta` replication would ship.
+    pub fn last_delta(&self) -> Option<&ViewDelta> {
+        self.last_delta.as_ref()
+    }
+
+    /// Whether the next publish must take the full path.
+    pub fn wants_full(&self) -> bool {
+        self.needs_full || self.force_full
+    }
+
+    /// Forces the next publish onto the full path (restore paths that may
+    /// rewind the vertex count below the published view's).
+    pub fn request_full(&mut self) {
+        self.needs_full = true;
+    }
+
+    /// Disables (`true`) or re-enables (`false`) the delta path — the
+    /// full-rebuild baseline for equivalence tests and the publish bench.
+    pub fn set_force_full(&mut self, on: bool) {
+        self.force_full = on;
+    }
+
+    /// Drops the bounds cache; the next certified publish rebuilds it.
+    /// Called by the engine whenever the graph structure changes. Under
+    /// [`BoundsMode::Certified`] this also forces the next publish onto
+    /// the full path: new bounds apply to *every* vertex, not just the
+    /// rows whose DV values moved. Under [`BoundsMode::None`] published
+    /// values are unaffected by structure, so the delta path stands.
+    pub fn invalidate_cache(&mut self) {
+        self.cache = None;
+        if self.mode == BoundsMode::Certified {
+            self.needs_full = true;
+        }
+    }
+
+    /// The bounds cache for the current graph, building it if needed. A
+    /// rebuild moves every vertex's bound, so it forces the full path.
     pub fn cache_for(&mut self, graph: &AdjGraph) -> &CertifiedBoundsCache {
         if self.cache.as_ref().map(|c| c.n()) != Some(graph.num_vertices()) {
             self.cache = None;
         }
-        self.cache.get_or_insert_with(|| CertifiedBoundsCache::new(graph))
+        if self.cache.is_none() {
+            self.needs_full = true;
+            self.cache = Some(CertifiedBoundsCache::new(graph));
+        }
+        self.cache.as_ref().expect("cache just built")
     }
 
-    /// Publishes a new epoch. `bounds` must be empty under
-    /// [`BoundsMode::None`] and vertex-aligned under `Certified`.
+    /// Publishes a new epoch via the full `O(n)` rebuild path. `bounds`
+    /// must be empty under [`BoundsMode::None`] and vertex-aligned under
+    /// `Certified`.
     pub fn publish(
         &mut self,
         rc_steps: usize,
@@ -201,7 +718,94 @@ impl Publisher {
         closeness: Vec<f64>,
         bounds: Vec<f64>,
     ) -> Arc<PublishedView> {
+        let n = closeness.len();
+        let entries: Vec<(VertexId, f64)> =
+            closeness.iter().enumerate().map(|(v, &c)| (v as VertexId, c)).collect();
+        let bound_entries: Vec<(VertexId, f64)> =
+            bounds.iter().enumerate().map(|(v, &b)| (v as VertexId, b)).collect();
+        let cstore = ChunkedVec::from_vec(closeness);
+        let bstore = ChunkedVec::from_vec(bounds);
+        self.index.rebuild(&cstore);
+        self.stats.full_epochs += 1;
+        self.stats.changed_rows += n as u64;
+        self.stats.chunks_copied += cstore.chunks.len() as u64;
+        self.stats.topk_rebuilds += 1;
+        self.mint(
+            rc_steps,
+            changes_applied,
+            converged,
+            true,
+            n,
+            entries,
+            bound_entries,
+            cstore,
+            bstore,
+        )
+    }
+
+    /// Publishes a new epoch via the `O(changed)` delta path: `entries`
+    /// (and `bound_entries`, under `Certified`) re-state exactly the rows
+    /// whose values changed since the previous publish, sorted by id; `n`
+    /// is the new vertex count (never below the published view's — callers
+    /// route shrinking transitions through [`Publisher::publish`]).
+    pub fn publish_changes(
+        &mut self,
+        rc_steps: usize,
+        changes_applied: u64,
+        converged: bool,
+        n: usize,
+        entries: Vec<(VertexId, f64)>,
+        bound_entries: Vec<(VertexId, f64)>,
+    ) -> Arc<PublishedView> {
+        debug_assert!(!self.wants_full(), "delta publish while a full publish is required");
+        let prev = self.cell.load();
+        let (cstore, copied, shared) = prev.closeness.apply(n, &entries, 0.0);
+        let bstore = if prev.has_bounds() {
+            prev.bounds.apply(n, &bound_entries, 0.0).0
+        } else {
+            debug_assert!(bound_entries.is_empty(), "bound entries without a bounds-bearing view");
+            ChunkedVec::default()
+        };
+        for &(v, c) in &entries {
+            self.index.update(prev.point(v), v, c);
+        }
+        if self.index.len() < TOPK_SERVE_CAP.min(n) {
+            self.index.rebuild(&cstore);
+            self.stats.topk_rebuilds += 1;
+        }
+        self.stats.delta_epochs += 1;
+        self.stats.changed_rows += entries.len() as u64;
+        self.stats.chunks_copied += copied;
+        self.stats.chunks_shared += shared;
+        self.mint(
+            rc_steps,
+            changes_applied,
+            converged,
+            false,
+            n,
+            entries,
+            bound_entries,
+            cstore,
+            bstore,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mint(
+        &mut self,
+        rc_steps: usize,
+        changes_applied: u64,
+        converged: bool,
+        full: bool,
+        n: usize,
+        entries: Vec<(VertexId, f64)>,
+        bound_entries: Vec<(VertexId, f64)>,
+        closeness: ChunkedVec,
+        bounds: ChunkedVec,
+    ) -> Arc<PublishedView> {
         self.epoch += 1;
+        self.stats.epochs += 1;
+        self.needs_full = false;
         let view = Arc::new(PublishedView {
             epoch: self.epoch,
             rc_steps,
@@ -209,6 +813,17 @@ impl Publisher {
             converged,
             closeness,
             bounds,
+            topk: Arc::new(self.index.snapshot()),
+        });
+        self.last_delta = Some(ViewDelta {
+            epoch: self.epoch,
+            rc_steps,
+            changes_applied,
+            converged,
+            full,
+            n,
+            entries,
+            bounds: bound_entries,
         });
         self.cell.store(view.clone());
         view
@@ -244,6 +859,7 @@ mod tests {
         assert_eq!(v.point(1), Some(0.9));
         assert_eq!(v.point(9), None);
         assert_eq!(v.top_k(2), vec![(1, 0.9), (2, 0.4)]);
+        assert_eq!(v.points(&[2, 9, 0]), vec![Some(0.4), None, Some(0.1)]);
         assert!(v.has_bounds());
         assert_eq!(v.error_bound(2), Some(0.2));
         assert_eq!(v.error_bound(7), None);
@@ -299,5 +915,147 @@ mod tests {
             r.join().expect("reader panicked");
         }
         assert_eq!(cell.load().epoch, 200);
+    }
+
+    /// Reference next-view construction: full rebuild from the previous
+    /// materialized vector plus the delta, via the legacy path.
+    fn full_oracle(
+        p: &mut Publisher,
+        prev: &PublishedView,
+        n: usize,
+        entries: &[(VertexId, f64)],
+    ) -> Arc<PublishedView> {
+        let mut vals = prev.closeness();
+        vals.resize(n, 0.0);
+        for &(v, c) in entries {
+            vals[v as usize] = c;
+        }
+        p.publish(prev.rc_steps + 1, 0, false, vals, Vec::new())
+    }
+
+    #[test]
+    fn delta_publish_matches_full_rebuild_and_shares_chunks() {
+        let n = 3 * CHUNK_VERTICES + 17;
+        let base: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 97.0).collect();
+        let mut fast = Publisher::new(BoundsMode::None);
+        let mut slow = Publisher::new(BoundsMode::None);
+        fast.publish(0, 0, false, base.clone(), Vec::new());
+        slow.publish(0, 0, false, base, Vec::new());
+        // Dirty a handful of rows inside chunk 1 only.
+        let entries: Vec<(VertexId, f64)> =
+            (0..8).map(|i| ((CHUNK_VERTICES + 13 * i) as VertexId, 0.5 + i as f64)).collect();
+        let prev = fast.latest();
+        let slow_prev = slow.latest();
+        let dv = fast.publish_changes(1, 0, false, n, entries.clone(), Vec::new());
+        let fv = full_oracle(&mut slow, &slow_prev, n, &entries);
+        assert_eq!(dv.closeness(), fv.closeness());
+        assert_eq!(dv.top_k(10), fv.top_k(10));
+        assert_eq!(dv.top_k(10), dv.top_k_rescan(10));
+        // Chunks 0, 2, 3 are shared with the previous epoch; chunk 1 was
+        // copied.
+        assert_eq!(dv.shared_closeness_chunks(&prev), 3);
+        let s = fast.stats();
+        assert_eq!((s.full_epochs, s.delta_epochs), (1, 1));
+        assert_eq!(s.chunks_copied, 4 + 1);
+        assert_eq!(s.chunks_shared, 3);
+    }
+
+    #[test]
+    fn delta_publish_grows_the_view() {
+        let mut p = Publisher::new(BoundsMode::None);
+        p.publish(0, 0, false, vec![0.2; 10], Vec::new());
+        let v = p.publish_changes(1, 1, false, 12, vec![(10, 0.9), (11, 0.1)], Vec::new());
+        assert_eq!(v.num_vertices(), 12);
+        assert_eq!(v.point(9), Some(0.2));
+        assert_eq!(v.point(10), Some(0.9));
+        assert_eq!(v.top_k(1), vec![(10, 0.9)]);
+        // A grown vertex with no entry defaults to 0.0 (fresh isolated
+        // vertices have zero closeness).
+        let v2 = p.publish_changes(2, 2, false, 13, Vec::new(), Vec::new());
+        assert_eq!(v2.point(12), Some(0.0));
+    }
+
+    #[test]
+    fn maintained_topk_survives_displacement_churn() {
+        // More vertices than the index cap, then repeatedly demote the
+        // current best: every removal is an index hit, and underflow
+        // rebuilds must keep the snapshot exact.
+        let n = TOPK_INDEX_CAP * 3;
+        let base: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let mut p = Publisher::new(BoundsMode::None);
+        p.publish(0, 0, false, base, Vec::new());
+        for step in 0..TOPK_INDEX_CAP + 8 {
+            let view = p.latest();
+            let (best, _) = view.top_k(1)[0];
+            let v = p.publish_changes(step + 1, 0, false, n, vec![(best, -1.0)], Vec::new());
+            assert_eq!(v.top_k(5), v.top_k_rescan(5), "after demoting {best}");
+        }
+        assert!(p.stats().topk_rebuilds >= 1);
+    }
+
+    #[test]
+    fn topk_ties_break_by_id_on_both_paths() {
+        let mut p = Publisher::new(BoundsMode::None);
+        // All-equal values: order must be by id on the maintained path...
+        let v = p.publish(0, 0, false, vec![0.5; 300], Vec::new());
+        let maintained = v.top_k(6);
+        assert_eq!(maintained, (0..6).map(|i| (i as VertexId, 0.5)).collect::<Vec<_>>());
+        // ...and identically on the rescan oracle.
+        assert_eq!(maintained, v.top_k_rescan(6));
+        // Same via the delta path after introducing more ties.
+        let v2 = p.publish_changes(1, 0, false, 300, vec![(3, 0.9), (7, 0.9)], Vec::new());
+        assert_eq!(v2.top_k(3), vec![(3, 0.9), (7, 0.9), (0, 0.5)]);
+        assert_eq!(v2.top_k(3), v2.top_k_rescan(3));
+    }
+
+    #[test]
+    fn view_delta_roundtrips_through_netmsg_and_applies() {
+        let mut p = Publisher::new(BoundsMode::Certified);
+        p.publish(1, 0, false, vec![0.25; 40], vec![0.5; 40]);
+        let follower_base = p.latest();
+        p.invalidate_cache();
+        // Certified invalidation forces the full path.
+        assert!(p.wants_full());
+        let g = AdjGraph::with_vertices(40);
+        p.cache_for(&g);
+        p.publish(2, 1, false, vec![0.3; 40], vec![0.4; 40]);
+        let full_delta = p.last_delta().unwrap().clone();
+        assert!(full_delta.full);
+        let leader = p.latest();
+        let msg = full_delta.to_msg();
+        let decoded = ViewDelta::from_msg(&msg).unwrap();
+        assert_eq!(decoded, full_delta);
+        assert_eq!(&decoded.apply_to(&follower_base), leader.as_ref());
+
+        // And a thin delta epoch.
+        let prev = p.latest();
+        p.publish_changes(3, 1, true, 40, vec![(5, 0.9)], vec![(5, 0.05)]);
+        let thin = p.last_delta().unwrap().clone();
+        assert!(!thin.full);
+        assert_eq!(thin.rows(), 1);
+        let rt = ViewDelta::from_msg(&thin.to_msg()).unwrap();
+        assert_eq!(rt, thin);
+        assert_eq!(&rt.apply_to(&prev), p.latest().as_ref());
+    }
+
+    #[test]
+    fn cell_wait_parks_until_epoch_lands() {
+        let mut p = Publisher::new(BoundsMode::None);
+        let cell = p.cell();
+        let waiter = std::thread::spawn({
+            let cell = cell.clone();
+            move || cell.wait_for_epoch(3)
+        });
+        for e in 1..=3 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            p.publish(e, 0, false, vec![e as f64], Vec::new());
+        }
+        assert!(waiter.join().unwrap().epoch >= 3);
+        // Timed variant: an unreachable epoch reports the watermark.
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        assert_eq!(cell.wait_for_epoch_until(99, deadline), Err(3));
+        // An already-published epoch returns immediately.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(cell.wait_for_epoch_until(2, deadline).unwrap().epoch, 3);
     }
 }

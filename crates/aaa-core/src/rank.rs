@@ -925,6 +925,23 @@ impl RankState {
             .collect()
     }
 
+    /// Drains the set of local rows whose values changed since the last
+    /// published epoch, sorted by id. Ids that were epoch-dirtied but have
+    /// since migrated away are dropped — the receiving rank re-dirtied
+    /// them on install, so exactly one rank reports each moved row.
+    pub fn take_epoch_changed(&mut self) -> Vec<VertexId> {
+        self.dv.take_epoch_dirty_sorted().into_iter().filter(|&v| self.dv.is_local(v)).collect()
+    }
+
+    /// Drains the epoch-dirty set and maps each surviving local row to its
+    /// current closeness — the per-rank contribution to a `ViewDelta`.
+    pub fn take_epoch_closeness(&mut self) -> Vec<(VertexId, f64)> {
+        self.take_epoch_changed()
+            .into_iter()
+            .map(|v| (v, closeness_from_row(self.dv.local_row(v).expect("local row"))))
+            .collect()
+    }
+
     /// Clones all local rows (testing / gather).
     pub fn local_rows(&self) -> Vec<(VertexId, Vec<Dist>)> {
         self.local.iter().map(|&v| (v, self.dv.local_row(v).expect("local row").to_vec())).collect()

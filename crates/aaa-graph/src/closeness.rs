@@ -66,14 +66,14 @@ pub fn mean_relative_error(estimate: &[f64], exact: &[f64]) -> f64 {
 }
 
 /// Indices of the top-`k` vertices by centrality, ties broken by id.
+/// `total_cmp` keeps the order total (and therefore deterministic) even
+/// on pathological values — `partial_cmp`'s `Equal` fallback for NaN made
+/// the comparator inconsistent, which `sort_by` may answer with an
+/// arbitrary permutation. The maintained top-k index in `aaa-core` must
+/// agree with this oracle exactly on every input.
 pub fn top_k(centrality: &[f64], k: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..centrality.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        centrality[b as usize]
-            .partial_cmp(&centrality[a as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| centrality[b as usize].total_cmp(&centrality[a as usize]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }
@@ -132,5 +132,25 @@ mod tests {
         let c = vec![0.3, 0.5, 0.5, 0.1];
         assert_eq!(top_k(&c, 3), vec![1, 2, 0]);
         assert_eq!(top_k(&c, 10).len(), 4);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_on_all_equal_values() {
+        // A run of equal values must come back in id order — the tie rule
+        // holds on every path, not just between distinct values.
+        let c = vec![0.25; 9];
+        assert_eq!(top_k(&c, 5), vec![0, 1, 2, 3, 4]);
+        // Mixed ties: each equal-value group is ordered by id.
+        let c = vec![0.5, 0.1, 0.5, 0.1, 0.9];
+        assert_eq!(top_k(&c, 5), vec![4, 0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn top_k_orders_totally_even_with_nans() {
+        // total_cmp sorts NaN after every finite value (for positive
+        // NaNs), so the order stays a deterministic total order rather
+        // than an arbitrary permutation from an inconsistent comparator.
+        let c = vec![0.2, f64::NAN, 0.7, f64::NAN, 0.2];
+        assert_eq!(top_k(&c, 5), vec![1, 3, 2, 0, 4]);
     }
 }

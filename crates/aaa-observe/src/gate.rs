@@ -157,6 +157,53 @@ pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) ->
             cfg,
         ));
     }
+    // View-publication counters are deterministic (chunk sharing depends
+    // only on the change stream), so every row is gated. Names carry a
+    // `publish_` prefix; `publish_epochs` above is owned by ChangeTally.
+    if let (Some(b), Some(c)) = (baseline.publish, candidate.publish) {
+        rows.push(diff(
+            "publish_full_epochs",
+            b.full_epochs as f64,
+            c.full_epochs as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "publish_delta_epochs",
+            b.delta_epochs as f64,
+            c.delta_epochs as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "publish_changed_rows",
+            b.changed_rows as f64,
+            c.changed_rows as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "publish_chunks_copied",
+            b.chunks_copied as f64,
+            c.chunks_copied as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "publish_chunks_shared",
+            b.chunks_shared as f64,
+            c.chunks_shared as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "publish_topk_rebuilds",
+            b.topk_rebuilds as f64,
+            c.topk_rebuilds as f64,
+            true,
+            cfg,
+        ));
+    }
     // Host-dependent → info only.
     rows.push(diff(
         "sim_compute_us",
@@ -323,6 +370,46 @@ mod tests {
             .any(|r| r.name == "stream_p99_staleness_epochs" && r.gated && r.regressed));
         let tput = rows.iter().find(|r| r.name == "stream_changes_per_sec").unwrap();
         assert!(!tput.gated, "wall-derived throughput must never fail the gate");
+        // Identical sections pass even at threshold zero.
+        let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
+        assert!(!regressed(&compare(&base2, &base2, &strict)));
+    }
+
+    #[test]
+    fn publish_section_gates_every_row_under_both_present_rule() {
+        use crate::report::PublishTally;
+        let tally = PublishTally {
+            full_epochs: 1,
+            delta_epochs: 20,
+            changed_rows: 256,
+            chunks_copied: 24,
+            chunks_shared: 96,
+            topk_rebuilds: 2,
+        };
+        // Old baseline without the section: a new candidate adds no rows.
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.publish = Some(tally);
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!rows.iter().any(|r| r.name.starts_with("publish_")));
+        assert!(!regressed(&rows));
+        // Both sides carry it: every row is gated and a drift fails.
+        let mut base2 = base.clone();
+        base2.publish = Some(tally);
+        let mut cand2 = base2.clone();
+        cand2.publish = Some(PublishTally { chunks_copied: 48, ..tally });
+        let rows = compare(&cand2, &base2, &GateConfig::default());
+        for name in [
+            "publish_full_epochs",
+            "publish_delta_epochs",
+            "publish_changed_rows",
+            "publish_chunks_copied",
+            "publish_chunks_shared",
+            "publish_topk_rebuilds",
+        ] {
+            assert!(rows.iter().any(|r| r.name == name && r.gated), "{name} must be gated");
+        }
+        assert!(rows.iter().any(|r| r.name == "publish_chunks_copied" && r.regressed));
         // Identical sections pass even at threshold zero.
         let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
         assert!(!regressed(&compare(&base2, &base2, &strict)));

@@ -36,7 +36,7 @@ pub use gate::{compare, regressed, GateConfig, MetricDiff};
 pub use json::{Json, JsonError};
 pub use report::{
     aggregate_phases, per_rank_busy, ChangeTally, FaultTally, MigrationTally, PhaseReport,
-    QualityPoint, RankReport, RunReport, StreamTally, REPORT_VERSION,
+    PublishTally, QualityPoint, RankReport, RunReport, StreamTally, REPORT_VERSION,
 };
 pub use sink::{EventSink, MemorySink, NoopSink};
 pub use trace::chrome_trace;

@@ -126,6 +126,27 @@ pub struct StreamTally {
     pub changes_per_sec: f64,
 }
 
+/// View-publication tallies from the delta publisher.
+///
+/// Optional like [`StreamTally`]. Every field counts deterministic
+/// publisher work (chunk sharing decisions depend only on the change
+/// stream), so the gate diffs all of them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishTally {
+    /// Epochs published via the O(n) full-rebuild path.
+    pub full_epochs: u64,
+    /// Epochs published via the O(changed) delta path.
+    pub delta_epochs: u64,
+    /// Closeness rows carried by delta publications.
+    pub changed_rows: u64,
+    /// Value chunks copy-on-written across all publications.
+    pub chunks_copied: u64,
+    /// Value chunks structurally shared with the previous view.
+    pub chunks_shared: u64,
+    /// Maintained top-k index rebuilds (underflow or full publish).
+    pub topk_rebuilds: u64,
+}
+
 /// One convergence-quality sample (mirrors the engine's quality tracker).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QualityPoint {
@@ -170,6 +191,9 @@ pub struct RunReport {
     /// Streaming-workload tallies — `None` unless the run came from the
     /// `stream_load` driver.
     pub stream: Option<StreamTally>,
+    /// View-publication tallies — `None` for reports from before delta
+    /// publication (and for drivers that never publish views).
+    pub publish: Option<PublishTally>,
     pub phases: Vec<PhaseReport>,
     pub ranks: Vec<RankReport>,
     pub quality: Vec<QualityPoint>,
@@ -320,6 +344,19 @@ impl RunReport {
                 ]),
             ));
         }
+        if let Some(p) = &self.publish {
+            fields.push((
+                "publish".into(),
+                Json::Obj(vec![
+                    ("full_epochs".into(), Json::Num(p.full_epochs as f64)),
+                    ("delta_epochs".into(), Json::Num(p.delta_epochs as f64)),
+                    ("changed_rows".into(), Json::Num(p.changed_rows as f64)),
+                    ("chunks_copied".into(), Json::Num(p.chunks_copied as f64)),
+                    ("chunks_shared".into(), Json::Num(p.chunks_shared as f64)),
+                    ("topk_rebuilds".into(), Json::Num(p.topk_rebuilds as f64)),
+                ]),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -391,6 +428,16 @@ impl RunReport {
                 peak_queue: s.u64_field("peak_queue")?,
                 final_imbalance_milli: s.u64_field("final_imbalance_milli")?,
                 changes_per_sec: s.f64_field("changes_per_sec")?,
+            });
+        }
+        if let Some(p) = doc.get("publish") {
+            report.publish = Some(PublishTally {
+                full_epochs: p.u64_field("full_epochs")?,
+                delta_epochs: p.u64_field("delta_epochs")?,
+                changed_rows: p.u64_field("changed_rows")?,
+                chunks_copied: p.u64_field("chunks_copied")?,
+                chunks_shared: p.u64_field("chunks_shared")?,
+                topk_rebuilds: p.u64_field("topk_rebuilds")?,
             });
         }
         for p in doc.arr_field("phases")? {
@@ -490,6 +537,7 @@ mod tests {
             changes: None,
             migration: None,
             stream: None,
+            publish: None,
             phases: vec![PhaseReport {
                 name: "superstep".into(),
                 count: 160,
@@ -553,6 +601,27 @@ mod tests {
             peak_queue: 40,
             final_imbalance_milli: 1125,
             changes_per_sec: 12345.5,
+        });
+        let text = with.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("own output parses");
+        assert_eq!(back, with);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn publish_section_round_trips_and_is_optional() {
+        let without = sample_report();
+        assert!(without.publish.is_none());
+        assert!(!without.to_json_string().contains("\"publish\""));
+
+        let mut with = sample_report();
+        with.publish = Some(PublishTally {
+            full_epochs: 2,
+            delta_epochs: 38,
+            changed_rows: 512,
+            chunks_copied: 44,
+            chunks_shared: 196,
+            topk_rebuilds: 3,
         });
         let text = with.to_json_string();
         let back = RunReport::from_json_str(&text).expect("own output parses");

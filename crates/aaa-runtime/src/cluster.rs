@@ -215,6 +215,15 @@ impl<S: Send> Cluster<S> {
         self.states.iter().enumerate().map(|(r, s)| f(r, s)).collect()
     }
 
+    /// Mutable sibling of [`Cluster::barrier_read`], for driver-side
+    /// bookkeeping that must drain per-rank tracking state (the publisher
+    /// consuming each rank's epoch-dirty set). Identical pricing rules:
+    /// **no** supersteps, messages, or simulated time are charged — never
+    /// use this for anything that models real cluster computation.
+    pub fn barrier_read_mut<T>(&mut self, mut f: impl FnMut(usize, &mut S) -> T) -> Vec<T> {
+        self.states.iter_mut().enumerate().map(|(r, s)| f(r, s)).collect()
+    }
+
     /// Accumulated statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats

@@ -123,7 +123,17 @@ impl ServeHandle {
         self.view().point(v)
     }
 
-    /// The `k` most central vertices in the latest epoch.
+    /// Batched point lookup: closeness of every id in `ids`, answered
+    /// against **one** consistent epoch (a single view load amortized
+    /// across the batch — and no epoch can change mid-batch, which
+    /// per-`point` loops cannot guarantee).
+    pub fn points(&self, ids: &[VertexId]) -> Vec<Option<f64>> {
+        self.view().points(ids)
+    }
+
+    /// The `k` most central vertices in the latest epoch. `O(k)` for
+    /// `k ≤` [`aaa_core::TOPK_SERVE_CAP`] via the maintained index
+    /// snapshot; larger `k` falls back to a full rescan.
     pub fn top_k(&self, k: usize) -> Vec<(VertexId, f64)> {
         self.view().top_k(k)
     }
@@ -147,50 +157,40 @@ impl ServeHandle {
         }
     }
 
-    /// Spin-waits until the published epoch is ≥ `epoch` and returns the
-    /// first such view. Test/example helper — production readers should
-    /// just `view()` whatever is current, or use
-    /// [`ServeHandle::wait_for_epoch_deadline`], which cannot hang when
-    /// the writer dies.
+    /// Parks (condvar wait, no spinning) until the published epoch is
+    /// ≥ `epoch` and returns the first such view. Test/example helper —
+    /// production readers should just `view()` whatever is current, or
+    /// use [`ServeHandle::wait_for_epoch_deadline`], which cannot hang
+    /// when the writer dies.
     pub fn wait_for_epoch(&self, epoch: u64) -> Arc<PublishedView> {
-        loop {
-            let view = self.view();
-            if view.epoch >= epoch {
-                return view;
-            }
-            std::thread::yield_now();
-        }
+        self.cell.wait_for_epoch(epoch)
     }
 
     /// Like [`ServeHandle::wait_for_epoch`], but gives up after `deadline`
-    /// with a typed [`ServeError::EpochTimeout`] instead of spinning
+    /// with a typed [`ServeError::EpochTimeout`] instead of waiting
     /// forever — the reader-side failure detector for a dead or wedged
-    /// writer. The wait backs off from a busy spin to short sleeps, so a
-    /// long deadline does not burn a core.
+    /// writer. Blocked readers park on the cell's condvar, so a long
+    /// deadline does not burn a core.
     pub fn wait_for_epoch_deadline(
         &self,
         epoch: u64,
         deadline: Duration,
     ) -> Result<Arc<PublishedView>, ServeError> {
-        let start = Instant::now();
-        let mut spins = 0u32;
-        loop {
-            let view = self.view();
-            if view.epoch >= epoch {
-                return Ok(view);
-            }
-            if start.elapsed() >= deadline {
-                return Err(ServeError::EpochTimeout {
+        match self.cell.wait_for_epoch_until(epoch, Instant::now() + deadline) {
+            Ok(view) => Ok(view),
+            Err(_) => {
+                // The watermark trails the slot by an instant during a
+                // store; re-load so `latest` (and a racing success) is
+                // judged against the actual published view.
+                let view = self.view();
+                if view.epoch >= epoch {
+                    return Ok(view);
+                }
+                Err(ServeError::EpochTimeout {
                     target: epoch,
                     latest: view.epoch,
                     waited: deadline,
-                });
-            }
-            if spins < 64 {
-                spins += 1;
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_millis(1));
+                })
             }
         }
     }
@@ -224,6 +224,13 @@ mod tests {
         assert_eq!(h.point(0), Some(h.view().closeness()[0]));
         assert_eq!(h.point(80 as VertexId), None);
         assert_eq!(h.top_k(3).len(), 3);
+        // Batched lookups answer from one consistent epoch and agree with
+        // point-by-point queries.
+        let batch = h.points(&[0, 5, 80, 12]);
+        assert_eq!(batch, vec![h.point(0), h.point(5), None, h.point(12)]);
+        // The maintained top-k agrees with the full-rescan oracle.
+        let view = h.view();
+        assert_eq!(view.top_k(10), view.top_k_rescan(10));
         // Converged answer matches the engine's own query path.
         assert_eq!(h.view().closeness(), e.closeness().as_slice());
     }
