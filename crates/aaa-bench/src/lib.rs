@@ -34,6 +34,14 @@
 //!                       restrict streaming sweeps (`stream_load`) to one
 //!                       background-rebalance policy
 //! --ticks <N>           driver ticks for streaming workloads
+//! --metrics closeness|betweenness
+//!                       comma-separated centrality metrics the engine
+//!                       maintains. Closeness is always computed; listing
+//!                       it alone keeps the legacy bit-identical path.
+//!                       Adding `betweenness` turns on the incremental
+//!                       Brandes column and suffixes the pinned scenario
+//!                       name with `:betweenness` so it gates against its
+//!                       own committed baseline
 //! ```
 //!
 //! Reported *time* is the LogP-simulated cluster time (compute max per
@@ -41,7 +49,7 @@
 //! paper's minutes on its 16-processor testbed. Wall-clock of this
 //! in-process run is also shown for transparency.
 
-use aaa_core::{EngineConfig, WireFormat};
+use aaa_core::{EngineConfig, MetricKind, WireFormat};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -79,6 +87,10 @@ pub struct CommonArgs {
     pub policy: Option<aaa_core::RebalancePolicy>,
     /// Driver ticks for streaming workloads (`--ticks N`).
     pub ticks: Option<u64>,
+    /// Centrality metrics the engine maintains
+    /// (`--metrics closeness,betweenness`). Empty keeps the legacy
+    /// closeness-only path bit-identical.
+    pub metrics: Vec<MetricKind>,
 }
 
 /// Which [`aaa_store::GraphStore`] backend the pinned scenario routes the
@@ -121,6 +133,7 @@ impl Default for CommonArgs {
             store: StoreBackend::Plain,
             policy: None,
             ticks: None,
+            metrics: Vec::new(),
         }
     }
 }
@@ -186,13 +199,21 @@ impl CommonArgs {
                 "--ticks" => {
                     out.ticks = Some(take("--ticks").parse().expect("--ticks wants an integer"))
                 }
+                "--metrics" => {
+                    let spec = take("--metrics");
+                    out.metrics = parse_metrics_spec(&spec).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale n] [--procs P] [--seed s] [--csv path] \
                          [--checkpoint-every N] [--fault R@S] [--chaos seed:rate] \
                          [--report path] [--trace path] [--wire full|delta] \
                          [--store plain|compressed] \
-                         [--policy static|ps|rs|adaptive] [--ticks N]"
+                         [--policy static|ps|rs|adaptive] [--ticks N] \
+                         [--metrics closeness,betweenness]"
                     );
                     std::process::exit(0);
                 }
@@ -216,6 +237,7 @@ impl CommonArgs {
     pub fn engine_config(&self) -> EngineConfig {
         let mut config = EngineConfig::with_procs(self.procs);
         config.wire = self.wire;
+        config.metrics = self.metrics.clone();
         config
     }
 }
@@ -224,6 +246,18 @@ impl CommonArgs {
 fn parse_fault_spec(spec: &str) -> Option<(usize, u64)> {
     let (rank, step) = spec.split_once('@')?;
     Some((rank.trim().parse().ok()?, step.trim().parse().ok()?))
+}
+
+/// Parses a comma-separated `--metrics` list. Closeness is always
+/// maintained, so listing it is accepted as a no-op.
+fn parse_metrics_spec(spec: &str) -> Result<Vec<MetricKind>, String> {
+    spec.split(',')
+        .map(|tok| match tok.trim() {
+            "closeness" => Ok(MetricKind::Closeness),
+            "betweenness" => Ok(MetricKind::Betweenness),
+            other => Err(format!("--metrics wants closeness|betweenness, got {other}")),
+        })
+        .collect()
 }
 
 /// Parses a `seed:rate` chaos spec. The rate must lie in `[0, 1]`.
@@ -347,6 +381,17 @@ mod tests {
         assert_eq!(parse_fault_spec(" 0 @ 12 "), Some((0, 12)));
         assert_eq!(parse_fault_spec("2"), None);
         assert_eq!(parse_fault_spec("a@b"), None);
+    }
+
+    #[test]
+    fn metrics_spec_parses_and_rejects_unknown_names() {
+        assert_eq!(parse_metrics_spec("closeness"), Ok(vec![MetricKind::Closeness]));
+        assert_eq!(
+            parse_metrics_spec("closeness, betweenness"),
+            Ok(vec![MetricKind::Closeness, MetricKind::Betweenness])
+        );
+        assert_eq!(parse_metrics_spec("betweenness"), Ok(vec![MetricKind::Betweenness]));
+        assert!(parse_metrics_spec("pagerank").is_err());
     }
 
     #[test]

@@ -14,14 +14,37 @@
 use crate::experiments::{addition_batch, base_graph};
 use crate::{CommonArgs, StoreBackend};
 use aaa_core::quality::QualityTracker;
-use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, WireFormat};
+use aaa_core::{AnytimeEngine, AssignStrategy, EngineConfig, MemorySink, MetricKind, WireFormat};
 use aaa_observe::{
-    aggregate_phases, chrome_trace, per_rank_busy, ChangeTally, QualityPoint, RunReport,
+    aggregate_phases, chrome_trace, per_rank_busy, ChangeTally, MetricsTally, QualityPoint,
+    RunReport,
 };
 use std::sync::Arc;
 
 /// RC steps run before the dynamic batch is injected.
 const STEPS_BEFORE_BATCH: usize = 4;
+
+/// Suffixes the pinned scenario name when extra metrics are enabled, so
+/// each metric set gates against its own committed baseline (`perfgate`
+/// refuses to compare reports from different scenarios).
+fn metrics_suffix(name: &mut String, args: &CommonArgs) {
+    if args.metrics.contains(&MetricKind::Betweenness) {
+        name.push_str(":betweenness");
+    }
+}
+
+/// The report's optional `metrics` section: the incremental-betweenness
+/// effort tally, present exactly when the engine maintained the metric.
+/// Every field is an exact function of the pinned change stream, so the
+/// perf gate diffs them under the both-present rule.
+fn metrics_tally(engine: &AnytimeEngine) -> Option<MetricsTally> {
+    engine.metric_tally(MetricKind::Betweenness).map(|t| MetricsTally {
+        betweenness_epochs: t.epochs,
+        sources_recomputed: t.sources_recomputed,
+        full_recomputes: t.full_recomputes,
+        changed_entries: t.changed_entries,
+    })
+}
 
 /// If `--report` or `--trace` was given, runs the pinned observed scenario
 /// named `<scenario>:pinned` and writes the requested artifacts. A no-op
@@ -54,6 +77,7 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     let sink = Arc::new(MemorySink::new());
     let mut config = EngineConfig::deterministic(args.procs);
     config.wire = args.wire;
+    config.metrics = args.metrics.clone();
     let g = base_graph(args);
     let mut engine = match args.store {
         StoreBackend::Plain => {
@@ -131,6 +155,7 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
     if args.store == StoreBackend::Compressed {
         name.push_str(":store=compressed");
     }
+    metrics_suffix(&mut name, args);
     let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
@@ -147,6 +172,7 @@ pub fn observed_run(scenario: &str, args: &CommonArgs) -> (RunReport, String) {
         drains: ingest.drains,
         epochs: engine.epochs_published(),
     });
+    report.metrics = metrics_tally(&engine);
     let trace = chrome_trace(&events, args.procs);
     (report, trace)
 }
@@ -171,6 +197,7 @@ pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, Stri
     let sink = Arc::new(MemorySink::new());
     let mut config = EngineConfig::deterministic(args.procs);
     config.wire = args.wire;
+    config.metrics = args.metrics.clone();
     let g = base_graph(args);
     let mut engine =
         AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
@@ -261,10 +288,11 @@ pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, Stri
     }
 
     let events = sink.drain();
-    let name = match args.wire {
+    let mut name = match args.wire {
         WireFormat::Full => format!("{scenario}:pinned:serve"),
         WireFormat::Delta => format!("{scenario}:pinned:serve:wire=delta"),
     };
+    metrics_suffix(&mut name, args);
     let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
@@ -281,6 +309,7 @@ pub fn observed_serve_run(scenario: &str, args: &CommonArgs) -> (RunReport, Stri
         drains: ingest.drains,
         epochs: engine.epochs_published(),
     });
+    report.metrics = metrics_tally(&engine);
     let trace = chrome_trace(&events, args.procs);
     (report, trace)
 }
@@ -305,6 +334,7 @@ pub fn observed_publish_run(scenario: &str, args: &CommonArgs) -> (RunReport, St
     let sink = Arc::new(MemorySink::new());
     let mut config = EngineConfig::deterministic(args.procs);
     config.wire = args.wire;
+    config.metrics = args.metrics.clone();
     let g = base_graph(args);
     let mut engine =
         AnytimeEngine::with_sink(g.clone(), config, sink.clone()).expect("engine construction");
@@ -349,10 +379,11 @@ pub fn observed_publish_run(scenario: &str, args: &CommonArgs) -> (RunReport, St
     while engine.rc_step() {}
 
     let events = sink.drain();
-    let name = match args.wire {
+    let mut name = match args.wire {
         WireFormat::Full => format!("{scenario}:pinned:publish"),
         WireFormat::Delta => format!("{scenario}:pinned:publish:wire=delta"),
     };
+    metrics_suffix(&mut name, args);
     let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
@@ -377,6 +408,7 @@ pub fn observed_publish_run(scenario: &str, args: &CommonArgs) -> (RunReport, St
         chunks_shared: publish.chunks_shared,
         topk_rebuilds: publish.topk_rebuilds,
     });
+    report.metrics = metrics_tally(&engine);
     let trace = chrome_trace(&events, args.procs);
     (report, trace)
 }
@@ -402,6 +434,7 @@ pub fn observed_stream_run(scenario: &str, args: &CommonArgs) -> (RunReport, Str
     let sink = Arc::new(MemorySink::new());
     let mut config = EngineConfig::deterministic(args.procs);
     config.wire = args.wire;
+    config.metrics = args.metrics.clone();
     config.rebalance = RebalanceConfig {
         every: 2,
         trigger: 1.05,
@@ -437,6 +470,7 @@ pub fn observed_stream_run(scenario: &str, args: &CommonArgs) -> (RunReport, Str
     if args.store == StoreBackend::Compressed {
         name.push_str(":store=compressed");
     }
+    metrics_suffix(&mut name, args);
     let mut report = engine.stats().init_report(&name);
     report.scale = args.scale as u64;
     report.procs = args.procs as u64;
@@ -453,6 +487,7 @@ pub fn observed_stream_run(scenario: &str, args: &CommonArgs) -> (RunReport, Str
         epochs: engine.epochs_published(),
     });
     report.stream = Some(outcome.tally());
+    report.metrics = metrics_tally(&engine);
     let trace = chrome_trace(&events, args.procs);
     (report, trace)
 }
@@ -585,6 +620,47 @@ mod tests {
         assert!(migration.migrations > 0, "the adversarial stream must trigger migrations");
         assert!(migration.migration_bytes > 0, "migration traffic must be priced");
         assert!(sa.offered > 0 && sa.peak_queue > 0);
+    }
+
+    /// The betweenness cell must (a) reproduce its whole gated surface
+    /// including the `metrics` tally, (b) leave the *closeness* gated
+    /// metrics byte-identical to the closeness-only run (metric updates
+    /// happen driver-side at publish barriers and are never priced), and
+    /// (c) show the incremental path doing measurably less work than a
+    /// full per-epoch rescan (`sources_recomputed` < n × update epochs).
+    #[test]
+    fn betweenness_scenario_is_deterministic_and_beats_rescan() {
+        let base = small_args();
+        let args = CommonArgs { metrics: vec![MetricKind::Betweenness], ..small_args() };
+        let (plain, _) = observed_run("unit", &base);
+        let (a, _) = observed_run("unit", &args);
+        let (b, _) = observed_run("unit", &args);
+        assert_eq!(a.scenario, "unit:pinned:betweenness");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.sim_comm_us, b.sim_comm_us);
+        assert_eq!(a.rc_steps, b.rc_steps);
+        assert_eq!(a.quality, b.quality);
+        assert_eq!(a.metrics, b.metrics);
+        // Maintaining the extra column must not perturb the priced run.
+        assert_eq!(a.messages, plain.messages);
+        assert_eq!(a.bytes, plain.bytes);
+        assert_eq!(a.sim_comm_us, plain.sim_comm_us);
+        assert_eq!(a.rc_steps, plain.rc_steps);
+        assert_eq!(a.quality, plain.quality);
+        assert!(plain.metrics.is_none(), "closeness-only run carries no metrics section");
+        let t = a.metrics.expect("betweenness run records its tally");
+        assert!(t.betweenness_epochs > 0 && t.changed_entries > 0);
+        assert!(t.full_recomputes >= 1, "the vertex batch drain forces a rebuild");
+        let n = (args.scale + args.scaled(512, 8)) as u64;
+        assert!(
+            t.sources_recomputed < n * t.betweenness_epochs,
+            "incremental updates must beat a per-epoch full rescan \
+             ({} sources over {} epochs of n = {})",
+            t.sources_recomputed,
+            t.betweenness_epochs,
+            n
+        );
     }
 
     /// The pinned scenario includes a vertex-addition batch, so it is the

@@ -18,9 +18,11 @@ pub const MAGIC: [u8; 8] = *b"AAACKPT\0";
 
 /// Format version this build writes and reads. Version 2 extended the
 /// STAT section with the chaos-layer fault counters; version 3 added the
-/// row-migration counters. Older snapshots are rejected (no archives of
-/// either exist — both formats shipped unreleased).
-pub const FORMAT_VERSION: u32 = 3;
+/// row-migration counters; version 4 added the optional METR section
+/// listing the extra centrality metrics the engine was maintaining.
+/// Older snapshots are rejected (no archives of any exist — every prior
+/// format shipped unreleased).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Engine-level scalars: processor count, RC progress, the round-robin
 /// assignment cursor, and the change-stream cursor.
@@ -77,6 +79,13 @@ pub struct Snapshot {
     pub partition: PartitionSnapshot,
     pub stats: RunStats,
     pub ranks: Vec<RankSnapshot>,
+    /// Wire ids of the extra metrics (beyond closeness) the engine was
+    /// maintaining when the snapshot was taken. Metric *state* is not
+    /// persisted — it is rebuilt from the restored DV rows on the first
+    /// publish after restore — so only the identity of each metric is
+    /// recorded. Empty on closeness-only snapshots, in which case the
+    /// METR section is omitted entirely.
+    pub metrics: Vec<u8>,
 }
 
 impl Snapshot {
@@ -89,7 +98,7 @@ impl Snapshot {
     pub fn write_to(&self, mut w: impl Write) -> Result<(), CheckpointError> {
         w.write_all(&MAGIC)?;
         w.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        let sections = 4 + self.ranks.len() as u32;
+        let sections = 4 + self.ranks.len() as u32 + if self.metrics.is_empty() { 0 } else { 1 };
         w.write_all(&sections.to_le_bytes())?;
 
         let mut p = Vec::new();
@@ -137,6 +146,15 @@ impl Snapshot {
         put_u64(&mut p, self.stats.faults.retransmits);
         put_u64(&mut p, self.stats.wall.as_nanos() as u64);
         write_section(&mut w, b"STAT", &p)?;
+
+        if !self.metrics.is_empty() {
+            p.clear();
+            put_u32(&mut p, self.metrics.len() as u32);
+            for &id in &self.metrics {
+                p.push(id);
+            }
+            write_section(&mut w, b"METR", &p)?;
+        }
 
         for rs in &self.ranks {
             p.clear();
@@ -198,6 +216,7 @@ impl Snapshot {
         let mut partition: Option<PartitionSnapshot> = None;
         let mut stats: Option<RunStats> = None;
         let mut ranks: Vec<RankSnapshot> = Vec::new();
+        let mut metrics: Option<Vec<u8>> = None;
 
         for _ in 0..sections {
             let (tag, payload) = read_section(&mut r)?;
@@ -270,6 +289,23 @@ impl Snapshot {
                         return Err(CheckpointError::Malformed("duplicate STAT section".into()));
                     }
                 }
+                b"METR" => {
+                    let mut p = PayloadReader::new(&payload, "METR");
+                    let n = p.u32()? as usize;
+                    let mut ids = Vec::with_capacity(n.min(payload.len()));
+                    for _ in 0..n {
+                        ids.push(p.u8()?);
+                    }
+                    p.finish()?;
+                    if ids.is_empty() {
+                        // The writer omits the section entirely when there
+                        // are no extra metrics; an empty one is corruption.
+                        return Err(CheckpointError::Malformed("empty METR section".into()));
+                    }
+                    if metrics.replace(ids).is_some() {
+                        return Err(CheckpointError::Malformed("duplicate METR section".into()));
+                    }
+                }
                 b"RNKS" => {
                     let mut p = PayloadReader::new(&payload, "RNKS");
                     let rank = p.u32()?;
@@ -334,7 +370,7 @@ impl Snapshot {
             }
             Err(e) => return Err(e.into()),
         }
-        Ok(Snapshot { meta, graph, partition, stats, ranks })
+        Ok(Snapshot { meta, graph, partition, stats, ranks, metrics: metrics.unwrap_or_default() })
     }
 
     /// Deserializes from an in-memory buffer.
@@ -390,6 +426,7 @@ mod tests {
                     pending: vec![3],
                 },
             ],
+            metrics: vec![1],
         }
     }
 
@@ -401,6 +438,24 @@ mod tests {
         assert_eq!(back, s);
         assert_eq!(back.rank(1).unwrap().local.len(), 2);
         assert!(back.rank(9).is_none());
+    }
+
+    #[test]
+    fn metr_section_is_omitted_when_empty_and_roundtrips_when_present() {
+        // Closeness-only snapshot: no METR section on the wire.
+        let mut s = sample();
+        s.metrics.clear();
+        let bytes = s.to_bytes().unwrap();
+        assert!(!bytes.windows(4).any(|w| w == b"METR"));
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert!(back.metrics.is_empty());
+
+        // Snapshot with extra metrics carries them through.
+        let s = sample();
+        let bytes = s.to_bytes().unwrap();
+        assert!(bytes.windows(4).any(|w| w == b"METR"));
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap().metrics, vec![1]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::changes::{DynamicChange, VertexBatch};
 use crate::error::CoreError;
 use crate::ingest::{ChangeLog, IngestStats};
+use crate::metric::{MetricKind, MetricMask, MetricSet, MetricTally};
 use crate::policy::{RetryPolicy, StrategyPolicy};
 use crate::publish::{BoundsMode, PublishStats, PublishedView, Publisher, ViewCell, ViewDelta};
 use crate::quality::{degraded_closeness_bounds, DegradedReason, DegradedReport};
@@ -27,8 +28,7 @@ use aaa_checkpoint::{
     Snapshot,
 };
 use aaa_graph::apsp::DistMatrix;
-use aaa_graph::closeness::closeness_from_row;
-use aaa_graph::{AdjGraph, PartId, VertexId, Weight};
+use aaa_graph::{AdjGraph, Dist, PartId, VertexId, Weight};
 use aaa_observe::{EventSink, NoopSink, SpanEvent, SpanKind, DRIVER_LANE};
 use aaa_partition::simple::{
     BlockPartitioner, HashPartitioner, RandomPartitioner, RoundRobinPartitioner,
@@ -97,6 +97,13 @@ pub struct EngineConfig {
     /// default is [`RebalancePolicy::Static`](aaa_partition::RebalancePolicy),
     /// i.e. disabled.
     pub rebalance: RebalanceConfig,
+    /// Centrality metrics each published epoch carries *in addition to*
+    /// closeness, which is always present. Empty (the default) keeps the
+    /// engine on the legacy closeness-only publish path, which is
+    /// bit-identical — views, deltas, wire bytes, and counters — to the
+    /// pre-metric-abstraction engine. Listing [`MetricKind::Closeness`]
+    /// here is a harmless no-op; duplicates are deduplicated.
+    pub metrics: Vec<MetricKind>,
 }
 
 impl EngineConfig {
@@ -113,6 +120,7 @@ impl EngineConfig {
             wire: WireFormat::Full,
             publish_bounds: BoundsMode::None,
             rebalance: RebalanceConfig::default(),
+            metrics: Vec::new(),
         }
     }
 
@@ -216,6 +224,10 @@ pub struct AnytimeEngine {
     changes: ChangeLog,
     /// Publish layer: mints epochs into the shared view cell.
     publisher: Publisher,
+    /// Metric layer: closeness (always) plus the extra per-epoch centrality
+    /// columns from [`EngineConfig::metrics`]. Extra-metric state lives at
+    /// the driver and is updated at publish barriers from drained DV rows.
+    metrics: MetricSet,
 }
 
 impl AnytimeEngine {
@@ -309,6 +321,7 @@ impl AnytimeEngine {
         // IA phase: per-source Dijkstra inside every rank's sub-graph.
         cluster.step(|_, s| s.initial_approximation());
         let publish_bounds = config.publish_bounds;
+        let metrics = MetricSet::from_kinds(&config.metrics);
         let mut engine = Self {
             graph,
             partition,
@@ -319,6 +332,7 @@ impl AnytimeEngine {
             changes_applied: 0,
             changes: ChangeLog::new(),
             publisher: Publisher::new(publish_bounds),
+            metrics,
         };
         // The anytime contract starts at construction: the IA answer is the
         // first published epoch.
@@ -404,7 +418,10 @@ impl AnytimeEngine {
         let wall0 = if observing { self.cluster.wall_now_us() } else { 0.0 };
         let n = self.graph.num_vertices();
         match self.publisher.mode() {
-            BoundsMode::None => {
+            BoundsMode::None if self.metrics.closeness_only() => {
+                // Legacy closeness-only path, kept verbatim: bit-identical
+                // views, deltas, wire bytes, and counters to the
+                // pre-metric-abstraction engine.
                 let full =
                     self.publisher.wants_full() || self.publisher.latest().num_vertices() > n;
                 // Epoch-dirty tracking is drained on every publish — the
@@ -440,6 +457,60 @@ impl AnytimeEngine {
                     );
                 }
             }
+            BoundsMode::None => {
+                let full =
+                    self.publisher.wants_full() || self.publisher.latest().num_vertices() > n;
+                // One drain of the epoch-dirty sets feeds both the
+                // closeness delta and the extra metrics' row hand-off.
+                let changed =
+                    self.cluster.barrier_read_mut(|_, s: &mut RankState| s.take_epoch_changed());
+                let extra_deltas = self.update_extra_metrics(full, &changed);
+                let primary = self.metrics.primary();
+                if full {
+                    let mut closeness = vec![0.0; n];
+                    for list in
+                        self.cluster.barrier_read(|_, s| s.local_scores(|row| primary.score(row)))
+                    {
+                        for (v, c) in list {
+                            closeness[v as usize] = c;
+                        }
+                    }
+                    let extras = self.extra_full_columns(n);
+                    self.publisher.publish_with(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        closeness,
+                        Vec::new(),
+                        extras,
+                    );
+                } else {
+                    let mut entries: Vec<(VertexId, f64)> = self
+                        .cluster
+                        .barrier_read(|r, s| {
+                            changed[r]
+                                .iter()
+                                .map(|&v| {
+                                    let row = s.dv().local_row(v).expect("local row");
+                                    (v, primary.score(row))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                    entries.sort_unstable_by_key(|e| e.0);
+                    self.publisher.publish_changes_with(
+                        self.rc_steps,
+                        self.changes_applied,
+                        converged,
+                        n,
+                        entries,
+                        Vec::new(),
+                        extra_deltas,
+                    );
+                }
+            }
             BoundsMode::Certified => {
                 // `cache_for` may rebuild (structural change), which moves
                 // every vertex's bound and forces the full path below.
@@ -448,6 +519,8 @@ impl AnytimeEngine {
                     self.publisher.wants_full() || self.publisher.latest().num_vertices() > n;
                 let changed =
                     self.cluster.barrier_read_mut(|_, s: &mut RankState| s.take_epoch_changed());
+                let extra_deltas = self.update_extra_metrics(full, &changed);
+                let primary = self.metrics.primary();
                 let cache = self.publisher.cache_for(&self.graph);
                 if full {
                     let mut closeness = vec![0.0; n];
@@ -461,7 +534,7 @@ impl AnytimeEngine {
                                 // Partial rows can overestimate closeness
                                 // (fewer finite terms); the certified
                                 // interval is sound, so clamp into it.
-                                (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
+                                (v, primary.score(row).clamp(lo, hi), hi - lo)
                             })
                             .collect::<Vec<_>>()
                     });
@@ -471,12 +544,14 @@ impl AnytimeEngine {
                             bounds[v as usize] = b;
                         }
                     }
-                    self.publisher.publish(
+                    let extras = self.extra_full_columns(n);
+                    self.publisher.publish_with(
                         self.rc_steps,
                         self.changes_applied,
                         converged,
                         closeness,
                         bounds,
+                        extras,
                     );
                 } else {
                     let per_rank = self.cluster.barrier_read(|r, s| {
@@ -485,7 +560,7 @@ impl AnytimeEngine {
                             .map(|&v| {
                                 let row = s.dv().local_row(v).expect("local row");
                                 let (lo, hi) = cache.interval(v, row);
-                                (v, closeness_from_row(row).clamp(lo, hi), hi - lo)
+                                (v, primary.score(row).clamp(lo, hi), hi - lo)
                             })
                             .collect::<Vec<_>>()
                     });
@@ -497,13 +572,14 @@ impl AnytimeEngine {
                     }
                     entries.sort_unstable_by_key(|e| e.0);
                     bound_entries.sort_unstable_by_key(|e| e.0);
-                    self.publisher.publish_changes(
+                    self.publisher.publish_changes_with(
                         self.rc_steps,
                         self.changes_applied,
                         converged,
                         n,
                         entries,
                         bound_entries,
+                        extra_deltas,
                     );
                 }
             }
@@ -531,6 +607,68 @@ impl AnytimeEngine {
                 bytes: delta_bytes,
             });
         }
+    }
+
+    /// Hands this epoch's DV rows to the extra metrics and collects each
+    /// one's changed-entry delta. `changed` is the per-rank epoch-dirty
+    /// vertex list the caller already drained; when the publisher is doing
+    /// a full rebuild or a metric was invalidated by a structural change,
+    /// every local row is gathered instead. Driver-side and unpriced, like
+    /// the rest of the publish barrier. No-op on closeness-only engines.
+    fn update_extra_metrics(
+        &mut self,
+        full: bool,
+        changed: &[Vec<VertexId>],
+    ) -> Vec<(MetricKind, Vec<(VertexId, f64)>)> {
+        if self.metrics.closeness_only() {
+            return Vec::new();
+        }
+        let want_all = full || self.metrics.wants_all_rows();
+        let mut rows: Vec<(VertexId, Vec<Dist>)> = if want_all {
+            self.cluster.barrier_read(|_, s| s.local_rows()).into_iter().flatten().collect()
+        } else {
+            self.cluster
+                .barrier_read(|r, s| {
+                    changed[r]
+                        .iter()
+                        .map(|&v| (v, s.dv().local_row(v).expect("local row").to_vec()))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        rows.sort_unstable_by_key(|e| e.0);
+        let n = self.graph.num_vertices();
+        let graph = &self.graph;
+        self.metrics
+            .extras_mut()
+            .iter_mut()
+            .map(|m| (m.kind(), m.update(n, &rows, graph)))
+            .collect()
+    }
+
+    /// Full columns for every extra metric, for full (re)publishes. Must
+    /// run after [`Self::update_extra_metrics`] so each column reflects
+    /// this epoch's rows.
+    fn extra_full_columns(&self, n: usize) -> Vec<(MetricKind, Vec<f64>)> {
+        self.metrics
+            .extras()
+            .iter()
+            .map(|m| (m.kind(), m.full_column(n).expect("stateful metric keeps a full column")))
+            .collect()
+    }
+
+    /// The metrics every published epoch carries (closeness always).
+    pub fn metric_mask(&self) -> MetricMask {
+        self.metrics.mask()
+    }
+
+    /// Update-effort counters for an extra metric, or `None` if the engine
+    /// is not maintaining it. Closeness is row-local (scored straight off
+    /// DV rows) and keeps no tally.
+    pub fn metric_tally(&self, kind: MetricKind) -> Option<MetricTally> {
+        self.metrics.extras().iter().find(|m| m.kind() == kind).map(|m| m.tally())
     }
 
     /// Executes one recombination step: drains the ingest log at the
@@ -724,8 +862,13 @@ impl AnytimeEngine {
                 Ok(()) => {
                     applied += 1;
                     self.changes.record_applied();
-                    // The graph changed; certified bounds must be rebuilt.
+                    // The graph changed; certified bounds must be rebuilt
+                    // and path-dependent metric state (e.g. cached
+                    // betweenness dependency vectors — shortest-path
+                    // counts can shift even where distances do not) is
+                    // stale everywhere.
                     self.publisher.invalidate_cache();
+                    self.metrics.invalidate_all();
                 }
                 Err(e) => {
                     outcome = Err(e);
@@ -1246,6 +1389,7 @@ impl AnytimeEngine {
             },
             stats: *self.cluster.stats(),
             ranks,
+            metrics: self.metrics.extra_kinds().iter().map(|k| k.wire_id()).collect(),
         }
     }
 
@@ -1309,6 +1453,21 @@ impl AnytimeEngine {
         cluster.restore_stats(snap.stats);
         cluster.record_restore();
         let publish_bounds = config.publish_bounds;
+        // Union of the config's metrics and what the snapshot was
+        // maintaining: restoring never silently drops a metric the
+        // checkpointed engine carried. Unknown wire ids (from a future
+        // format revision) are rejected rather than ignored.
+        let mut kinds = config.metrics.clone();
+        for &id in &snap.metrics {
+            kinds.push(MetricKind::from_wire_id(id).ok_or_else(|| {
+                CoreError::Checkpoint(CheckpointError::Malformed(format!(
+                    "snapshot lists unknown metric wire id {id}"
+                )))
+            })?);
+        }
+        // Extra-metric state is not persisted; MetricSet starts fresh, so
+        // the first publish below rebuilds it from the restored DV rows.
+        let metrics = MetricSet::from_kinds(&kinds);
         let mut engine = Self {
             graph,
             partition,
@@ -1319,6 +1478,7 @@ impl AnytimeEngine {
             changes_applied: snap.meta.changes_applied,
             changes: ChangeLog::new(),
             publisher: Publisher::new(publish_bounds),
+            metrics,
         };
         engine.publish_view(false);
         Ok(engine)
@@ -1611,6 +1771,12 @@ impl AnytimeEngine {
         let changes = std::mem::take(&mut self.changes);
         *self = Self::from_snapshot(snap, self.config.clone())?;
         self.publisher = publisher;
+        // The kept publisher still holds the pre-rewind extra-metric
+        // columns, while `from_snapshot` already synced its fresh metric
+        // state to a publisher we just discarded. Start the metric state
+        // over so the publish below restates every extra column in full
+        // against the surviving view.
+        self.metrics = MetricSet::from_kinds(&self.metrics.extra_kinds());
         self.changes = changes;
         self.cluster.set_sink(sink);
         if let Some(c) = chaos {
@@ -1718,6 +1884,9 @@ impl AnytimeEngine {
         self.cluster.charge_compute_us(rebuild_us);
         self.cluster.step(|_, s| s.mark_all_for_resend());
         self.cluster.record_restore();
+        // The recovered rank's rows were rewound to the snapshot; cached
+        // per-source metric state derived from the old rows is stale.
+        self.metrics.invalidate_all();
         self.publish_view(false);
         Ok(())
     }

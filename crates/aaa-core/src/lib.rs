@@ -49,6 +49,7 @@ pub mod dv;
 pub mod engine;
 pub mod error;
 pub mod ingest;
+pub mod metric;
 pub mod net;
 pub mod policy;
 pub mod publish;
@@ -64,6 +65,9 @@ pub use changes::{DynamicChange, NewVertex, VertexBatch};
 pub use engine::{AnytimeEngine, ConvergenceSummary, DdPartitioner, EngineConfig, SupervisedRun};
 pub use error::CoreError;
 pub use ingest::{ChangeLog, IngestStats, PendingChange};
+pub use metric::{
+    ClosenessMetric, IncBetweenness, Metric, MetricKind, MetricMask, MetricSet, MetricTally,
+};
 pub use net::{
     run_worker, NetConfig, NetMsg, NetOutcome, NetRunner, NetSummary, NoSupervisor, Revive,
     WireError, WorkerSupervisor,

@@ -309,6 +309,22 @@ pub enum NetMsg {
         entries: Vec<(VertexId, u64)>,
         bounds: Vec<(VertexId, u64)>,
     },
+    /// [`NetMsg::ViewDelta`] extended with extra metric columns (S31):
+    /// each element pairs a `MetricKind` wire id with that metric's
+    /// changed `(vertex, f64-bits)` entries. Emitted only when the epoch
+    /// carries extras — closeness-only runs still produce tag-16
+    /// [`NetMsg::ViewDelta`] frames, byte for byte.
+    ViewDeltaMulti {
+        epoch: u64,
+        rc_steps: u64,
+        changes_applied: u64,
+        n: u32,
+        converged: bool,
+        full: bool,
+        entries: Vec<(VertexId, u64)>,
+        bounds: Vec<(VertexId, u64)>,
+        extras: Vec<(u8, Vec<(VertexId, u64)>)>,
+    },
 }
 
 impl NetMsg {
@@ -427,6 +443,43 @@ impl NetMsg {
                     put_u64(&mut out, bits);
                 }
             }
+            NetMsg::ViewDeltaMulti {
+                epoch,
+                rc_steps,
+                changes_applied,
+                n,
+                converged,
+                full,
+                entries,
+                bounds,
+                extras,
+            } => {
+                out.push(17);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *rc_steps);
+                put_u64(&mut out, *changes_applied);
+                put_u32(&mut out, *n);
+                out.push(u8::from(*converged) | (u8::from(*full) << 1));
+                put_u32(&mut out, entries.len() as u32);
+                for &(v, bits) in entries {
+                    put_u32(&mut out, v);
+                    put_u64(&mut out, bits);
+                }
+                put_u32(&mut out, bounds.len() as u32);
+                for &(v, bits) in bounds {
+                    put_u32(&mut out, v);
+                    put_u64(&mut out, bits);
+                }
+                out.push(extras.len() as u8);
+                for (kind, es) in extras {
+                    out.push(*kind);
+                    put_u32(&mut out, es.len() as u32);
+                    for &(v, bits) in es {
+                        put_u32(&mut out, v);
+                        put_u64(&mut out, bits);
+                    }
+                }
+            }
         }
         out
     }
@@ -541,6 +594,44 @@ impl NetMsg {
                     full,
                     entries,
                     bounds,
+                }
+            }
+            17 => {
+                let epoch = r.u64()?;
+                let rc_steps = r.u64()?;
+                let changes_applied = r.u64()?;
+                let n = r.u32()?;
+                let flags = r.u8()?;
+                let converged = flags & 1 != 0;
+                let full = flags & 2 != 0;
+                let pair_list = |r: &mut Reader| -> Result<Vec<(VertexId, u64)>, WireError> {
+                    let c = r.count(12)?;
+                    let mut out = Vec::with_capacity(c);
+                    for _ in 0..c {
+                        let v = r.u32()?;
+                        let bits = r.u64()?;
+                        out.push((v, bits));
+                    }
+                    Ok(out)
+                };
+                let entries = pair_list(&mut r)?;
+                let bounds = pair_list(&mut r)?;
+                let k = r.u8()? as usize;
+                let mut extras = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let kind = r.u8()?;
+                    extras.push((kind, pair_list(&mut r)?));
+                }
+                NetMsg::ViewDeltaMulti {
+                    epoch,
+                    rc_steps,
+                    changes_applied,
+                    n,
+                    converged,
+                    full,
+                    entries,
+                    bounds,
+                    extras,
                 }
             }
             other => return Err(WireError::UnknownTag(other)),
@@ -729,7 +820,7 @@ pub fn run_worker<T: Transport>(link: &mut T, idle_deadline: Duration) -> Result
             }
             // View replication is reader-process traffic; compute workers
             // never consume it.
-            NetMsg::ViewDelta { .. } => {
+            NetMsg::ViewDelta { .. } | NetMsg::ViewDeltaMulti { .. } => {
                 return Err(protocol_err(&link.peer(), "replica-bound message at worker"));
             }
         }
@@ -1605,6 +1696,40 @@ mod tests {
             entries: vec![(4, 0.25f64.to_bits()), (90, 0.75f64.to_bits())],
             bounds: vec![(4, 0.01f64.to_bits())],
         });
+        roundtrip(NetMsg::ViewDeltaMulti {
+            epoch: 13,
+            rc_steps: 8,
+            changes_applied: 3,
+            n: 100,
+            converged: false,
+            full: true,
+            entries: vec![(4, 0.25f64.to_bits())],
+            bounds: Vec::new(),
+            extras: vec![(1, vec![(4, 2.0f64.to_bits()), (9, 0u64)])],
+        });
+    }
+
+    #[test]
+    fn view_delta_multi_encoding_matches_declared_size() {
+        let msg = NetMsg::ViewDeltaMulti {
+            epoch: 3,
+            rc_steps: 2,
+            changes_applied: 1,
+            n: 64,
+            converged: true,
+            full: false,
+            entries: vec![(0, 1.0f64.to_bits()), (1, 0.5f64.to_bits())],
+            bounds: vec![(1, 0.125f64.to_bits())],
+            extras: vec![(1, vec![(0, 3.5f64.to_bits()), (2, 0u64), (5, 1.0f64.to_bits())])],
+        };
+        let bytes = msg.encode();
+        // Base tag-16 layout plus: metric count byte + per metric a kind
+        // byte and a counted (u32, u64-bits) list. Must stay in lockstep
+        // with `ViewDelta::encoded_bytes` in publish.rs.
+        assert_eq!(bytes.len(), (1 + 8 * 3 + 4 + 1 + 4 + 12 * 2 + 4 + 12) + 1 + (1 + 4 + 12 * 3));
+        for cut in 0..bytes.len() {
+            assert!(NetMsg::decode(&bytes[..cut]).is_err(), "truncation at {cut} decoded");
+        }
     }
 
     #[test]

@@ -33,7 +33,22 @@
 //! `O(Δ·log k)`, so [`PublishedView::top_k`] serves from a per-view
 //! snapshot in `O(k)` instead of rescanning all `n` vertices.
 //! [`PublishedView::top_k_rescan`] keeps the full scan as a debug oracle.
+//!
+//! # Multiple metrics per epoch (S31)
+//!
+//! A view always carries the closeness primary; configured extra metrics
+//! (today: incremental betweenness, see [`crate::metric`]) ride the same
+//! epoch as additional columns, each with its own chunked store and
+//! maintained top-k index. The legacy single-metric entry points
+//! ([`Publisher::publish`], [`Publisher::publish_changes`]) forward to the
+//! `_with` variants with no extras and are **bit-identical** to the
+//! pre-S31 publisher — same views, same stats, same wire bytes (the
+//! closeness-only delta still encodes as `NetMsg::ViewDelta`; only
+//! multi-metric deltas use the new `NetMsg::ViewDeltaMulti`).
+//! [`PublishStats`] deliberately counts the closeness column only, so the
+//! committed perf-gate baselines are unaffected by extras.
 
+use crate::metric::{MetricKind, MetricMask};
 use crate::net::NetMsg;
 use crate::quality::CertifiedBoundsCache;
 use aaa_graph::closeness::top_k;
@@ -246,6 +261,20 @@ impl TopKIndex {
 }
 
 // ---------------------------------------------------------------------------
+// Extra metric columns
+// ---------------------------------------------------------------------------
+
+/// One extra metric's column within a view: its chunked value store plus
+/// a per-view top-k snapshot under the same [`rank_before`] total order
+/// the closeness index uses.
+#[derive(Debug, Clone, PartialEq)]
+struct MetricColumn {
+    kind: MetricKind,
+    values: ChunkedVec,
+    topk: Arc<Vec<(VertexId, f64)>>,
+}
+
+// ---------------------------------------------------------------------------
 // Published views
 // ---------------------------------------------------------------------------
 
@@ -269,6 +298,8 @@ pub struct PublishedView {
     /// Exact top-[`TOPK_SERVE_CAP`] prefix in serve order, maintained by
     /// the publisher's index — what makes `top_k` `O(k)`.
     topk: Arc<Vec<(VertexId, f64)>>,
+    /// Extra metric columns (wire-id order); empty on closeness-only runs.
+    extras: Vec<MetricColumn>,
 }
 
 impl PublishedView {
@@ -282,6 +313,7 @@ impl PublishedView {
             closeness: ChunkedVec::default(),
             bounds: ChunkedVec::default(),
             topk: Arc::new(Vec::new()),
+            extras: Vec::new(),
         }
     }
 
@@ -345,6 +377,60 @@ impl PublishedView {
         self.bounds.to_vec()
     }
 
+    /// Which metric columns this view carries. The closeness primary is
+    /// always present; extras reflect the engine's configured metric set.
+    pub fn metrics(&self) -> MetricMask {
+        let mut m = MetricMask::only(MetricKind::Closeness);
+        for e in &self.extras {
+            m = m.with(e.kind);
+        }
+        m
+    }
+
+    /// Whether this view carries a column for `kind`.
+    pub fn has_metric(&self, kind: MetricKind) -> bool {
+        kind == MetricKind::Closeness || self.extras.iter().any(|e| e.kind == kind)
+    }
+
+    fn extra(&self, kind: MetricKind) -> Option<&MetricColumn> {
+        self.extras.iter().find(|e| e.kind == kind)
+    }
+
+    /// Point lookup in the `kind` column. `None` when the view does not
+    /// carry that metric **or** `v` is out of range — serve layers that
+    /// need to distinguish the two check [`PublishedView::has_metric`]
+    /// first (and surface `ServeError::MetricUnavailable`).
+    pub fn metric_point(&self, kind: MetricKind, v: VertexId) -> Option<f64> {
+        match kind {
+            MetricKind::Closeness => self.point(v),
+            _ => self.extra(kind)?.values.get(v as usize),
+        }
+    }
+
+    /// The full `kind` column, or `None` when the view lacks it.
+    pub fn metric_values(&self, kind: MetricKind) -> Option<Vec<f64>> {
+        match kind {
+            MetricKind::Closeness => Some(self.closeness()),
+            _ => Some(self.extra(kind)?.values.to_vec()),
+        }
+    }
+
+    /// Top-`k` of the `kind` column (serve order: higher score first, ties
+    /// by lower id — identical to [`PublishedView::top_k`]), or `None`
+    /// when the view lacks the metric. `O(k)` within the snapshot cap.
+    pub fn metric_top_k(&self, kind: MetricKind, k: usize) -> Option<Vec<(VertexId, f64)>> {
+        if kind == MetricKind::Closeness {
+            return Some(self.top_k(k));
+        }
+        let col = self.extra(kind)?;
+        let k = k.min(col.values.len());
+        if k <= col.topk.len() {
+            return Some(col.topk[..k].to_vec());
+        }
+        let values = col.values.to_vec();
+        Some(top_k(&values, k).into_iter().map(|v| (v, values[v as usize])).collect())
+    }
+
     /// How many closeness chunks this view shares (same allocation) with
     /// `other` — the structural-sharing diagnostic tests and benches pin.
     pub fn shared_closeness_chunks(&self, other: &PublishedView) -> usize {
@@ -382,39 +468,79 @@ pub struct ViewDelta {
     pub entries: Vec<(VertexId, f64)>,
     /// `(vertex, new certified bound)`, sorted by id; empty without bounds.
     pub bounds: Vec<(VertexId, f64)>,
+    /// Per extra metric, its changed `(vertex, score)` entries sorted by
+    /// id; kinds in wire-id order. Empty on closeness-only runs, in which
+    /// case the wire form is the legacy `NetMsg::ViewDelta`, byte for byte.
+    pub extras: Vec<(MetricKind, Vec<(VertexId, f64)>)>,
 }
 
 impl ViewDelta {
-    /// Rows this delta re-states.
+    /// Rows this delta re-states (closeness column).
     pub fn rows(&self) -> usize {
         self.entries.len()
     }
 
-    /// Size of the [`NetMsg::ViewDelta`] wire encoding in bytes (kept in
-    /// lockstep with the codec in `net.rs`; asserted by its tests).
+    /// Size of the wire encoding in bytes (kept in lockstep with the
+    /// codec in `net.rs`; asserted by its tests). Closeness-only deltas
+    /// encode as `NetMsg::ViewDelta` (tag 16); deltas with extra metric
+    /// columns as `NetMsg::ViewDeltaMulti` (tag 17), which appends a
+    /// per-metric entry list.
     pub fn encoded_bytes(&self) -> usize {
         // tag + epoch + rc_steps + changes_applied + n + flags
         // + 2 × (count + 12 bytes per (id, f64-bits) pair)
-        1 + 8 + 8 + 8 + 4 + 1 + 4 + 12 * self.entries.len() + 4 + 12 * self.bounds.len()
+        let base = 1 + 8 + 8 + 8 + 4 + 1 + 4 + 12 * self.entries.len() + 4 + 12 * self.bounds.len();
+        if self.extras.is_empty() {
+            base
+        } else {
+            // + metric count + per metric (kind byte + count + pairs)
+            base + 1 + self.extras.iter().map(|(_, e)| 1 + 4 + 12 * e.len()).sum::<usize>()
+        }
     }
 
     /// The CRC-framed wire form (f64 carried as raw bits, so the message
     /// keeps `NetMsg`'s `Eq` and round-trips exactly).
     pub fn to_msg(&self) -> NetMsg {
-        NetMsg::ViewDelta {
-            epoch: self.epoch,
-            rc_steps: self.rc_steps as u64,
-            changes_applied: self.changes_applied,
-            n: self.n as u32,
-            converged: self.converged,
-            full: self.full,
-            entries: self.entries.iter().map(|&(v, c)| (v, c.to_bits())).collect(),
-            bounds: self.bounds.iter().map(|&(v, b)| (v, b.to_bits())).collect(),
+        let entries: Vec<(VertexId, u64)> =
+            self.entries.iter().map(|&(v, c)| (v, c.to_bits())).collect();
+        let bounds: Vec<(VertexId, u64)> =
+            self.bounds.iter().map(|&(v, b)| (v, b.to_bits())).collect();
+        if self.extras.is_empty() {
+            NetMsg::ViewDelta {
+                epoch: self.epoch,
+                rc_steps: self.rc_steps as u64,
+                changes_applied: self.changes_applied,
+                n: self.n as u32,
+                converged: self.converged,
+                full: self.full,
+                entries,
+                bounds,
+            }
+        } else {
+            NetMsg::ViewDeltaMulti {
+                epoch: self.epoch,
+                rc_steps: self.rc_steps as u64,
+                changes_applied: self.changes_applied,
+                n: self.n as u32,
+                converged: self.converged,
+                full: self.full,
+                entries,
+                bounds,
+                extras: self
+                    .extras
+                    .iter()
+                    .map(|(k, es)| {
+                        (k.wire_id(), es.iter().map(|&(v, s)| (v, s.to_bits())).collect())
+                    })
+                    .collect(),
+            }
         }
     }
 
-    /// Decodes the wire form; `None` if `msg` is a different variant.
+    /// Decodes the wire form; `None` if `msg` is a different variant (or
+    /// a `ViewDeltaMulti` naming an unknown metric wire id).
     pub fn from_msg(msg: &NetMsg) -> Option<Self> {
+        let decode =
+            |es: &[(VertexId, u64)]| es.iter().map(|&(v, b)| (v, f64::from_bits(b))).collect();
         match msg {
             NetMsg::ViewDelta {
                 epoch,
@@ -432,8 +558,33 @@ impl ViewDelta {
                 converged: *converged,
                 full: *full,
                 n: *n as usize,
-                entries: entries.iter().map(|&(v, bits)| (v, f64::from_bits(bits))).collect(),
-                bounds: bounds.iter().map(|&(v, bits)| (v, f64::from_bits(bits))).collect(),
+                entries: decode(entries),
+                bounds: decode(bounds),
+                extras: Vec::new(),
+            }),
+            NetMsg::ViewDeltaMulti {
+                epoch,
+                rc_steps,
+                changes_applied,
+                n,
+                converged,
+                full,
+                entries,
+                bounds,
+                extras,
+            } => Some(Self {
+                epoch: *epoch,
+                rc_steps: *rc_steps as usize,
+                changes_applied: *changes_applied,
+                converged: *converged,
+                full: *full,
+                n: *n as usize,
+                entries: decode(entries),
+                bounds: decode(bounds),
+                extras: extras
+                    .iter()
+                    .map(|(id, es)| Some((MetricKind::from_wire_id(*id)?, decode(es))))
+                    .collect::<Option<Vec<_>>>()?,
             }),
             _ => None,
         }
@@ -468,6 +619,30 @@ impl ViewDelta {
         } else {
             ChunkedVec::default()
         };
+        let extras = self
+            .extras
+            .iter()
+            .map(|(kind, entries)| {
+                let values = if self.full {
+                    let mut vals = vec![0.0; self.n];
+                    for &(v, s) in entries {
+                        vals[v as usize] = s;
+                    }
+                    ChunkedVec::from_vec(vals)
+                } else {
+                    let base = prev
+                        .extras
+                        .iter()
+                        .find(|c| c.kind == *kind)
+                        .map(|c| c.values.clone())
+                        .unwrap_or_default();
+                    base.apply(self.n, entries, 0.0).0
+                };
+                let mut idx = TopKIndex::default();
+                idx.rebuild(&values);
+                MetricColumn { kind: *kind, values, topk: Arc::new(idx.snapshot()) }
+            })
+            .collect();
         let mut index = TopKIndex::default();
         index.rebuild(&closeness);
         PublishedView {
@@ -478,6 +653,7 @@ impl ViewDelta {
             closeness,
             bounds,
             topk: Arc::new(index.snapshot()),
+            extras,
         }
     }
 }
@@ -616,6 +792,9 @@ pub struct Publisher {
     force_full: bool,
     stats: PublishStats,
     last_delta: Option<ViewDelta>,
+    /// Maintained top-k index per extra metric kind (created on first
+    /// sight of the kind; the engine's metric set is fixed per run).
+    extra_indexes: Vec<(MetricKind, TopKIndex)>,
 }
 
 impl Publisher {
@@ -630,6 +809,7 @@ impl Publisher {
             force_full: false,
             stats: PublishStats::default(),
             last_delta: None,
+            extra_indexes: Vec::new(),
         }
     }
 
@@ -718,6 +898,20 @@ impl Publisher {
         closeness: Vec<f64>,
         bounds: Vec<f64>,
     ) -> Arc<PublishedView> {
+        self.publish_with(rc_steps, changes_applied, converged, closeness, bounds, Vec::new())
+    }
+
+    /// [`Publisher::publish`] plus full extra metric columns (each the
+    /// complete length-`n` vector for its kind, kinds in wire-id order).
+    pub fn publish_with(
+        &mut self,
+        rc_steps: usize,
+        changes_applied: u64,
+        converged: bool,
+        closeness: Vec<f64>,
+        bounds: Vec<f64>,
+        extras: Vec<(MetricKind, Vec<f64>)>,
+    ) -> Arc<PublishedView> {
         let n = closeness.len();
         let entries: Vec<(VertexId, f64)> =
             closeness.iter().enumerate().map(|(v, &c)| (v as VertexId, c)).collect();
@@ -730,6 +924,18 @@ impl Publisher {
         self.stats.changed_rows += n as u64;
         self.stats.chunks_copied += cstore.chunks.len() as u64;
         self.stats.topk_rebuilds += 1;
+        let mut columns = Vec::with_capacity(extras.len());
+        let mut extra_deltas = Vec::with_capacity(extras.len());
+        for (kind, vals) in extras {
+            debug_assert_eq!(vals.len(), n, "extra column must be vertex-aligned");
+            let delta: Vec<(VertexId, f64)> =
+                vals.iter().enumerate().map(|(v, &s)| (v as VertexId, s)).collect();
+            let store = ChunkedVec::from_vec(vals);
+            let idx = self.extra_index(kind);
+            idx.rebuild(&store);
+            columns.push(MetricColumn { kind, values: store, topk: Arc::new(idx.snapshot()) });
+            extra_deltas.push((kind, delta));
+        }
         self.mint(
             rc_steps,
             changes_applied,
@@ -740,6 +946,8 @@ impl Publisher {
             bound_entries,
             cstore,
             bstore,
+            columns,
+            extra_deltas,
         )
     }
 
@@ -756,6 +964,33 @@ impl Publisher {
         n: usize,
         entries: Vec<(VertexId, f64)>,
         bound_entries: Vec<(VertexId, f64)>,
+    ) -> Arc<PublishedView> {
+        self.publish_changes_with(
+            rc_steps,
+            changes_applied,
+            converged,
+            n,
+            entries,
+            bound_entries,
+            Vec::new(),
+        )
+    }
+
+    /// [`Publisher::publish_changes`] plus per-extra-metric changed
+    /// entries (each sorted by id; kinds in wire-id order). An extra's
+    /// column is carried forward by structural sharing exactly like
+    /// closeness; its maintained index absorbs the delta. Extra columns
+    /// are intentionally **not** counted in [`PublishStats`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_changes_with(
+        &mut self,
+        rc_steps: usize,
+        changes_applied: u64,
+        converged: bool,
+        n: usize,
+        entries: Vec<(VertexId, f64)>,
+        bound_entries: Vec<(VertexId, f64)>,
+        extras: Vec<(MetricKind, Vec<(VertexId, f64)>)>,
     ) -> Arc<PublishedView> {
         debug_assert!(!self.wants_full(), "delta publish while a full publish is required");
         let prev = self.cell.load();
@@ -777,6 +1012,26 @@ impl Publisher {
         self.stats.changed_rows += entries.len() as u64;
         self.stats.chunks_copied += copied;
         self.stats.chunks_shared += shared;
+        let mut columns = Vec::with_capacity(extras.len());
+        for (kind, es) in &extras {
+            let base = prev
+                .extras
+                .iter()
+                .find(|c| c.kind == *kind)
+                .map(|c| c.values.clone())
+                .unwrap_or_default();
+            let store = base.apply(n, es, 0.0).0;
+            let prev_col = prev.extra(*kind);
+            let idx = self.extra_index(*kind);
+            for &(v, s) in es {
+                idx.update(prev_col.and_then(|c| c.values.get(v as usize)), v, s);
+            }
+            if idx.len() < TOPK_SERVE_CAP.min(n) {
+                idx.rebuild(&store);
+            }
+            let snapshot = Arc::new(idx.snapshot());
+            columns.push(MetricColumn { kind: *kind, values: store, topk: snapshot });
+        }
         self.mint(
             rc_steps,
             changes_applied,
@@ -787,7 +1042,17 @@ impl Publisher {
             bound_entries,
             cstore,
             bstore,
+            columns,
+            extras,
         )
+    }
+
+    fn extra_index(&mut self, kind: MetricKind) -> &mut TopKIndex {
+        if let Some(pos) = self.extra_indexes.iter().position(|(k, _)| *k == kind) {
+            return &mut self.extra_indexes[pos].1;
+        }
+        self.extra_indexes.push((kind, TopKIndex::default()));
+        &mut self.extra_indexes.last_mut().expect("just pushed").1
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -802,6 +1067,8 @@ impl Publisher {
         bound_entries: Vec<(VertexId, f64)>,
         closeness: ChunkedVec,
         bounds: ChunkedVec,
+        extras: Vec<MetricColumn>,
+        extra_deltas: Vec<(MetricKind, Vec<(VertexId, f64)>)>,
     ) -> Arc<PublishedView> {
         self.epoch += 1;
         self.stats.epochs += 1;
@@ -814,6 +1081,7 @@ impl Publisher {
             closeness,
             bounds,
             topk: Arc::new(self.index.snapshot()),
+            extras,
         });
         self.last_delta = Some(ViewDelta {
             epoch: self.epoch,
@@ -824,6 +1092,7 @@ impl Publisher {
             n,
             entries,
             bounds: bound_entries,
+            extras: extra_deltas,
         });
         self.cell.store(view.clone());
         view
@@ -1036,6 +1305,81 @@ mod tests {
         let rt = ViewDelta::from_msg(&thin.to_msg()).unwrap();
         assert_eq!(rt, thin);
         assert_eq!(&rt.apply_to(&prev), p.latest().as_ref());
+    }
+
+    #[test]
+    fn multi_metric_columns_publish_query_and_replicate() {
+        let mut p = Publisher::new(BoundsMode::None);
+        let bc: Vec<f64> = (0..40).map(|i| (i * 7 % 11) as f64).collect();
+        let v = p.publish_with(
+            1,
+            0,
+            false,
+            vec![0.5; 40],
+            Vec::new(),
+            vec![(MetricKind::Betweenness, bc.clone())],
+        );
+        assert!(v.has_metric(MetricKind::Betweenness));
+        assert!(v.metrics().contains(MetricKind::Closeness));
+        assert_eq!(v.metric_point(MetricKind::Betweenness, 3), Some(bc[3]));
+        assert_eq!(v.metric_point(MetricKind::Betweenness, 99), None);
+        assert_eq!(v.metric_values(MetricKind::Betweenness), Some(bc.clone()));
+        // Top-k over the betweenness column, id tie-breaks, matches a
+        // rescan oracle.
+        let top = v.metric_top_k(MetricKind::Betweenness, 5).unwrap();
+        let oracle: Vec<(VertexId, f64)> =
+            top_k(&bc, 5).into_iter().map(|i| (i, bc[i as usize])).collect();
+        assert_eq!(top, oracle);
+        // The closeness accessors are untouched by extras.
+        assert_eq!(v.point(0), Some(0.5));
+        assert_eq!(v.metric_top_k(MetricKind::Closeness, 2).unwrap(), v.top_k(2));
+
+        // Thin delta epoch: only the changed betweenness entries move.
+        let prev = p.latest();
+        let v2 = p.publish_changes_with(
+            2,
+            0,
+            true,
+            40,
+            vec![(1, 0.9)],
+            Vec::new(),
+            vec![(MetricKind::Betweenness, vec![(3, 100.0), (7, 0.25)])],
+        );
+        assert_eq!(v2.metric_point(MetricKind::Betweenness, 3), Some(100.0));
+        assert_eq!(v2.metric_point(MetricKind::Betweenness, 7), Some(0.25));
+        assert_eq!(v2.metric_point(MetricKind::Betweenness, 4), Some(bc[4]));
+        assert_eq!(v2.metric_top_k(MetricKind::Betweenness, 1).unwrap(), vec![(3, 100.0)]);
+        // Extras are not counted in the closeness-only publish stats.
+        assert_eq!(p.stats().changed_rows, 40 + 1);
+
+        // Wire roundtrip (tag 17) and follower application bit-identity.
+        let delta = p.last_delta().unwrap().clone();
+        assert_eq!(delta.extras.len(), 1);
+        let msg = delta.to_msg();
+        assert!(matches!(msg, NetMsg::ViewDeltaMulti { .. }));
+        assert_eq!(msg.encode().len(), delta.encoded_bytes());
+        let rt = ViewDelta::from_msg(&msg).unwrap();
+        assert_eq!(rt, delta);
+        assert_eq!(&rt.apply_to(&prev), v2.as_ref());
+    }
+
+    #[test]
+    fn closeness_only_wire_form_is_unchanged_by_s31() {
+        let mut p = Publisher::new(BoundsMode::None);
+        p.publish(1, 0, false, vec![0.5, 0.25], Vec::new());
+        let delta = p.last_delta().unwrap().clone();
+        assert!(delta.extras.is_empty());
+        let msg = delta.to_msg();
+        // No extras → the legacy tag-16 variant, and the byte-size
+        // formula's legacy branch.
+        assert!(matches!(msg, NetMsg::ViewDelta { .. }));
+        assert_eq!(msg.encode().len(), delta.encoded_bytes());
+        let v = p.latest();
+        assert_eq!(v.metrics(), MetricMask::only(MetricKind::Closeness));
+        assert!(!v.has_metric(MetricKind::Betweenness));
+        assert_eq!(v.metric_point(MetricKind::Betweenness, 0), None);
+        assert_eq!(v.metric_values(MetricKind::Betweenness), None);
+        assert_eq!(v.metric_top_k(MetricKind::Betweenness, 3), None);
     }
 
     #[test]

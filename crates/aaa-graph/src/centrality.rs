@@ -2,7 +2,7 @@
 //! betweenness, closeness and eigenvector centrality as the key SNA
 //! metrics; closeness lives in [`crate::closeness`], the others here).
 
-use crate::{Csr, Dist, VertexId, INF};
+use crate::{dist_add, Csr, Dist, VertexId, Weight, INF};
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -124,6 +124,123 @@ fn brandes_from(g: &Csr, s: VertexId) -> Vec<f64> {
     out
 }
 
+/// Brandes dependency vector of one source, derived from its distance
+/// *row* instead of a fresh Dijkstra traversal — the kernel shared by the
+/// deterministic betweenness oracle below and the engine's incremental
+/// `IncBetweenness` metric (which already maintains the rows as DV state).
+///
+/// Vertices are processed in canonical `(distance, id)` order — the same
+/// id tie-break the serve layer's top-k total order uses — and every
+/// floating-point accumulation happens in that canonical order, never in
+/// neighbor-list order. Two callers handing in the same row and the same
+/// edge set therefore get **bit-identical** vectors regardless of backend
+/// (adjacency-list vs CSR), which is what lets the incremental metric
+/// promise exact equality with the oracle at convergence.
+///
+/// `row` may be a partial (admissible, entrywise ≥ exact) anytime row: a
+/// vertex whose row entry is finite but not yet witnessed by any
+/// consistent predecessor (`row[p] + w == row[v]`) gets `σ = 0` and is
+/// skipped by the dependency pass, so the result is a well-defined
+/// approximation that converges to the exact Brandes vector as the row
+/// does. Requires positive edge weights (zero-weight edges would break
+/// the strict distance ordering path counting relies on). The source's
+/// own entry is zeroed (a vertex never mediates for itself).
+pub fn dependency_from_row<F, I>(source: VertexId, row: &[Dist], succ: F) -> Vec<f64>
+where
+    F: Fn(VertexId) -> I,
+    I: Iterator<Item = (VertexId, Weight)>,
+{
+    let n = row.len();
+    let mut order: Vec<VertexId> = (0..n as VertexId).filter(|&v| row[v as usize] != INF).collect();
+    order.sort_unstable_by_key(|&v| (row[v as usize], v));
+
+    // Forward sweep: push path counts along tight edges. Processing in
+    // canonical order means every contribution to `sigma[t]` arrives in
+    // the `(distance, id)` order of its predecessor — deterministic no
+    // matter how the backend orders neighbor lists.
+    let mut sigma = vec![0.0f64; n];
+    if (source as usize) < n && row[source as usize] != INF {
+        sigma[source as usize] = 1.0;
+    }
+    for &v in &order {
+        if sigma[v as usize] == 0.0 {
+            continue; // no consistent shortest-path mass reaches v yet
+        }
+        let dv = row[v as usize];
+        for (t, w) in succ(v) {
+            if t == v || t as usize >= n {
+                continue; // neighbor beyond this row's coverage (mid-grow)
+            }
+            let dt = row[t as usize];
+            if dt != INF && dist_add(dv, w as Dist) == dt && dt > dv {
+                sigma[t as usize] += sigma[v as usize];
+            }
+        }
+    }
+
+    // Backward sweep in reverse canonical order: classic Brandes
+    // accumulation, each `delta[p]` receiving one term per tight edge.
+    let mut delta = vec![0.0f64; n];
+    for &v in order.iter().rev() {
+        if v == source || sigma[v as usize] == 0.0 {
+            continue;
+        }
+        let dv = row[v as usize];
+        let term = 1.0 + delta[v as usize];
+        for (p, w) in succ(v) {
+            if p == v || p as usize >= n {
+                continue;
+            }
+            let dp = row[p as usize];
+            if dp != INF && dp < dv && dist_add(dp, w as Dist) == dv && sigma[p as usize] != 0.0 {
+                delta[p as usize] += sigma[p as usize] / sigma[v as usize] * term;
+            }
+        }
+    }
+    if (source as usize) < n {
+        delta[source as usize] = 0.0;
+    }
+    delta
+}
+
+/// Betweenness from per-source distance rows: sums
+/// [`dependency_from_row`] vectors in increasing source order and halves
+/// (undirected convention), exactly like [`betweenness_centrality`].
+///
+/// This is the bit-level contract the incremental metric reproduces: it
+/// re-sums its cached per-source vectors in the same source order with the
+/// same kernel, so at convergence (rows exact) the two are `==`, not just
+/// approximately equal.
+pub fn betweenness_from_rows<R, F, I>(n: usize, mut row_of: R, succ: F) -> Vec<f64>
+where
+    R: FnMut(VertexId) -> Vec<Dist>,
+    F: Fn(VertexId) -> I + Copy,
+    I: Iterator<Item = (VertexId, Weight)>,
+{
+    let mut acc = vec![0.0f64; n];
+    for s in 0..n as VertexId {
+        let row = row_of(s);
+        let dep = dependency_from_row(s, &row, succ);
+        for (a, d) in acc.iter_mut().zip(dep) {
+            *a += d;
+        }
+    }
+    acc.iter_mut().for_each(|x| *x /= 2.0);
+    acc
+}
+
+/// Exact Brandes betweenness with deterministic `(distance, id)`
+/// tie-breaks: the correctness oracle for the engine's incremental
+/// betweenness metric. Agrees with [`betweenness_centrality`] up to
+/// floating-point association; unlike it, the result is a bit-exact
+/// function of the graph alone (no reduction-order dependence).
+///
+/// `GraphStore`-generic callers use `aaa_store::algo::betweenness_exact`,
+/// which wraps this kernel (the trait lives downstream of this crate).
+pub fn betweenness_exact_det(g: &Csr) -> Vec<f64> {
+    betweenness_from_rows(g.num_vertices(), |s| crate::sssp::dijkstra(g, s), |v| g.neighbors(v))
+}
+
 /// Local clustering coefficient of each vertex (unweighted triangles).
 pub fn clustering_coefficients(g: &Csr) -> Vec<f64> {
     let n = g.num_vertices();
@@ -214,6 +331,86 @@ mod tests {
         g.add_edge(0, 2, 10).unwrap();
         let b = betweenness_centrality(&Csr::from_adj(&g));
         assert!((b[1] - 1.0).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    fn deterministic_betweenness_matches_parallel_reference() {
+        let mut square = AdjGraph::with_vertices(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            square.add_edge(u, v, 1).unwrap();
+        }
+        let mut star = AdjGraph::with_vertices(5);
+        for leaf in 1..5 {
+            star.add_edge(0, leaf, 1).unwrap();
+        }
+        let mut weighted = AdjGraph::with_vertices(3);
+        weighted.add_edge(0, 1, 1).unwrap();
+        weighted.add_edge(1, 2, 1).unwrap();
+        weighted.add_edge(0, 2, 10).unwrap();
+        for g in [path4(), Csr::from_adj(&square), Csr::from_adj(&star), Csr::from_adj(&weighted)] {
+            let det = betweenness_exact_det(&g);
+            let par = betweenness_centrality(&g);
+            for (a, b) in det.iter().zip(&par) {
+                assert!((a - b).abs() < 1e-9, "{det:?} vs {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_from_row_is_backend_independent() {
+        // Same rows fed through AdjGraph and Csr neighbor iterators must
+        // produce bit-identical dependency vectors.
+        let mut g = AdjGraph::with_vertices(6);
+        for (u, v, w) in
+            [(0, 1, 2), (1, 2, 2), (0, 2, 4), (2, 3, 1), (3, 4, 3), (1, 4, 6), (4, 5, 1)]
+        {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let csr = Csr::from_adj(&g);
+        for s in 0..6 {
+            let row = crate::sssp::dijkstra(&csr, s);
+            let via_csr = dependency_from_row(s, &row, |v| csr.neighbors(v));
+            let via_adj = dependency_from_row(s, &row, |v| g.neighbors(v).iter().copied());
+            assert_eq!(via_csr, via_adj, "source {s}");
+            assert!(via_csr.iter().all(|d| d.is_finite()));
+            assert_eq!(via_csr[s as usize], 0.0);
+        }
+    }
+
+    #[test]
+    fn dependency_from_partial_row_skips_unwitnessed_vertices() {
+        // Admissible-but-stale row: vertex 3's entry is finite but not
+        // witnessed by any tight edge, so it carries no path mass and
+        // contributes no dependency.
+        let g = path4();
+        let mut row = crate::sssp::dijkstra(&g, 0);
+        row[3] = 100; // admissible (≥ exact 3), inconsistent
+        let dep = dependency_from_row(0, &row, |v| g.neighbors(v));
+        // Only pairs (0,1),(0,2) remain: delta[1] counts vertex 2 once.
+        assert_eq!(dep[1], 1.0);
+        assert_eq!(dep[2], 0.0);
+        assert_eq!(dep[3], 0.0);
+        // All-INF row (source not yet reached) yields zeros.
+        let zeros = dependency_from_row(2, &[INF; 4], |v| g.neighbors(v));
+        assert_eq!(zeros, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn betweenness_from_rows_matches_exact_det_bitwise() {
+        let mut g = AdjGraph::with_vertices(7);
+        for (u, v, w) in
+            [(0, 1, 1), (1, 2, 1), (2, 3, 2), (3, 4, 1), (4, 0, 3), (2, 5, 1), (5, 6, 1), (6, 3, 1)]
+        {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let csr = Csr::from_adj(&g);
+        let oracle = betweenness_exact_det(&csr);
+        // Re-summing the same per-source vectors from pre-gathered rows
+        // (the incremental metric's contract) is bit-identical.
+        let rows: Vec<Vec<Dist>> = (0..7).map(|s| crate::sssp::dijkstra(&csr, s)).collect();
+        let from_rows =
+            betweenness_from_rows(7, |s| rows[s as usize].clone(), |v| csr.neighbors(v));
+        assert_eq!(oracle, from_rows);
     }
 
     #[test]

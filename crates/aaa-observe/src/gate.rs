@@ -204,6 +204,39 @@ pub fn compare(candidate: &RunReport, baseline: &RunReport, cfg: &GateConfig) ->
             cfg,
         ));
     }
+    // Extra-metric maintenance counters are deterministic driver-side
+    // work (which sources recompute depends only on the change stream),
+    // so every row is gated under the same both-present rule.
+    if let (Some(b), Some(c)) = (baseline.metrics, candidate.metrics) {
+        rows.push(diff(
+            "metric_betweenness_epochs",
+            b.betweenness_epochs as f64,
+            c.betweenness_epochs as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "metric_sources_recomputed",
+            b.sources_recomputed as f64,
+            c.sources_recomputed as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "metric_full_recomputes",
+            b.full_recomputes as f64,
+            c.full_recomputes as f64,
+            true,
+            cfg,
+        ));
+        rows.push(diff(
+            "metric_changed_entries",
+            b.changed_entries as f64,
+            c.changed_entries as f64,
+            true,
+            cfg,
+        ));
+    }
     // Host-dependent → info only.
     rows.push(diff(
         "sim_compute_us",
@@ -410,6 +443,42 @@ mod tests {
             assert!(rows.iter().any(|r| r.name == name && r.gated), "{name} must be gated");
         }
         assert!(rows.iter().any(|r| r.name == "publish_chunks_copied" && r.regressed));
+        // Identical sections pass even at threshold zero.
+        let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
+        assert!(!regressed(&compare(&base2, &base2, &strict)));
+    }
+
+    #[test]
+    fn metrics_section_gates_every_row_under_both_present_rule() {
+        use crate::report::MetricsTally;
+        let tally = MetricsTally {
+            betweenness_epochs: 10,
+            sources_recomputed: 420,
+            full_recomputes: 1,
+            changed_entries: 700,
+        };
+        // Old baseline without the section: a new candidate adds no rows.
+        let base = baseline();
+        let mut cand = base.clone();
+        cand.metrics = Some(tally);
+        let rows = compare(&cand, &base, &GateConfig::default());
+        assert!(!rows.iter().any(|r| r.name.starts_with("metric_")));
+        assert!(!regressed(&rows));
+        // Both sides carry it: every row is gated and a drift fails.
+        let mut base2 = base.clone();
+        base2.metrics = Some(tally);
+        let mut cand2 = base2.clone();
+        cand2.metrics = Some(MetricsTally { sources_recomputed: 840, ..tally });
+        let rows = compare(&cand2, &base2, &GateConfig::default());
+        for name in [
+            "metric_betweenness_epochs",
+            "metric_sources_recomputed",
+            "metric_full_recomputes",
+            "metric_changed_entries",
+        ] {
+            assert!(rows.iter().any(|r| r.name == name && r.gated), "{name} must be gated");
+        }
+        assert!(rows.iter().any(|r| r.name == "metric_sources_recomputed" && r.regressed));
         // Identical sections pass even at threshold zero.
         let strict = GateConfig { default_threshold: 0.0, ..GateConfig::default() };
         assert!(!regressed(&compare(&base2, &base2, &strict)));

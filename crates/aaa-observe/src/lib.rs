@@ -35,8 +35,8 @@ pub use event::{SpanEvent, SpanKind, DRIVER_LANE};
 pub use gate::{compare, regressed, GateConfig, MetricDiff};
 pub use json::{Json, JsonError};
 pub use report::{
-    aggregate_phases, per_rank_busy, ChangeTally, FaultTally, MigrationTally, PhaseReport,
-    PublishTally, QualityPoint, RankReport, RunReport, StreamTally, REPORT_VERSION,
+    aggregate_phases, per_rank_busy, ChangeTally, FaultTally, MetricsTally, MigrationTally,
+    PhaseReport, PublishTally, QualityPoint, RankReport, RunReport, StreamTally, REPORT_VERSION,
 };
 pub use sink::{EventSink, MemorySink, NoopSink};
 pub use trace::chrome_trace;

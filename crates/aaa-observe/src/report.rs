@@ -147,6 +147,24 @@ pub struct PublishTally {
     pub topk_rebuilds: u64,
 }
 
+/// Extra-metric maintenance tallies (incremental betweenness et al.).
+///
+/// Optional like [`PublishTally`]. Every field counts deterministic
+/// driver-side metric work, so the gate diffs all of them —
+/// `sources_recomputed` is the headline: it is what the incremental
+/// update saves over an every-epoch full rescan (`n × epochs` sources).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsTally {
+    /// Publish epochs in which extra metrics were updated.
+    pub betweenness_epochs: u64,
+    /// Per-source dependency recomputations across all epochs.
+    pub sources_recomputed: u64,
+    /// Updates that rebuilt from scratch (first epoch, post-invalidation).
+    pub full_recomputes: u64,
+    /// Column entries whose value changed bits across all epochs.
+    pub changed_entries: u64,
+}
+
 /// One convergence-quality sample (mirrors the engine's quality tracker).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QualityPoint {
@@ -194,6 +212,9 @@ pub struct RunReport {
     /// View-publication tallies — `None` for reports from before delta
     /// publication (and for drivers that never publish views).
     pub publish: Option<PublishTally>,
+    /// Extra-metric tallies — `None` unless the run maintained metrics
+    /// beyond closeness (e.g. `--metrics betweenness`).
+    pub metrics: Option<MetricsTally>,
     pub phases: Vec<PhaseReport>,
     pub ranks: Vec<RankReport>,
     pub quality: Vec<QualityPoint>,
@@ -357,6 +378,17 @@ impl RunReport {
                 ]),
             ));
         }
+        if let Some(m) = &self.metrics {
+            fields.push((
+                "metrics".into(),
+                Json::Obj(vec![
+                    ("betweenness_epochs".into(), Json::Num(m.betweenness_epochs as f64)),
+                    ("sources_recomputed".into(), Json::Num(m.sources_recomputed as f64)),
+                    ("full_recomputes".into(), Json::Num(m.full_recomputes as f64)),
+                    ("changed_entries".into(), Json::Num(m.changed_entries as f64)),
+                ]),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -438,6 +470,14 @@ impl RunReport {
                 chunks_copied: p.u64_field("chunks_copied")?,
                 chunks_shared: p.u64_field("chunks_shared")?,
                 topk_rebuilds: p.u64_field("topk_rebuilds")?,
+            });
+        }
+        if let Some(m) = doc.get("metrics") {
+            report.metrics = Some(MetricsTally {
+                betweenness_epochs: m.u64_field("betweenness_epochs")?,
+                sources_recomputed: m.u64_field("sources_recomputed")?,
+                full_recomputes: m.u64_field("full_recomputes")?,
+                changed_entries: m.u64_field("changed_entries")?,
             });
         }
         for p in doc.arr_field("phases")? {
@@ -538,6 +578,7 @@ mod tests {
             migration: None,
             stream: None,
             publish: None,
+            metrics: None,
             phases: vec![PhaseReport {
                 name: "superstep".into(),
                 count: 160,
@@ -622,6 +663,25 @@ mod tests {
             chunks_copied: 44,
             chunks_shared: 196,
             topk_rebuilds: 3,
+        });
+        let text = with.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("own output parses");
+        assert_eq!(back, with);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn metrics_section_round_trips_and_is_optional() {
+        let without = sample_report();
+        assert!(without.metrics.is_none());
+        assert!(!without.to_json_string().contains("\"metrics\""));
+
+        let mut with = sample_report();
+        with.metrics = Some(MetricsTally {
+            betweenness_epochs: 12,
+            sources_recomputed: 640,
+            full_recomputes: 2,
+            changed_entries: 911,
         });
         let text = with.to_json_string();
         let back = RunReport::from_json_str(&text).expect("own output parses");

@@ -34,6 +34,7 @@
 //! ```
 
 use aaa_core::publish::{PublishedView, ViewCell};
+use aaa_core::{MetricKind, MetricMask};
 use aaa_graph::VertexId;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +53,24 @@ pub enum ServeError {
         /// How long the caller waited.
         waited: Duration,
     },
+    /// A `*_for` query named a metric the published view does not carry
+    /// (the engine was not configured to maintain it).
+    MetricUnavailable {
+        /// The metric the caller asked for.
+        requested: MetricKind,
+        /// The metrics the view actually carries.
+        available: MetricMask,
+    },
+    /// [`ServeHandle::wait_for_bound`] gave up: no epoch satisfying the
+    /// requested error bound was published within the deadline.
+    BoundTimeout {
+        /// The vertex whose bound was being watched.
+        vertex: VertexId,
+        /// The latest epoch inspected when the wait expired.
+        epoch: u64,
+        /// How long the caller waited.
+        waited: Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -59,6 +78,16 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::EpochTimeout { target, latest, waited } => {
                 write!(f, "epoch {target} not published within {waited:?} (latest epoch: {latest})")
+            }
+            ServeError::MetricUnavailable { requested, available } => {
+                write!(f, "metric {requested} not published (view carries: {available})")
+            }
+            ServeError::BoundTimeout { vertex, epoch, waited } => {
+                write!(
+                    f,
+                    "no epoch met the requested bound for vertex {vertex} within {waited:?} \
+                     (latest epoch: {epoch})"
+                )
             }
         }
     }
@@ -80,6 +109,9 @@ pub struct EpochInfo {
     pub converged: bool,
     /// Vertices covered by the view.
     pub vertices: usize,
+    /// Centrality columns the view carries (closeness always; extras per
+    /// [`aaa_core::EngineConfig::metrics`]).
+    pub metrics: MetricMask,
 }
 
 /// A cloneable, thread-safe query handle over the engine's published
@@ -154,7 +186,70 @@ impl ServeHandle {
             changes_applied: view.changes_applied,
             converged: view.converged,
             vertices: view.num_vertices(),
+            metrics: view.metrics(),
         }
+    }
+
+    // ----------------------------------------------------------------
+    // Metric-parametric queries
+    // ----------------------------------------------------------------
+    //
+    // The closeness-named methods above are the `MetricKind::Closeness`
+    // defaults of these; every `*_for` answers from one view load and
+    // returns a typed `MetricUnavailable` (never a panic or a silent
+    // zero) when the engine is not maintaining the requested column.
+
+    fn checked_view(&self, kind: MetricKind) -> Result<Arc<PublishedView>, ServeError> {
+        let view = self.view();
+        if !view.has_metric(kind) {
+            return Err(ServeError::MetricUnavailable {
+                requested: kind,
+                available: view.metrics(),
+            });
+        }
+        Ok(view)
+    }
+
+    /// Score of `v` in the `kind` column of the latest epoch; `Ok(None)`
+    /// if `v` is out of range.
+    pub fn point_for(&self, kind: MetricKind, v: VertexId) -> Result<Option<f64>, ServeError> {
+        Ok(self.checked_view(kind)?.metric_point(kind, v))
+    }
+
+    /// Batched [`ServeHandle::point_for`] against one consistent epoch.
+    pub fn points_for(
+        &self,
+        kind: MetricKind,
+        ids: &[VertexId],
+    ) -> Result<Vec<Option<f64>>, ServeError> {
+        let view = self.checked_view(kind)?;
+        Ok(ids.iter().map(|&v| view.metric_point(kind, v)).collect())
+    }
+
+    /// The `k` highest-scoring vertices in the `kind` column (ties broken
+    /// by lower id, the same total order every metric path uses).
+    pub fn top_k_for(
+        &self,
+        kind: MetricKind,
+        k: usize,
+    ) -> Result<Vec<(VertexId, f64)>, ServeError> {
+        let view = self.checked_view(kind)?;
+        Ok(view.metric_top_k(kind, k).expect("checked metric present"))
+    }
+
+    /// Certified error bound for `v` under `kind`. Closeness answers like
+    /// [`ServeHandle::error_bound`]; metrics without per-vertex intervals
+    /// (betweenness is exact-at-convergence instead) answer `Ok(None)`.
+    pub fn error_bound_for(
+        &self,
+        kind: MetricKind,
+        v: VertexId,
+    ) -> Result<Option<f64>, ServeError> {
+        let view = self.checked_view(kind)?;
+        Ok(match kind {
+            MetricKind::Closeness => view.error_bound(v),
+            _ => None,
+        })
     }
 
     /// Parks (condvar wait, no spinning) until the published epoch is
@@ -194,6 +289,58 @@ impl ServeHandle {
             }
         }
     }
+
+    /// Watch query: parks until some published epoch answers `v` to
+    /// within `eps` — certified bound `≤ eps` in
+    /// [`aaa_core::BoundsMode::Certified`], or a converged epoch covering
+    /// `v` when the engine publishes without bounds (a converged answer
+    /// is exact, bound 0) — and returns the first such view. Epochs are
+    /// inspected as they land (condvar parking on the view cell, no
+    /// spin-polling); epochs that don't satisfy the predicate are skipped
+    /// without waking the caller's logic more than once each. Gives up
+    /// after `deadline` with [`ServeError::BoundTimeout`].
+    pub fn wait_for_bound(
+        &self,
+        v: VertexId,
+        eps: f64,
+        deadline: Duration,
+    ) -> Result<Arc<PublishedView>, ServeError> {
+        let until = Instant::now() + deadline;
+        let mut view = self.view();
+        loop {
+            if bound_satisfied(&view, v, eps) {
+                return Ok(view);
+            }
+            match self.cell.wait_for_epoch_until(view.epoch + 1, until) {
+                Ok(next) => view = next,
+                Err(_) => {
+                    // Watermark race: a store may have landed as the wait
+                    // expired — judge the actual latest view once more.
+                    let latest = self.view();
+                    if latest.epoch > view.epoch && bound_satisfied(&latest, v, eps) {
+                        return Ok(latest);
+                    }
+                    return Err(ServeError::BoundTimeout {
+                        vertex: v,
+                        epoch: latest.epoch,
+                        waited: deadline,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The `wait_for_bound` predicate: is this epoch's answer for `v` within
+/// `eps` of exact? A converged epoch is exact (bound 0) whatever the
+/// publish mode — the certified interval is conservative and need not
+/// collapse at quiescence; an unconverged epoch satisfies only via a
+/// published certified bound.
+fn bound_satisfied(view: &PublishedView, v: VertexId, eps: f64) -> bool {
+    if view.converged && view.point(v).is_some() {
+        return true;
+    }
+    view.error_bound(v).is_some_and(|b| b <= eps)
 }
 
 #[cfg(test)]
@@ -313,6 +460,7 @@ mod tests {
                 assert_eq!(waited, Duration::from_millis(200));
             }
             Ok(view) => panic!("writer is dead but epoch {} appeared", view.epoch),
+            Err(other) => panic!("expected EpochTimeout, got {other:?}"),
         }
     }
 
@@ -328,6 +476,87 @@ mod tests {
         e.run_to_convergence();
         let view = waiter.join().unwrap().expect("epoch was published before the deadline");
         assert!(view.epoch >= target);
+    }
+
+    #[test]
+    fn metric_queries_answer_or_fail_typed() {
+        use aaa_core::MetricKind;
+        // Closeness-only engine: betweenness queries fail typed, never
+        // panic or return zeros.
+        let mut e = engine(60, 3);
+        let h = ServeHandle::attach(&e);
+        e.run_to_convergence();
+        let meta = h.metadata();
+        assert!(meta.metrics.contains(MetricKind::Closeness));
+        assert!(!meta.metrics.contains(MetricKind::Betweenness));
+        match h.point_for(MetricKind::Betweenness, 0) {
+            Err(ServeError::MetricUnavailable { requested, available }) => {
+                assert_eq!(requested, MetricKind::Betweenness);
+                assert_eq!(available, meta.metrics);
+            }
+            other => panic!("expected MetricUnavailable, got {other:?}"),
+        }
+        assert!(h.top_k_for(MetricKind::Betweenness, 3).is_err());
+        assert!(h.points_for(MetricKind::Betweenness, &[0, 1]).is_err());
+        assert!(h.error_bound_for(MetricKind::Betweenness, 0).is_err());
+        // The closeness defaults and the `*_for` spellings agree.
+        assert_eq!(h.point_for(MetricKind::Closeness, 5).unwrap(), h.point(5));
+        assert_eq!(h.top_k_for(MetricKind::Closeness, 4).unwrap(), h.top_k(4));
+
+        // Betweenness-enabled engine: the column serves.
+        let g = barabasi_albert(60, 2, WeightModel::Unit, 11).unwrap();
+        let mut cfg = EngineConfig::deterministic(3);
+        cfg.metrics = vec![MetricKind::Betweenness];
+        let mut e = AnytimeEngine::new(g, cfg).unwrap();
+        let h = ServeHandle::attach(&e);
+        e.run_to_convergence();
+        assert!(h.metadata().metrics.contains(MetricKind::Betweenness));
+        let col = h.view().metric_values(MetricKind::Betweenness).unwrap();
+        assert_eq!(h.point_for(MetricKind::Betweenness, 1).unwrap(), Some(col[1]));
+        assert_eq!(h.point_for(MetricKind::Betweenness, 60).unwrap(), None);
+        let top = h.top_k_for(MetricKind::Betweenness, 5).unwrap();
+        assert_eq!(top.len(), 5);
+        assert!(top.windows(2).all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+        // Betweenness publishes no per-vertex interval.
+        assert_eq!(h.error_bound_for(MetricKind::Betweenness, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn wait_for_bound_parks_until_an_epoch_satisfies() {
+        // Certified mode: the bound tightens as RC progresses.
+        let g = barabasi_albert(80, 2, WeightModel::UniformRange { lo: 1, hi: 4 }, 9).unwrap();
+        let mut cfg = EngineConfig::deterministic(3);
+        cfg.publish_bounds = BoundsMode::Certified;
+        let mut e = AnytimeEngine::new(g, cfg).unwrap();
+        let h = ServeHandle::attach(&e);
+        let waiter = {
+            let h = h.clone();
+            std::thread::spawn(move || h.wait_for_bound(7, 1e-12, Duration::from_secs(30)))
+        };
+        e.run_to_convergence();
+        let view = waiter.join().unwrap().expect("bound reached at convergence");
+        assert!(view.converged || view.error_bound(7).unwrap() <= 1e-12);
+
+        // BoundsMode::None: a converged epoch is exact, so it satisfies
+        // any eps; an unconverged one never does.
+        let mut e = engine(60, 2);
+        let h = ServeHandle::attach(&e);
+        assert!(matches!(
+            h.wait_for_bound(3, 0.5, Duration::from_millis(50)),
+            Err(ServeError::BoundTimeout { vertex: 3, .. })
+        ));
+        e.run_to_convergence();
+        let view = h.wait_for_bound(3, 0.0, Duration::from_secs(1)).unwrap();
+        assert!(view.converged);
+        // Out-of-range vertices can never satisfy: typed timeout.
+        match h.wait_for_bound(60, 10.0, Duration::from_millis(50)) {
+            Err(ServeError::BoundTimeout { vertex, epoch, waited }) => {
+                assert_eq!(vertex, 60);
+                assert_eq!(epoch, h.epoch());
+                assert_eq!(waited, Duration::from_millis(50));
+            }
+            other => panic!("expected BoundTimeout, got {other:?}"),
+        }
     }
 
     #[test]

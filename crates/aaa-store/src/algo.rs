@@ -82,6 +82,26 @@ pub fn closeness_exact<G: GraphStore + Sync>(g: &G) -> Vec<f64> {
         .collect()
 }
 
+/// Exact Brandes betweenness over any backend, with deterministic
+/// `(distance, id)` tie-breaks — bit-identical to
+/// `aaa_graph::centrality::betweenness_exact_det` on the same edge set.
+///
+/// Per-source rows are computed in parallel, but the dependency vectors
+/// are summed sequentially in increasing source order via
+/// [`aaa_graph::centrality::betweenness_from_rows`], so the result is a
+/// bit-exact function of the graph alone (no reduction-order dependence).
+/// This is the `recompute_exact` oracle for the engine's incremental
+/// betweenness metric.
+pub fn betweenness_exact<G: GraphStore + Sync>(g: &G) -> Vec<f64> {
+    let n = g.num_vertices();
+    let rows: Vec<Vec<Dist>> = (0..n).into_par_iter().map(|s| dijkstra(g, s as VertexId)).collect();
+    aaa_graph::centrality::betweenness_from_rows(
+        n,
+        |s| rows[s as usize].clone(),
+        |v| g.successors(v),
+    )
+}
+
 /// Worklist (Bellman-Ford-style) single-source relaxation to a fixed point.
 ///
 /// This is the anytime-convergence kernel used on graphs too large for the
@@ -143,6 +163,17 @@ mod tests {
             assert_eq!(bfs_hops(&g, s), aaa_graph::sssp::bfs(&csr, s));
         }
         assert_eq!(closeness_exact(&g), aaa_graph::closeness::closeness_exact(&csr));
+    }
+
+    #[test]
+    fn betweenness_exact_matches_deterministic_oracle_bitwise() {
+        let g = weighted_sample();
+        let csr = aaa_graph::Csr::from_adj(&g);
+        let oracle = aaa_graph::centrality::betweenness_exact_det(&csr);
+        assert_eq!(betweenness_exact(&g), oracle);
+        let c = CompressedGraph::from_store(&g).unwrap();
+        assert_eq!(betweenness_exact(&c), oracle);
+        assert!(betweenness_exact(&AdjGraph::new()).is_empty());
     }
 
     #[test]

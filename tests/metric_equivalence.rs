@@ -1,0 +1,253 @@
+//! Equivalence properties for the metric abstraction (S31).
+//!
+//! Two contracts, both bit-level:
+//!
+//! 1. **Closeness is unchanged by the refactor.** An engine that also
+//!    maintains betweenness must publish exactly the closeness column,
+//!    epoch numbering and convergence state of a closeness-only engine —
+//!    per published epoch, across dynamic churn, checkpoint/restore and a
+//!    forced rebalance. The extra metric rides along driver-side and must
+//!    never perturb the priced computation.
+//! 2. **Incremental betweenness is exact at convergence.** After every
+//!    drain, once the DV rows re-converge, the published betweenness
+//!    column equals the deterministic Brandes oracle bit-for-bit (same
+//!    kernel, same canonical tie-break, same summation order) — on both
+//!    the sequential and the parallel executor.
+
+use anytime_anywhere::core::{
+    AnytimeEngine, AssignStrategy, DynamicChange, EngineConfig, MetricKind, NewVertex, VertexBatch,
+};
+use anytime_anywhere::graph::centrality::betweenness_exact_det;
+use anytime_anywhere::graph::{AdjGraph, Csr, GraphBuilder};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An arbitrary simple weighted graph with `n ∈ [2, 24]` vertices.
+/// Strictly positive weights — the path-counting kernel requires them.
+fn arb_graph() -> impl Strategy<Value = AdjGraph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..8), 0..(3 * n));
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::with_vertices(n);
+            for (u, v, w) in edges {
+                b.edge(u, v, w);
+            }
+            b.build().expect("builder output is always valid")
+        })
+    })
+}
+
+/// Engine config with the given executor and metric selection.
+fn config(p: usize, parallel: bool, betweenness: bool) -> EngineConfig {
+    let mut c = if parallel { EngineConfig::with_procs(p) } else { EngineConfig::deterministic(p) };
+    if betweenness {
+        c.metrics = vec![MetricKind::Betweenness];
+    }
+    c
+}
+
+/// Submits one random structural change (edge add / remove / reweight, or
+/// a small vertex batch) and drains it at the barrier.
+fn apply_random_change(engine: &mut AnytimeEngine, rng: &mut ChaCha8Rng) {
+    let g = engine.graph().clone();
+    let n = g.num_vertices() as u32;
+    let existing: Vec<(u32, u32, u32)> = g.edges().collect();
+    let change = match rng.gen_range(0..4u32) {
+        0 if !existing.is_empty() => {
+            let (u, v, _) = existing[rng.gen_range(0..existing.len())];
+            DynamicChange::RemoveEdge { u, v }
+        }
+        1 if !existing.is_empty() => {
+            let (u, v, w) = existing[rng.gen_range(0..existing.len())];
+            DynamicChange::SetWeight { u, v, w: (w % 7) + 1 }
+        }
+        2 => {
+            let me = n;
+            let edges = (0..rng.gen_range(1..3u32))
+                .map(|_| (rng.gen_range(0..me), rng.gen_range(1..6u32)))
+                .collect::<Vec<_>>();
+            let mut dedup = edges;
+            dedup.sort_unstable_by_key(|e| e.0);
+            dedup.dedup_by_key(|e| e.0);
+            DynamicChange::AddVertices(VertexBatch { vertices: vec![NewVertex { edges: dedup }] })
+        }
+        _ => {
+            // A fresh edge; fall back to a reweight-to-same when the graph
+            // is (nearly) complete and no free pair turns up.
+            let mut pick = None;
+            for _ in 0..32 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && !g.has_edge(u, v) {
+                    pick = Some((u, v));
+                    break;
+                }
+            }
+            match pick {
+                Some((u, v)) => DynamicChange::AddEdge { u, v, w: rng.gen_range(1..6) },
+                None => return,
+            }
+        }
+    };
+    let strategy = AssignStrategy::RoundRobin;
+    match change {
+        DynamicChange::AddVertices(batch) => {
+            engine.apply_vertex_additions(&batch, strategy).expect("batch applies");
+        }
+        other => {
+            engine.submit(other).expect("change validates against the live graph");
+            engine.drain_changes().expect("drain applies");
+        }
+    }
+}
+
+/// The published betweenness column must equal the deterministic Brandes
+/// oracle on the engine's current graph, bit for bit.
+fn assert_matches_oracle(engine: &AnytimeEngine) -> Result<(), TestCaseError> {
+    let view = engine.published();
+    let col = view.metric_values(MetricKind::Betweenness).expect("betweenness carried");
+    let oracle = betweenness_exact_det(&Csr::from_adj(engine.graph()));
+    prop_assert_eq!(col, oracle);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 1: per-epoch closeness bit-equality between a
+    /// closeness-only engine and one that also maintains betweenness,
+    /// stepped in lockstep through convergence and random churn.
+    #[test]
+    fn betweenness_engine_publishes_identical_closeness(
+        g in arb_graph(),
+        p in 1usize..4,
+        rounds in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut a = AnytimeEngine::new(g.clone(), config(p, false, false)).unwrap();
+        let mut b = AnytimeEngine::new(g, config(p, false, true)).unwrap();
+        let lockstep = |a: &mut AnytimeEngine, b: &mut AnytimeEngine| -> Result<(), TestCaseError> {
+            loop {
+                let (ma, mb) = (a.rc_step(), b.rc_step());
+                prop_assert_eq!(ma, mb);
+                let (va, vb) = (a.published(), b.published());
+                prop_assert_eq!(va.epoch, vb.epoch);
+                prop_assert_eq!(va.converged, vb.converged);
+                prop_assert_eq!(va.closeness(), vb.closeness());
+                prop_assert_eq!(va.top_k(5), vb.top_k(5));
+                if !ma {
+                    return Ok(());
+                }
+            }
+        };
+        lockstep(&mut a, &mut b)?;
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            apply_random_change(&mut a, &mut rng_a);
+            apply_random_change(&mut b, &mut rng_b);
+            lockstep(&mut a, &mut b)?;
+        }
+        prop_assert_eq!(a.epochs_published(), b.epochs_published());
+        prop_assert_eq!(a.distances(), b.distances());
+        // The extra column answered alongside, and it is exact here.
+        assert_matches_oracle(&b)?;
+    }
+
+    /// Contract 2 on the sequential executor: the incremental column is
+    /// bit-equal to the Brandes oracle at convergence after every drain.
+    #[test]
+    fn incremental_betweenness_matches_oracle_across_churn(
+        g in arb_graph(),
+        p in 1usize..4,
+        rounds in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut engine = AnytimeEngine::new(g, config(p, false, true)).unwrap();
+        prop_assert!(engine.run_to_convergence().converged);
+        assert_matches_oracle(&engine)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            apply_random_change(&mut engine, &mut rng);
+            prop_assert!(engine.run_to_convergence().converged);
+            assert_matches_oracle(&engine)?;
+        }
+    }
+
+    /// Checkpoint/restore carries the metric identity (the METR section):
+    /// an engine restored with a *closeness-only* config from a snapshot
+    /// of a betweenness-maintaining engine keeps publishing the column,
+    /// and it re-converges to the oracle bits.
+    #[test]
+    fn restore_preserves_metric_identity_and_exactness(
+        g in arb_graph(),
+        p in 1usize..4,
+        steps in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut engine = AnytimeEngine::new(g.clone(), config(p, false, true)).unwrap();
+        for _ in 0..steps {
+            engine.rc_step();
+        }
+        let bytes = engine.checkpoint_bytes().expect("checkpoint");
+        let mut restored =
+            AnytimeEngine::restore(&bytes[..], config(p, false, false)).expect("restore");
+        prop_assert!(restored.metric_mask().contains(MetricKind::Betweenness));
+        prop_assert!(restored.run_to_convergence().converged);
+        assert_matches_oracle(&restored)?;
+        // And the closeness bits agree with an undisturbed reference run.
+        let mut reference = AnytimeEngine::new(g, config(p, false, false)).unwrap();
+        prop_assert!(reference.run_to_convergence().converged);
+        prop_assert_eq!(restored.published().closeness(), reference.published().closeness());
+        let _ = seed;
+    }
+
+    /// A forced repartition + migration must not disturb either column:
+    /// closeness stays bit-equal to the closeness-only engine's and the
+    /// betweenness column re-converges to the oracle.
+    #[test]
+    fn rebalance_preserves_both_columns(
+        g in arb_graph(),
+        p in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut a = AnytimeEngine::new(g.clone(), config(p, false, false)).unwrap();
+        let mut b = AnytimeEngine::new(g, config(p, false, true)).unwrap();
+        prop_assert!(a.run_to_convergence().converged);
+        prop_assert!(b.run_to_convergence().converged);
+        a.rebalance(seed).expect("rebalance");
+        b.rebalance(seed).expect("rebalance");
+        prop_assert!(a.run_to_convergence().converged);
+        prop_assert!(b.run_to_convergence().converged);
+        prop_assert_eq!(a.published().closeness(), b.published().closeness());
+        prop_assert_eq!(a.distances(), b.distances());
+        assert_matches_oracle(&b)?;
+    }
+}
+
+proptest! {
+    // Fewer cases: the parallel executor spins real worker threads.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Contract 2 on the parallel executor: the kernel is bit-identical
+    /// across executors, so the published column must still equal the
+    /// oracle exactly after every drain.
+    #[test]
+    fn incremental_betweenness_matches_oracle_on_parallel_executor(
+        g in arb_graph(),
+        p in 2usize..4,
+        rounds in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut engine = AnytimeEngine::new(g, config(p, true, true)).unwrap();
+        prop_assert!(engine.run_to_convergence().converged);
+        assert_matches_oracle(&engine)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            apply_random_change(&mut engine, &mut rng);
+            prop_assert!(engine.run_to_convergence().converged);
+            assert_matches_oracle(&engine)?;
+        }
+    }
+}
